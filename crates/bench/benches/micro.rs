@@ -1,0 +1,217 @@
+//! Criterion microbenchmarks over the hot paths of the simulation stack:
+//! the CMB ingest path, credit reads, the flash channel scheduler, FTL
+//! allocation, and WAL record encode/decode. These guard the simulator's
+//! own performance (a slow simulator caps experiment scale).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use simkit::{Bandwidth, SerialResource, SimDuration, SimTime};
+
+fn bench_cmb_ingest(c: &mut Criterion) {
+    use xssd_core::{CmbConfig, CmbModule};
+    let mut g = c.benchmark_group("cmb");
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("ingest_4k_chunk", |b| {
+        b.iter_batched(
+            || {
+                (
+                    CmbModule::new(CmbConfig {
+                        size: 1 << 20,
+                        intake_queue_bytes: 1 << 20,
+                        ..CmbConfig::sram()
+                    }),
+                    SerialResource::new(),
+                    Bandwidth::gbytes_per_sec(4.0),
+                )
+            },
+            |(mut cmb, mut port, bw)| {
+                for i in 0..16u64 {
+                    cmb.ingest(SimTime::ZERO, i * 4096, &[0u8; 4096], |t, bytes| {
+                        port.acquire(t, bw.transfer_time(bytes))
+                    })
+                    .unwrap();
+                }
+                cmb.credit_at(SimTime::from_millis(1))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_fast_write_path(c: &mut Criterion) {
+    use pcie::MmioMode;
+    use xssd_core::{Cluster, VillarsConfig};
+    let mut g = c.benchmark_group("fast_side");
+    g.throughput(Throughput::Bytes(16 << 10));
+    g.bench_function("x_pwrite_fsync_16k", |b| {
+        b.iter_batched(
+            || {
+                let mut cl = Cluster::new();
+                let dev = cl.add_device(VillarsConfig::villars_sram());
+                (cl, xssd_core::XLogFile::open_lane(dev, 0, MmioMode::WriteCombining))
+            },
+            |(mut cl, mut f)| {
+                let t = f.x_pwrite(&mut cl, SimTime::ZERO, &[0u8; 16 << 10]).unwrap();
+                f.x_fsync(&mut cl, t).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_flash_scheduler(c: &mut Criterion) {
+    use flash::{
+        ChannelScheduler, FlashArray, FlashGeometry, FlashTiming, OpKind, OpRequest, Ppa,
+        Priority, ReliabilityConfig, SchedulingMode,
+    };
+    let mut g = c.benchmark_group("flash");
+    g.bench_function("schedule_512_programs", |b| {
+        b.iter_batched(
+            || {
+                let geometry = FlashGeometry::default();
+                let array = FlashArray::new(
+                    geometry,
+                    FlashTiming::default(),
+                    ReliabilityConfig::perfect(),
+                    1,
+                );
+                let mut sched =
+                    ChannelScheduler::new(geometry.channels, SchedulingMode::Neutral);
+                let mut id = 0u64;
+                for page in 0..8u32 {
+                    for ch in 0..geometry.channels {
+                        for die in 0..geometry.dies_per_channel {
+                            sched.submit(OpRequest {
+                                id,
+                                kind: OpKind::Program(Ppa::new(ch, die, 0, page)),
+                                arrival: SimTime::ZERO,
+                                class: Priority::Conventional,
+                            });
+                            id += 1;
+                        }
+                    }
+                }
+                (array, sched)
+            },
+            |(mut array, mut sched)| sched.pump(&mut array, SimTime::MAX).len(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_ftl(c: &mut Criterion) {
+    use flash::{FlashArray, FlashGeometry, FlashTiming, ReliabilityConfig};
+    use ssd::{AllocStream, Ftl};
+    let mut g = c.benchmark_group("ftl");
+    g.bench_function("allocate_4096_pages", |b| {
+        b.iter_batched(
+            || {
+                let geometry = FlashGeometry::default();
+                let array = FlashArray::new(
+                    geometry,
+                    FlashTiming::default(),
+                    ReliabilityConfig::perfect(),
+                    1,
+                );
+                Ftl::new(geometry, &array, 8)
+            },
+            |mut ftl| {
+                for lpn in 0..4096u64 {
+                    ftl.allocate(lpn, AllocStream::Host).unwrap();
+                }
+                ftl.mapped_pages()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_log_codec(c: &mut Criterion) {
+    use memdb::{decode_stream, LogOp, LogRecord};
+    let records: Vec<LogRecord> = (0..64)
+        .map(|i| LogRecord {
+            txn_id: i,
+            op: LogOp::Update,
+            table: (i % 8) as u16,
+            key: vec![i as u8; 12],
+            value: vec![(i * 7) as u8; 160],
+        })
+        .collect();
+    let mut encoded = Vec::new();
+    for r in &records {
+        r.encode_into(&mut encoded);
+    }
+    let mut g = c.benchmark_group("wal_codec");
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("encode_64_records", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(encoded.len());
+            for r in &records {
+                r.encode_into(&mut out);
+            }
+            out.len()
+        })
+    });
+    g.bench_function("decode_64_records", |b| {
+        b.iter(|| decode_stream(&encoded).0.len())
+    });
+    g.finish();
+}
+
+fn bench_tpcc_txn(c: &mut Criterion) {
+    use tpcc::{setup, TpccConfig};
+    let mut g = c.benchmark_group("tpcc");
+    g.bench_function("mixed_txn", |b| {
+        let (mut db, mut workload, mut rng) = setup(TpccConfig::small(), 5);
+        b.iter(|| {
+            let _ = workload.execute(&mut db, &mut rng, 0);
+            db.commits()
+        })
+    });
+    g.finish();
+}
+
+fn bench_sim_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simkit");
+    g.bench_function("event_queue_1k_cycle", |b| {
+        b.iter_batched(
+            simkit::EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..1000u64 {
+                    q.schedule(SimTime::from_nanos(i * 7919 % 5000), i);
+                }
+                let mut n = 0;
+                while q.pop().is_some() {
+                    n += 1;
+                }
+                n
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("serial_resource_acquire", |b| {
+        let mut r = SerialResource::new();
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            let grant = r.acquire(t, SimDuration::from_nanos(10));
+            t = grant.end;
+            grant.end
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cmb_ingest,
+    bench_fast_write_path,
+    bench_flash_scheduler,
+    bench_ftl,
+    bench_log_codec,
+    bench_tpcc_txn,
+    bench_sim_kernel
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Ablation — end-to-end TPC-C throughput under device-level replication.
+//!
+//! The paper's headline use case (Fig. 1 right): the database writes its
+//! log once and the device ships it. This ablation quantifies what eager
+//! device-level replication costs the database: TPC-C throughput and commit
+//! latency with 0, 1, and 2 secondaries, at 4 workers.
+
+use memdb::{run_workload, RunnerConfig, WalConfig, WalManager, XssdLog};
+use simkit::{SimDuration, SimTime};
+use tpcc::{setup, TpccConfig};
+use xssd_bench::{header, row, section, Measurement};
+use xssd_core::{Cluster, VillarsConfig};
+
+fn run(secondaries: usize) -> (f64, f64) {
+    let mut cluster = Cluster::new();
+    let p = cluster.add_device(VillarsConfig::villars_sram());
+    let secs: Vec<usize> =
+        (0..secondaries).map(|_| cluster.add_device(VillarsConfig::villars_sram())).collect();
+    if !secs.is_empty() {
+        cluster.configure_replication(SimTime::ZERO, p, &secs);
+    }
+    let (mut db, mut workload, _rng) = setup(TpccConfig::bench(), 0xAB5);
+    let mut wal =
+        WalManager::new(XssdLog::new(cluster, p, "villars-replicated"), WalConfig::default());
+    let report = run_workload(
+        &mut db,
+        &mut wal,
+        RunnerConfig {
+            workers: 4,
+            duration: SimDuration::from_millis(100),
+            ..RunnerConfig::default()
+        },
+        |db, rng, _| workload.execute(db, rng, 0),
+    );
+    (report.throughput_tps(), report.mean_latency_us())
+}
+
+fn main() {
+    header(
+        "Ablation: replicated TPC-C",
+        "Database throughput/latency with device-level eager log shipping",
+        "TPC-C, 4 workers, 16 KiB group commit; 0/1/2 secondaries over NTB",
+    );
+    section("throughput and commit latency vs. replica count");
+    println!("{:<14} {:>12} {:>16}", "secondaries", "ktxn/s", "mean_lat_us");
+    for n in [0usize, 1, 2] {
+        let (tps, lat) = run(n);
+        row(
+            &format!("{:<14} {:>12.1} {:>16.1}", n, tps / 1e3, lat),
+            &Measurement::point(
+                "ablation_replicated",
+                format!("{n}-secondaries"),
+                n as f64,
+                "secondaries",
+                tps,
+                "txn_per_sec",
+            )
+            .with_extra(lat),
+        );
+    }
+    println!();
+    println!("expected: throughput stays CPU-bound (the mirror streams ride the");
+    println!("device, not the database); commit latency grows by the NTB round trip");
+    println!("plus the shadow-counter cycle per added secondary — the paper's");
+    println!("'equally fast results with a simpler, more robust data path' claim.");
+}

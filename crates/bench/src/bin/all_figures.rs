@@ -1,0 +1,50 @@
+//! Run every figure harness in-process and print a combined report.
+//!
+//! `cargo run --release -p xssd-bench --bin all_figures` regenerates the
+//! full evaluation in one go (Figs. 9–13 + the three ablations run as
+//! separate binaries; this runner shells out to keep each figure's output
+//! self-contained).
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "fig09_local_logging",
+        "fig10_write_combining",
+        "fig11_queue_size",
+        "fig12_destage_priority",
+        "fig13_replication_delay",
+        "ablation_transport",
+        "ablation_data_movements",
+        "ablation_replication_policy",
+        "ablation_replicated_tpcc",
+        "ablation_destage_deadline",
+    ];
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for bin in bins {
+        let path = dir.join(bin);
+        println!();
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                failures.push(bin);
+            }
+            Err(e) => {
+                eprintln!("{bin} failed to launch from {}: {e}", path.display());
+                eprintln!("build all binaries first: cargo build --release -p xssd-bench");
+                failures.push(bin);
+            }
+        }
+    }
+    println!();
+    if failures.is_empty() {
+        println!("all {} experiment harnesses completed", bins.len());
+    } else {
+        println!("FAILED harnesses: {failures:?}");
+        std::process::exit(1);
+    }
+}

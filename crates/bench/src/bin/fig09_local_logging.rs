@@ -1,0 +1,141 @@
+//! Fig. 9 — Logging to local storage.
+//!
+//! "Comparison of latency (left) and throughput (right) with an increasing
+//! number of log writes and under different local logging setups" (paper
+//! §6.1). Five setups: No Log / Memory (NVDIMM) / NVMe (conventional side)
+//! / Villars-SRAM / Villars-DRAM, each swept over 1–8 workers running
+//! TPC-C with a 16 KiB group-commit threshold.
+
+use memdb::{
+    run_workload, NoLog, NvmeLog, PmConfig, PmLog, RunnerConfig, WalConfig, WalManager,
+    XssdLog,
+};
+use simkit::{SimDuration, SimTime};
+use ssd::{ConventionalSsd, SsdConfig};
+use tpcc::{setup, TpccConfig};
+use xssd_bench::{header, row, section, Measurement};
+use xssd_core::{Cluster, VillarsConfig};
+
+/// The five Fig. 9 logging setups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Setup {
+    NoLog,
+    Memory,
+    Nvme,
+    VillarsSram,
+    VillarsDram,
+}
+
+impl Setup {
+    fn label(self) -> &'static str {
+        match self {
+            Setup::NoLog => "no-log",
+            Setup::Memory => "memory-nvdimm",
+            Setup::Nvme => "nvme-conventional",
+            Setup::VillarsSram => "villars-sram",
+            Setup::VillarsDram => "villars-dram",
+        }
+    }
+}
+
+/// The conventional device used for log storage in the NVMe setup: same
+/// platform, with the log region running in fast-page (SLC-cached) mode as
+/// log-dedicated regions commonly do.
+fn log_ssd() -> ConventionalSsd {
+    let mut cfg = SsdConfig::default();
+    cfg.timing.t_prog = SimDuration::from_micros(200);
+    ConventionalSsd::new(cfg)
+}
+
+fn villars_cluster(sram: bool) -> Cluster {
+    let mut config = if sram {
+        VillarsConfig::villars_sram()
+    } else {
+        VillarsConfig::villars_dram()
+    };
+    // Keep the CMB window at the paper's 32 KiB flow-control queue.
+    config.cmb.intake_queue_bytes = 32 << 10;
+    let mut cl = Cluster::new();
+    cl.add_device(config);
+    cl
+}
+
+fn run(setup_kind: Setup, workers: usize) -> (f64, f64, f64) {
+    let (mut db, mut workload, _rng) = setup(TpccConfig::bench(), 0x716 + workers as u64);
+    let runner = RunnerConfig {
+        workers,
+        duration: SimDuration::from_millis(150),
+        seed: 0xF160_9000 + workers as u64,
+        ..RunnerConfig::default()
+    };
+    let wal_cfg = WalConfig::default(); // 16 KiB group threshold
+    let report = match setup_kind {
+        Setup::NoLog => {
+            let mut wal = WalManager::new(NoLog::new(), wal_cfg);
+            run_workload(&mut db, &mut wal, runner, |db, rng, _| workload.execute(db, rng, 0))
+        }
+        Setup::Memory => {
+            let mut wal = WalManager::new(PmLog::new(PmConfig::default()), wal_cfg);
+            run_workload(&mut db, &mut wal, runner, |db, rng, _| workload.execute(db, rng, 0))
+        }
+        Setup::Nvme => {
+            let mut wal = WalManager::new(NvmeLog::new(log_ssd(), 0, 8192), wal_cfg);
+            run_workload(&mut db, &mut wal, runner, |db, rng, _| workload.execute(db, rng, 0))
+        }
+        Setup::VillarsSram => {
+            let mut wal =
+                WalManager::new(XssdLog::new(villars_cluster(true), 0, "villars-sram"), wal_cfg);
+            run_workload(&mut db, &mut wal, runner, |db, rng, _| workload.execute(db, rng, 0))
+        }
+        Setup::VillarsDram => {
+            let mut wal =
+                WalManager::new(XssdLog::new(villars_cluster(false), 0, "villars-dram"), wal_cfg);
+            run_workload(&mut db, &mut wal, runner, |db, rng, _| workload.execute(db, rng, 0))
+        }
+    };
+    let tps = report.throughput_tps();
+    let mut latency = report.latency_us;
+    let mean = latency.mean();
+    let p99 = latency.percentile(99.0);
+    (tps, mean, p99)
+}
+
+fn main() {
+    header(
+        "Figure 9",
+        "Local logging: latency & throughput vs. worker count",
+        "TPC-C (bench scale), 16 KiB group commit, setups: no-log / NVDIMM / NVMe / Villars-SRAM / Villars-DRAM",
+    );
+    let _ = SimTime::ZERO;
+    let setups =
+        [Setup::NoLog, Setup::Memory, Setup::Nvme, Setup::VillarsSram, Setup::VillarsDram];
+    let workers = [1usize, 2, 4, 8];
+    section("throughput (committed txn/s) and mean latency (us)");
+    println!(
+        "{:<20} {:>8} {:>14} {:>14} {:>14}",
+        "setup", "workers", "ktxn/s", "mean_lat_us", "p99_lat_us"
+    );
+    for s in setups {
+        for w in workers {
+            let (tps, mean_us, p99_us) = run(s, w);
+            row(
+                &format!(
+                    "{:<20} {:>8} {:>14.1} {:>14.1} {:>14.1}",
+                    s.label(),
+                    w,
+                    tps / 1e3,
+                    mean_us,
+                    p99_us
+                ),
+                &Measurement::point("fig09", s.label(), w as f64, "workers", tps, "txn_per_sec")
+                    .with_extra(mean_us),
+            );
+        }
+    }
+    println!();
+    println!("expected shape (paper §6.1):");
+    println!("  - latency: no-log < memory ~ villars-sram < villars-dram << nvme (log scale)");
+    println!("  - latency decreases as workers increase (16 KiB group fills sooner)");
+    println!("  - throughput: setups comparable at low worker counts; the NVMe path");
+    println!("    saturates (queue depth 1 on the log) while the PM-class paths keep scaling");
+}

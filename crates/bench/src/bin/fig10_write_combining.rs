@@ -1,0 +1,90 @@
+//! Fig. 10 — Effects of Write Combining.
+//!
+//! "Comparison of different write sizes under write-combine and uncached
+//! when writing to device SRAM (left) and DRAM (right)" (paper §6.2). A
+//! synthetic store stream pushes writes of 1–256 bytes through the fast
+//! side; throughput is normalized to the best observed value per backing
+//! class.
+
+use pcie::MmioMode;
+use simkit::SimTime;
+use xssd_bench::{header, row, section, Measurement};
+use xssd_core::{Cluster, VillarsConfig, XLogFile};
+
+/// Sustained fast-side throughput (MB/s) for `write_size` stores under
+/// `mode` against the given device config.
+fn throughput(config: VillarsConfig, write_size: usize, mode: MmioMode) -> f64 {
+    let mut cl = Cluster::new();
+    let dev = cl.add_device(config);
+    let mut f = XLogFile::open_lane(dev, 0, mode);
+    // Enough volume to reach steady state, in whole-write units.
+    let total: usize = 256 << 10;
+    let count = total / write_size;
+    let data = vec![0xA5u8; write_size];
+    let mut now = SimTime::ZERO;
+    for _ in 0..count {
+        now = f.x_pwrite(&mut cl, now, &data).expect("fast-side write");
+    }
+    now = f.x_fsync(&mut cl, now).expect("x_fsync");
+    (count * write_size) as f64 / now.as_secs_f64() / 1e6
+}
+
+fn main() {
+    header(
+        "Figure 10",
+        "Write sizes under Write-Combining vs. Uncached, SRAM and DRAM backing",
+        "synthetic store stream, 1-256 B writes, throughput normalized to the per-backing best",
+    );
+    let sizes = [1usize, 2, 4, 8, 16, 32, 64, 128, 256];
+    for (backing, cfg) in [
+        ("sram", VillarsConfig::villars_sram()),
+        ("dram", VillarsConfig::villars_dram()),
+    ] {
+        section(&format!("{backing}-backed CMB"));
+        // Collect raw throughputs first, then normalize to the best.
+        let mut results = Vec::new();
+        for &s in &sizes {
+            for mode in [MmioMode::WriteCombining, MmioMode::Uncached] {
+                let t = throughput(cfg.clone(), s, mode);
+                results.push((s, mode, t));
+            }
+        }
+        let best = results.iter().map(|(_, _, t)| *t).fold(0.0, f64::max);
+        println!(
+            "{:<8} {:>10} {:>6} {:>12} {:>12}",
+            "backing", "write_B", "mode", "MB/s", "normalized"
+        );
+        for (s, mode, t) in results {
+            let mode_label = match mode {
+                MmioMode::WriteCombining => "wc",
+                MmioMode::Uncached => "uc",
+            };
+            let series = format!("{backing}-{mode_label}");
+            row(
+                &format!(
+                    "{:<8} {:>10} {:>6} {:>12.1} {:>12.3}",
+                    backing,
+                    s,
+                    mode_label,
+                    t,
+                    t / best
+                ),
+                &Measurement::point(
+                    "fig10",
+                    series,
+                    s as f64,
+                    "write_bytes",
+                    t / best,
+                    "normalized_throughput",
+                )
+                .with_extra(t),
+            );
+        }
+        println!();
+    }
+    println!("expected shape (paper §6.2):");
+    println!("  - WC >= UC at every size");
+    println!("  - SRAM: maximum throughput only at 64 B (the WC buffer size)");
+    println!("  - DRAM: plateau from ~16 B (the derated shared port becomes the");
+    println!("    bottleneck before TLP efficiency does)");
+}

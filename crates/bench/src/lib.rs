@@ -1,0 +1,106 @@
+//! # xssd-bench — figure-regeneration harnesses
+//!
+//! One binary per paper figure (`fig09_*` … `fig13_*`, plus the ablation
+//! studies DESIGN.md lists). Each prints the series the paper plots — as an
+//! aligned table on stdout and as JSON rows (one object per line, prefixed
+//! `JSON `) so EXPERIMENTS.md can be regenerated mechanically.
+
+#![warn(missing_docs)]
+
+use serde::Serialize;
+
+/// Print the standard experiment header.
+pub fn header(fig: &str, title: &str, knobs: &str) {
+    println!("==============================================================");
+    println!("{fig}: {title}");
+    if !knobs.is_empty() {
+        println!("  {knobs}");
+    }
+    println!("==============================================================");
+}
+
+/// Emit one row: aligned human-readable columns plus a machine-readable
+/// JSON record.
+pub fn row<T: Serialize>(human: &str, record: &T) {
+    println!("{human}");
+    println!("JSON {}", serde_json::to_string(record).expect("row serializes"));
+}
+
+/// Emit a section separator.
+pub fn section(name: &str) {
+    println!("--- {name} ---");
+}
+
+/// A generic labelled measurement row used across figures.
+#[derive(Debug, Serialize)]
+pub struct Measurement {
+    /// Figure identifier (e.g. "fig09").
+    pub fig: &'static str,
+    /// Series label (e.g. "villars-sram").
+    pub series: String,
+    /// X-axis value.
+    pub x: f64,
+    /// X-axis meaning.
+    pub x_label: &'static str,
+    /// Primary measured value.
+    pub y: f64,
+    /// Y meaning/unit.
+    pub y_label: &'static str,
+    /// Optional secondary value (e.g. p99, bandwidth %).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub extra: Option<f64>,
+    /// Optional distribution summary (Fig. 13 candlesticks).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub candle: Option<simkit::Candlestick>,
+}
+
+impl Measurement {
+    /// A plain (x, y) measurement.
+    pub fn point(
+        fig: &'static str,
+        series: impl Into<String>,
+        x: f64,
+        x_label: &'static str,
+        y: f64,
+        y_label: &'static str,
+    ) -> Self {
+        Measurement {
+            fig,
+            series: series.into(),
+            x,
+            x_label,
+            y,
+            y_label,
+            extra: None,
+            candle: None,
+        }
+    }
+
+    /// Attach a secondary value.
+    pub fn with_extra(mut self, extra: f64) -> Self {
+        self.extra = Some(extra);
+        self
+    }
+
+    /// Attach a candlestick.
+    pub fn with_candle(mut self, candle: simkit::Candlestick) -> Self {
+        self.candle = Some(candle);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_serializes_minimal_and_full() {
+        let m = Measurement::point("fig09", "no-log", 4.0, "workers", 150_000.0, "txn/s");
+        let json = serde_json::to_string(&m).unwrap();
+        assert!(json.contains("\"fig\":\"fig09\""));
+        assert!(!json.contains("extra"));
+        let m2 = m.with_extra(42.0);
+        let json2 = serde_json::to_string(&m2).unwrap();
+        assert!(json2.contains("\"extra\":42.0"));
+    }
+}

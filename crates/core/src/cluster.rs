@@ -1,0 +1,422 @@
+//! A cluster of Villars devices connected by NTB (paper Fig. 6).
+//!
+//! The cluster owns the devices and routes cross-device traffic — mirror
+//! streams (primary → secondaries) and shadow-counter updates (secondary →
+//! primary) — through one deterministic, time-ordered event calendar. It is
+//! the entry point replication experiments and the host API use.
+
+use crate::cmb::CmbError;
+use crate::config::VillarsConfig;
+use crate::device::{vendor, CrashReport, VillarsDevice};
+use crate::transport::{DeviceIndex, Outbound};
+use nvme::{AdminCommand, Command, CommandKind, CompletionEntry, NvmeController, Status, VendorCommand};
+use pcie::MmioMode;
+use simkit::{EventQueue, SimDuration, SimTime};
+
+#[derive(Debug, Clone)]
+enum ClusterEvent {
+    Mirror { dst: DeviceIndex, offset: u64, data: Vec<u8> },
+    Shadow { dst: DeviceIndex, src: DeviceIndex, value: u64 },
+}
+
+/// The device cluster.
+pub struct Cluster {
+    devices: Vec<VillarsDevice>,
+    events: EventQueue<ClusterEvent>,
+    next_cid: u16,
+    /// Devices currently powered off: traffic to them is dropped on the
+    /// floor (their PCIe fabric is gone).
+    dead: std::collections::HashSet<DeviceIndex>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster").field("devices", &self.devices.len()).finish()
+    }
+}
+
+impl Default for Cluster {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Cluster {
+    /// An empty cluster.
+    pub fn new() -> Self {
+        Cluster {
+            devices: Vec::new(),
+            events: EventQueue::new(),
+            next_cid: 0,
+            dead: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Add a device; returns its index.
+    pub fn add_device(&mut self, config: VillarsConfig) -> DeviceIndex {
+        self.devices.push(VillarsDevice::new(config));
+        self.devices.len() - 1
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True if no devices were added.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Borrow a device.
+    pub fn device(&self, i: DeviceIndex) -> &VillarsDevice {
+        &self.devices[i]
+    }
+
+    /// Borrow a device mutably.
+    pub fn device_mut(&mut self, i: DeviceIndex) -> &mut VillarsDevice {
+        &mut self.devices[i]
+    }
+
+    /// Execute a vendor-specific admin command against device `dev`,
+    /// blocking until its completion. This is the NVMe control plane the
+    /// paper describes: "changing the networking mode for a Villars device
+    /// or its peers is done via software" (§4.2).
+    pub fn vendor_blocking(
+        &mut self,
+        dev: DeviceIndex,
+        now: SimTime,
+        v: VendorCommand,
+    ) -> (SimTime, CompletionEntry) {
+        let cid = self.next_cid;
+        self.next_cid = self.next_cid.wrapping_add(1);
+        let device = &mut self.devices[dev];
+        device.submit(now, Command { cid, kind: CommandKind::Admin(AdminCommand::Vendor(v)) });
+        let mut horizon = now;
+        loop {
+            device.advance_to(horizon);
+            for (at, entry) in device.drain_completions(horizon) {
+                if entry.cid == cid {
+                    return (at, entry);
+                }
+            }
+            horizon = device
+                .next_event_at()
+                .map_or(horizon + SimDuration::from_micros(1), |t| t.max(horizon));
+        }
+    }
+
+    /// Configure eager primary/secondary replication via vendor commands:
+    /// `primary` mirrors to `secondaries` (in chain order).
+    pub fn configure_replication(
+        &mut self,
+        now: SimTime,
+        primary: DeviceIndex,
+        secondaries: &[DeviceIndex],
+    ) -> SimTime {
+        assert!(!secondaries.is_empty() && secondaries.len() <= 5);
+        let mut dwords = [0u32; 6];
+        dwords[0] = secondaries.len() as u32;
+        for (i, s) in secondaries.iter().enumerate() {
+            dwords[i + 1] = *s as u32;
+        }
+        let (mut t, e) =
+            self.vendor_blocking(primary, now, VendorCommand::new(vendor::SET_PRIMARY, dwords));
+        assert_eq!(e.status, Status::Success);
+        for &s in secondaries {
+            let (t2, e2) = self.vendor_blocking(
+                s,
+                t,
+                VendorCommand::new(vendor::SET_SECONDARY, [primary as u32, 0, 0, 0, 0, 0]),
+            );
+            assert_eq!(e2.status, Status::Success);
+            t = t2;
+        }
+        t
+    }
+
+    /// Fast-side write against device `dev`, routing any mirror traffic.
+    /// Returns `(issued_at, arrived_at)`: the CPU may issue its next store
+    /// at `issued_at` (stores pipeline on the wire); the data is fully in
+    /// the device's intake at `arrived_at`.
+    pub fn fast_write(
+        &mut self,
+        dev: DeviceIndex,
+        now: SimTime,
+        lane: usize,
+        offset: u64,
+        data: &[u8],
+        mode: MmioMode,
+    ) -> Result<(SimTime, SimTime), CmbError> {
+        let fw = self.devices[dev].fast_write(now, lane, offset, data, mode)?;
+        for o in fw.outbound {
+            self.schedule_outbound(o);
+        }
+        Ok((fw.issued_at, fw.arrived_at))
+    }
+
+    /// Blocking conventional-side block write (checkpointing and other
+    /// block workloads driven at cluster level). Returns the ack instant.
+    pub fn block_write_blocking(
+        &mut self,
+        dev: DeviceIndex,
+        now: SimTime,
+        lba: u64,
+        blocks: u32,
+    ) -> SimTime {
+        self.io_blocking(dev, now, nvme::IoCommand::Write { lba, blocks })
+    }
+
+    /// Blocking conventional-side block read.
+    pub fn block_read_blocking(
+        &mut self,
+        dev: DeviceIndex,
+        now: SimTime,
+        lba: u64,
+        blocks: u32,
+    ) -> SimTime {
+        self.io_blocking(dev, now, nvme::IoCommand::Read { lba, blocks })
+    }
+
+    /// Blocking conventional-side flush (durability barrier).
+    pub fn block_flush_blocking(&mut self, dev: DeviceIndex, now: SimTime) -> SimTime {
+        self.io_blocking(dev, now, nvme::IoCommand::Flush)
+    }
+
+    fn io_blocking(&mut self, dev: DeviceIndex, now: SimTime, io: nvme::IoCommand) -> SimTime {
+        let cid = self.next_cid;
+        self.next_cid = self.next_cid.wrapping_add(1);
+        let device = &mut self.devices[dev];
+        device.submit(now, Command { cid, kind: CommandKind::Io(io) });
+        let mut horizon = now;
+        loop {
+            device.advance_to(horizon);
+            for (at, entry) in device.drain_completions(horizon) {
+                if entry.cid == cid {
+                    assert!(entry.status.is_ok(), "block I/O failed: {:?}", entry.status);
+                    return at;
+                }
+            }
+            horizon = device
+                .next_event_at()
+                .map_or(horizon + SimDuration::from_micros(1), |t| t.max(horizon));
+        }
+    }
+
+    /// Control-interface credit read on device `dev` (policy-combined).
+    pub fn read_credit(&mut self, dev: DeviceIndex, now: SimTime, lane: usize) -> (SimTime, u64) {
+        self.devices[dev].read_credit(now, lane)
+    }
+
+    fn schedule_outbound(&mut self, o: Outbound) {
+        match o {
+            Outbound::Mirror { dst, offset, data, deliver_at } => {
+                if self.dead.contains(&dst) {
+                    return; // the wire to a dead fabric drops traffic
+                }
+                self.events.schedule(deliver_at, ClusterEvent::Mirror { dst, offset, data });
+            }
+            Outbound::Shadow { dst, src, value, deliver_at } => {
+                if self.dead.contains(&dst) {
+                    return;
+                }
+                self.events.schedule(deliver_at, ClusterEvent::Shadow { dst, src, value });
+            }
+        }
+    }
+
+    /// Drive the whole cluster to `t`: generates secondary shadow updates,
+    /// delivers cross-device traffic in time order, and advances every
+    /// device.
+    pub fn advance(&mut self, t: SimTime) {
+        loop {
+            // Generate shadow updates only up to the next pending delivery
+            // (a mirror arriving at t_m changes the credit timeline the
+            // updates report).
+            let barrier = self.events.peek_time().map_or(t, |e| e.min(t));
+            for i in 0..self.devices.len() {
+                let outs = self.devices[i].take_shadow_updates(barrier, i);
+                for o in outs {
+                    self.schedule_outbound(o);
+                }
+            }
+            match self.events.pop_due(t) {
+                Some((at, ClusterEvent::Mirror { dst, offset, data })) => {
+                    if self.dead.contains(&dst) {
+                        continue;
+                    }
+                    match self.devices[dst].receive_mirror(at, offset, &data) {
+                        Ok(()) => {}
+                        Err(CmbError::Overlap { .. }) => {
+                            // Duplicate delivery (retry raced a success);
+                            // drop it.
+                        }
+                        Err(_) => {
+                            // Secondary intake saturated: retry shortly —
+                            // this is the transport inserting itself into
+                            // the back-pressure path (paper §4.2).
+                            self.devices[dst].advance(at);
+                            self.events.schedule(
+                                at + SimDuration::from_micros(1),
+                                ClusterEvent::Mirror { dst, offset, data },
+                            );
+                        }
+                    }
+                }
+                Some((at, ClusterEvent::Shadow { dst, src, value })) => {
+                    if !self.dead.contains(&dst) {
+                        self.devices[dst].apply_shadow(src, value, at);
+                    }
+                }
+                None => break,
+            }
+        }
+        for d in &mut self.devices {
+            d.advance(t);
+        }
+    }
+
+    /// The earliest pending instant across devices and in-flight traffic —
+    /// lets blocking host calls jump virtual time.
+    pub fn next_event_after(&mut self, t: SimTime) -> Option<SimTime> {
+        let mut next: Option<SimTime> = self.events.peek_time();
+        for d in &self.devices {
+            if let Some(e) = d.next_event() {
+                next = Some(next.map_or(e, |n| n.min(e)));
+            }
+            if let Some(u) = d.transport().next_update_at() {
+                next = Some(next.map_or(u, |n| n.min(u)));
+            }
+        }
+        next.filter(|n| *n > t)
+    }
+
+    /// Crash device `dev` (sudden power loss). Other devices keep running;
+    /// in-flight traffic to/from the crashed device is dropped.
+    pub fn power_fail(&mut self, dev: DeviceIndex, now: SimTime) -> CrashReport {
+        self.advance(now);
+        // Drop traffic addressed to the dead device (its PCIe fabric is
+        // gone); keep everything else.
+        let mut keep = Vec::new();
+        while let Some((at, ev)) = self.events.pop() {
+            let dst = match &ev {
+                ClusterEvent::Mirror { dst, .. } => *dst,
+                ClusterEvent::Shadow { dst, .. } => *dst,
+            };
+            if dst != dev {
+                keep.push((at, ev));
+            }
+        }
+        for (at, ev) in keep {
+            self.events.schedule(at, ev);
+        }
+        self.dead.insert(dev);
+        self.devices[dev].power_fail(now)
+    }
+
+    /// Bring a crashed device back online (rebooted, stand-alone). Its
+    /// durable state survived; roles must be reconfigured via vendor
+    /// commands.
+    pub fn reboot_device(&mut self, dev: DeviceIndex) {
+        self.dead.remove(&dev);
+    }
+
+    /// Whether a device is currently powered off.
+    pub fn is_dead(&self, dev: DeviceIndex) -> bool {
+        self.dead.contains(&dev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VillarsConfig;
+
+    fn two_node_cluster() -> (Cluster, SimTime) {
+        let mut cl = Cluster::new();
+        let p = cl.add_device(VillarsConfig::small());
+        let s = cl.add_device(VillarsConfig::small());
+        assert_eq!((p, s), (0, 1));
+        let t = cl.configure_replication(SimTime::ZERO, 0, &[1]);
+        (cl, t)
+    }
+
+    #[test]
+    fn replication_setup_via_vendor_commands() {
+        let (cl, t) = two_node_cluster();
+        assert!(cl.device(0).is_primary());
+        assert!(matches!(
+            cl.device(1).transport().role(),
+            crate::transport::Role::Secondary { primary: 0 }
+        ));
+        assert!(t > SimTime::ZERO);
+    }
+
+    #[test]
+    fn unknown_vendor_opcode_rejected() {
+        let mut cl = Cluster::new();
+        cl.add_device(VillarsConfig::small());
+        let (_t, e) =
+            cl.vendor_blocking(0, SimTime::ZERO, VendorCommand::new(0xFF, [0; 6]));
+        assert_eq!(e.status, Status::InvalidOpcode);
+    }
+
+    #[test]
+    fn mirrored_write_reaches_secondary_cmb() {
+        let (mut cl, t0) = two_node_cluster();
+        let data = vec![0x5A; 256];
+        let (_, t1) = cl.fast_write(0, t0, 0, 0, &data, MmioMode::WriteCombining).unwrap();
+        // Let the mirror fly and the secondary drain.
+        cl.advance(t1 + SimDuration::from_micros(50));
+        let sec_credit = cl.device_mut(1).local_credit(t1 + SimDuration::from_micros(50), 0);
+        assert_eq!(sec_credit, 256, "secondary persisted the mirrored bytes");
+    }
+
+    #[test]
+    fn eager_credit_waits_for_secondary() {
+        let (mut cl, t0) = two_node_cluster();
+        let data = vec![1u8; 512];
+        let (_, t1) = cl.fast_write(0, t0, 0, 0, &data, MmioMode::WriteCombining).unwrap();
+        // Immediately after the local write: primary has persisted locally
+        // but no shadow update has arrived yet -> eager credit is 0.
+        let (t2, credit) = cl.read_credit(0, t1, 0);
+        assert_eq!(credit, 0, "eager counter lags until the secondary reports");
+        // After mirror + drain + shadow update cycle, the counter catches up.
+        let mut now = t2;
+        let mut final_credit = 0;
+        for _ in 0..200 {
+            cl.advance(now);
+            let (t3, c) = cl.read_credit(0, now, 0);
+            final_credit = c;
+            if c >= 512 {
+                break;
+            }
+            now = cl.next_event_after(t3).unwrap_or(t3 + SimDuration::from_micros(1));
+        }
+        assert_eq!(final_credit, 512);
+    }
+
+    #[test]
+    fn standalone_device_needs_no_cluster_routing() {
+        let mut cl = Cluster::new();
+        cl.add_device(VillarsConfig::small());
+        let (_, t) = cl
+            .fast_write(0, SimTime::ZERO, 0, 0, &[9u8; 64], MmioMode::WriteCombining)
+            .unwrap();
+        cl.advance(t + SimDuration::from_micros(10));
+        let (_t, c) = cl.read_credit(0, t + SimDuration::from_micros(10), 0);
+        assert_eq!(c, 64);
+    }
+
+    #[test]
+    fn power_fail_drops_in_flight_traffic_to_dead_device() {
+        let (mut cl, t0) = two_node_cluster();
+        // Write, creating an in-flight mirror to device 1, then crash 1.
+        let (_, t1) = cl.fast_write(0, t0, 0, 0, &[7u8; 128], MmioMode::WriteCombining).unwrap();
+        let report = cl.power_fail(1, t1);
+        // The secondary had nothing durable yet (mirror still in flight).
+        assert_eq!(report.durable_upto, vec![0]);
+        // The cluster keeps running for the primary.
+        cl.advance(t1 + SimDuration::from_micros(100));
+    }
+}

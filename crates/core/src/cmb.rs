@@ -1,0 +1,510 @@
+//! The CMB module — the fast side's front end (paper §4.1, Fig. 5).
+//!
+//! Data arriving from the PCIe system is placed on an SRAM intake queue
+//! (1), proactively dequeued into the backing-memory ring (2), and only
+//! then — never before — the credit counter is incremented (3), which the
+//! database reads via the control interface (4).
+//!
+//! The module keeps *content* as well as timing: the ring holds real bytes
+//! so destaging, replication, and crash recovery are verifiable end to end.
+
+use crate::config::CmbConfig;
+use serde::Serialize;
+use simkit::{Grant, SimTime};
+use std::collections::BTreeMap;
+
+/// Errors from CMB ingest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CmbError {
+    /// The writer overran the advisory flow-control window (more bytes in
+    /// flight than the intake queue holds). A well-behaved client (the
+    /// `x_pwrite` implementation) never triggers this.
+    QueueOverrun {
+        /// Bytes in flight at the attempt.
+        inflight: u64,
+        /// The configured queue size.
+        queue: u64,
+    },
+    /// The write would overwrite bytes not yet destaged (ring wrap onto the
+    /// head).
+    RingFull,
+    /// The write targets an offset below the contiguous tail (replay or
+    /// overlap — the device tolerates only forward, bounded reordering).
+    Overlap {
+        /// Attempted offset.
+        offset: u64,
+        /// Current contiguous tail.
+        tail: u64,
+    },
+    /// The write landed too far beyond the contiguous tail: outside the
+    /// device's bounded reordering window (paper §4.1).
+    BeyondReorderWindow {
+        /// Attempted offset.
+        offset: u64,
+        /// Current contiguous tail.
+        tail: u64,
+        /// The configured window.
+        window: u64,
+    },
+}
+
+impl std::fmt::Display for CmbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CmbError::QueueOverrun { inflight, queue } => {
+                write!(f, "intake queue overrun: {inflight} bytes in flight, queue {queue}")
+            }
+            CmbError::RingFull => f.write_str("CMB ring full (destaging behind)"),
+            CmbError::Overlap { offset, tail } => {
+                write!(f, "write at {offset} below contiguous tail {tail}")
+            }
+            CmbError::BeyondReorderWindow { offset, tail, window } => {
+                write!(
+                    f,
+                    "write at {offset} beyond the reorder window ({window} bytes past tail {tail})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CmbError {}
+
+/// Observable CMB statistics.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct CmbStats {
+    /// Total bytes ingested into the ring.
+    pub bytes_in: u64,
+    /// Ingest chunks (TLP payloads) processed.
+    pub chunks: u64,
+    /// Chunks that arrived out of order and were held for gap fill.
+    pub held_chunks: u64,
+    /// High-water mark of in-flight (queued, not yet persisted) bytes.
+    pub queue_high_water: u64,
+}
+
+/// One lane of the CMB module: an intake queue + persistent ring + credit
+/// counter. Multi-writer devices instantiate several lanes (paper §7.1).
+#[derive(Debug)]
+pub struct CmbModule {
+    config: CmbConfig,
+    /// Ring content; index = offset % size.
+    ring: Vec<u8>,
+    /// Monotonic byte offset: freed by destaging up to here.
+    head: u64,
+    /// Monotonic byte offset: persisted (credit counter) up to here, as of
+    /// the last settle.
+    credit: u64,
+    /// Monotonic byte offset: contiguously received up to here (includes
+    /// bytes still in the intake queue).
+    tail: u64,
+    /// Pending credit increments: (drain completion time, new credit value).
+    pending: Vec<(SimTime, u64)>,
+    /// Out-of-order chunks held until the gap below them fills.
+    held: BTreeMap<u64, Vec<u8>>,
+    stats: CmbStats,
+}
+
+impl CmbModule {
+    /// An empty CMB lane.
+    pub fn new(config: CmbConfig) -> Self {
+        assert!(config.size > 0 && config.intake_queue_bytes > 0);
+        CmbModule {
+            ring: vec![0u8; config.size as usize],
+            config,
+            head: 0,
+            credit: 0,
+            tail: 0,
+            pending: Vec::new(),
+            held: BTreeMap::new(),
+            stats: CmbStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CmbConfig {
+        &self.config
+    }
+
+    /// Renegotiate the flow-control window (vendor command `SET_INTAKE_QUEUE`).
+    /// Takes effect for subsequent ingests.
+    pub fn set_intake_queue(&mut self, bytes: u64) {
+        assert!(bytes > 0, "intake queue must be positive");
+        self.config.intake_queue_bytes = bytes;
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> CmbStats {
+        self.stats
+    }
+
+    /// The contiguous write tail (monotonic offset).
+    pub fn tail(&self) -> u64 {
+        self.tail
+    }
+
+    /// The destage head (monotonic offset): everything below is freed.
+    pub fn head(&self) -> u64 {
+        self.head
+    }
+
+    /// Settle drain completions up to `now` and return the credit counter —
+    /// what a control-interface read observes (paper Fig. 5 step 4).
+    pub fn credit_at(&mut self, now: SimTime) -> u64 {
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].0 <= now {
+                self.credit = self.credit.max(self.pending[i].1);
+                self.pending.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        self.credit
+    }
+
+    /// Whether a write of `len` bytes at monotonic `offset` fits the ring
+    /// without overrunning undestaged data (callers check before issuing
+    /// TLPs so a full ring stalls the writer instead of tearing a burst).
+    pub fn has_room(&self, offset: u64, len: u64) -> bool {
+        // A stale handle may probe below the head after a reboot; such a
+        // write "fits" here and is then rejected as an Overlap by ingest.
+        (offset + len).saturating_sub(self.head) <= self.config.size
+    }
+
+    /// The earliest pending drain completion, if any — an event-loop hint
+    /// so waiters on the credit counter can jump virtual time.
+    pub fn next_pending(&self) -> Option<SimTime> {
+        self.pending.iter().map(|(at, _)| *at).min()
+    }
+
+    /// Bytes currently in flight (received but not yet persisted) at `now`.
+    pub fn inflight_at(&mut self, now: SimTime) -> u64 {
+        let credit = self.credit_at(now);
+        self.tail - credit
+    }
+
+    /// Bytes persisted but not yet destaged, at `now`: `[head, credit)`.
+    pub fn undestaged_at(&mut self, now: SimTime) -> u64 {
+        let credit = self.credit_at(now);
+        credit - self.head
+    }
+
+    /// Ingest one chunk arriving fully at `arrival` (the end of its TLP's
+    /// service window) at monotonic ring `offset`. `acquire` grants backing
+    /// memory time (dedicated SRAM or the shared DRAM port).
+    ///
+    /// In-order chunks drain immediately; bounded out-of-order chunks are
+    /// held and drain when the gap below them fills. Credits only advance
+    /// with the contiguous frontier — "the counter can only be incremented
+    /// when contiguous chunks of data are formed" (§4.1).
+    pub fn ingest(
+        &mut self,
+        arrival: SimTime,
+        offset: u64,
+        data: &[u8],
+        mut acquire: impl FnMut(SimTime, u64) -> Grant,
+    ) -> Result<(), CmbError> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        if offset < self.tail {
+            return Err(CmbError::Overlap { offset, tail: self.tail });
+        }
+        if offset > self.tail + self.config.reorder_window_bytes {
+            return Err(CmbError::BeyondReorderWindow {
+                offset,
+                tail: self.tail,
+                window: self.config.reorder_window_bytes,
+            });
+        }
+        // Flow-control accounting is advisory; a compliant writer keeps
+        // in-flight bytes within the queue.
+        let credit_now = self.credit_at(arrival);
+        let inflight = (self.tail - credit_now) + data.len() as u64;
+        if inflight > self.config.intake_queue_bytes {
+            return Err(CmbError::QueueOverrun {
+                inflight,
+                queue: self.config.intake_queue_bytes,
+            });
+        }
+        // Ring capacity: the write must not overrun undestaged data.
+        if offset + data.len() as u64 - self.head > self.config.size {
+            return Err(CmbError::RingFull);
+        }
+        self.stats.queue_high_water = self.stats.queue_high_water.max(inflight);
+
+        if offset > self.tail {
+            // Gap below: hold until filled.
+            self.stats.held_chunks += 1;
+            self.held.insert(offset, data.to_vec());
+            return Ok(());
+        }
+        self.accept(arrival, data, &mut acquire);
+        // Drain any held chunks that are now contiguous.
+        while let Some((&o, _)) = self.held.first_key_value() {
+            if o != self.tail {
+                break;
+            }
+            let (_, chunk) = self.held.pop_first().expect("just peeked");
+            self.accept(arrival, &chunk, &mut acquire);
+        }
+        Ok(())
+    }
+
+    /// Copy a contiguous chunk into the ring at the tail and schedule its
+    /// credit increment at the backing-drain completion.
+    fn accept(
+        &mut self,
+        arrival: SimTime,
+        data: &[u8],
+        acquire: &mut impl FnMut(SimTime, u64) -> Grant,
+    ) {
+        let size = self.config.size;
+        for (i, b) in data.iter().enumerate() {
+            let idx = ((self.tail + i as u64) % size) as usize;
+            self.ring[idx] = *b;
+        }
+        self.tail += data.len() as u64;
+        self.stats.bytes_in += data.len() as u64;
+        self.stats.chunks += 1;
+        let g = acquire(arrival, data.len() as u64);
+        self.pending.push((g.end, self.tail));
+    }
+
+    /// Read `len` bytes of ring content starting at monotonic `offset`
+    /// (destage module / verification).
+    pub fn content(&self, offset: u64, len: usize) -> Vec<u8> {
+        assert!(
+            offset >= self.head && offset + len as u64 <= self.tail,
+            "content read outside live ring: [{offset}, +{len}) vs [{}, {})",
+            self.head,
+            self.tail
+        );
+        let size = self.config.size;
+        (0..len).map(|i| self.ring[((offset + i as u64) % size) as usize]).collect()
+    }
+
+    /// Advance the destage head: bytes below `new_head` are freed for
+    /// reuse. Called by the Destage module as pages land on NAND.
+    pub fn advance_head(&mut self, new_head: u64) {
+        assert!(new_head >= self.head, "head must not move backwards");
+        assert!(new_head <= self.tail, "head cannot pass the write tail");
+        self.head = new_head;
+    }
+
+    /// Crash protocol (paper §4.1): drain the intake queue on residual
+    /// power, stopping at the first gap. Returns the contiguous frontier —
+    /// everything in `[head, frontier)` is destageable; held chunks beyond
+    /// a gap are abandoned.
+    pub fn crash_drain(&mut self) -> u64 {
+        // All pending drains complete on supercap power.
+        for (_, v) in self.pending.drain(..) {
+            self.credit = self.credit.max(v);
+        }
+        self.credit = self.credit.max(self.tail);
+        // Held chunks above the frontier are lost (the gap never filled).
+        self.held.clear();
+        self.tail
+    }
+
+    /// Reset after a reboot: ring content is gone (destaged or lost), but
+    /// the monotonic log-offset space continues from `offset` — the ring
+    /// head/tail are device metadata that survives power loss, so post-
+    /// reboot appends extend the same log the destage ring holds.
+    pub fn reset_to(&mut self, offset: u64) {
+        self.ring.fill(0);
+        self.head = offset;
+        self.credit = offset;
+        self.tail = offset;
+        self.pending.clear();
+        self.held.clear();
+    }
+
+    /// [`CmbModule::reset_to`] offset zero (fresh device).
+    pub fn reset(&mut self) {
+        self.reset_to(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::{Bandwidth, SerialResource, SimDuration};
+
+    fn cfg(queue: u64, size: u64) -> CmbConfig {
+        CmbConfig {
+            intake_queue_bytes: queue,
+            size,
+            ..CmbConfig::sram()
+        }
+    }
+
+    /// A 1 GB/s dedicated backing port for tests.
+    struct Port {
+        res: SerialResource,
+        bw: Bandwidth,
+    }
+
+    impl Port {
+        fn new() -> Self {
+            Port { res: SerialResource::new(), bw: Bandwidth::gbytes_per_sec(1.0) }
+        }
+        fn acquire(&mut self, now: SimTime, bytes: u64) -> Grant {
+            self.res.acquire(now, self.bw.transfer_time(bytes))
+        }
+    }
+
+    #[test]
+    fn credit_advances_only_after_drain() {
+        let mut cmb = CmbModule::new(cfg(4096, 64 << 10));
+        let mut port = Port::new();
+        cmb.ingest(SimTime::ZERO, 0, &[1u8; 1000], |t, b| port.acquire(t, b)).unwrap();
+        // 1000 bytes at 1 GB/s = 1000ns drain.
+        assert_eq!(cmb.credit_at(SimTime::from_nanos(500)), 0);
+        assert_eq!(cmb.credit_at(SimTime::from_nanos(1000)), 1000);
+        assert_eq!(cmb.stats().bytes_in, 1000);
+    }
+
+    #[test]
+    fn content_round_trips_through_ring() {
+        let mut cmb = CmbModule::new(cfg(4096, 8192));
+        let mut port = Port::new();
+        let payload: Vec<u8> = (0..100u8).collect();
+        cmb.ingest(SimTime::ZERO, 0, &payload, |t, b| port.acquire(t, b)).unwrap();
+        assert_eq!(cmb.content(0, 100), payload);
+        assert_eq!(cmb.content(10, 5), &payload[10..15]);
+    }
+
+    #[test]
+    fn queue_overrun_detected() {
+        let mut cmb = CmbModule::new(cfg(1024, 64 << 10));
+        let mut port = Port::new();
+        cmb.ingest(SimTime::ZERO, 0, &[0u8; 1024], |t, b| port.acquire(t, b)).unwrap();
+        // Nothing drained yet at t=0: the next byte overruns.
+        let err = cmb.ingest(SimTime::ZERO, 1024, &[0u8; 1], |t, b| port.acquire(t, b));
+        assert!(matches!(err, Err(CmbError::QueueOverrun { .. })));
+        // After the drain completes, there is room again.
+        let later = SimTime::from_micros(10);
+        cmb.ingest(later, 1024, &[0u8; 1024], |t, b| port.acquire(t, b)).unwrap();
+    }
+
+    #[test]
+    fn ring_full_until_head_advances() {
+        let mut cmb = CmbModule::new(cfg(4096, 4096));
+        let mut port = Port::new();
+        let t = SimTime::from_micros(100);
+        cmb.ingest(SimTime::ZERO, 0, &[7u8; 4096], |t2, b| port.acquire(t2, b)).unwrap();
+        let err = cmb.ingest(t, 4096, &[8u8; 64], |t2, b| port.acquire(t2, b));
+        assert_eq!(err, Err(CmbError::RingFull));
+        cmb.advance_head(1024);
+        cmb.ingest(t, 4096, &[8u8; 64], |t2, b| port.acquire(t2, b)).unwrap();
+        assert_eq!(cmb.content(4096, 64), vec![8u8; 64]);
+    }
+
+    #[test]
+    fn out_of_order_chunks_hold_credits_until_gap_fills() {
+        let mut cmb = CmbModule::new(cfg(4096, 64 << 10));
+        let mut port = Port::new();
+        let t = SimTime::ZERO;
+        // Chunk at [100, 200) arrives before [0, 100).
+        cmb.ingest(t, 100, &[2u8; 100], |t2, b| port.acquire(t2, b)).unwrap();
+        let settle = SimTime::from_micros(50);
+        assert_eq!(cmb.credit_at(settle), 0, "gap blocks credit");
+        assert_eq!(cmb.stats().held_chunks, 1);
+        cmb.ingest(t, 0, &[1u8; 100], |t2, b| port.acquire(t2, b)).unwrap();
+        assert_eq!(cmb.credit_at(settle), 200, "gap filled, both chunks persist");
+        assert_eq!(cmb.content(0, 100), vec![1u8; 100]);
+        assert_eq!(cmb.content(100, 100), vec![2u8; 100]);
+    }
+
+    #[test]
+    fn reorder_window_is_bounded() {
+        let mut config = cfg(64 << 10, 256 << 10);
+        config.reorder_window_bytes = 1024;
+        let mut cmb = CmbModule::new(config);
+        let mut port = Port::new();
+        // Within the window: held.
+        cmb.ingest(SimTime::ZERO, 512, &[1u8; 64], |t, b| port.acquire(t, b)).unwrap();
+        // Beyond the window: rejected.
+        let err = cmb.ingest(SimTime::ZERO, 2048, &[1u8; 64], |t, b| port.acquire(t, b));
+        assert!(matches!(err, Err(CmbError::BeyondReorderWindow { .. })));
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut cmb = CmbModule::new(cfg(4096, 8192));
+        let mut port = Port::new();
+        cmb.ingest(SimTime::ZERO, 0, &[1u8; 100], |t, b| port.acquire(t, b)).unwrap();
+        let err = cmb.ingest(SimTime::ZERO, 50, &[2u8; 10], |t, b| port.acquire(t, b));
+        assert!(matches!(err, Err(CmbError::Overlap { .. })));
+    }
+
+    #[test]
+    fn crash_drain_stops_at_gap() {
+        let mut cmb = CmbModule::new(cfg(8192, 64 << 10));
+        let mut port = Port::new();
+        cmb.ingest(SimTime::ZERO, 0, &[1u8; 500], |t, b| port.acquire(t, b)).unwrap();
+        // Out-of-order chunk leaves a gap at [500, 600).
+        cmb.ingest(SimTime::ZERO, 600, &[3u8; 100], |t, b| port.acquire(t, b)).unwrap();
+        let frontier = cmb.crash_drain();
+        assert_eq!(frontier, 500, "destage stops at the gap");
+    }
+
+    #[test]
+    fn head_cannot_regress_or_pass_tail() {
+        let mut cmb = CmbModule::new(cfg(4096, 8192));
+        let mut port = Port::new();
+        cmb.ingest(SimTime::ZERO, 0, &[0u8; 100], |t, b| port.acquire(t, b)).unwrap();
+        cmb.advance_head(50);
+        let r1 = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut c = CmbModule::new(cfg(4096, 8192));
+            c.advance_head(1);
+        }));
+        assert!(r1.is_err(), "head past tail must panic");
+    }
+
+    #[test]
+    fn inflight_and_undestaged_accounting() {
+        let mut cmb = CmbModule::new(cfg(4096, 64 << 10));
+        let mut port = Port::new();
+        cmb.ingest(SimTime::ZERO, 0, &[0u8; 2000], |t, b| port.acquire(t, b)).unwrap();
+        assert_eq!(cmb.inflight_at(SimTime::ZERO), 2000);
+        let after = SimTime::from_micros(10);
+        assert_eq!(cmb.inflight_at(after), 0);
+        assert_eq!(cmb.undestaged_at(after), 2000);
+        cmb.advance_head(1500);
+        assert_eq!(cmb.undestaged_at(after), 500);
+    }
+
+    #[test]
+    fn wrap_around_content_is_correct() {
+        let size = 256u64;
+        let mut cmb = CmbModule::new(cfg(4096, size));
+        let mut port = Port::new();
+        let mut t = SimTime::ZERO;
+        // Fill, destage, and wrap several times.
+        for round in 0..5u64 {
+            let payload = vec![round as u8 + 1; 200];
+            cmb.ingest(t, round * 200, &payload, |t2, b| port.acquire(t2, b)).unwrap();
+            t += SimDuration::from_micros(10);
+            cmb.credit_at(t);
+            cmb.advance_head((round + 1) * 200);
+        }
+        // Last round's content readable at its monotonic offset... head==tail
+        // now, so re-ingest and verify.
+        cmb.ingest(t, 1000, &[9u8; 100], |t2, b| port.acquire(t2, b)).unwrap();
+        assert_eq!(cmb.content(1000, 100), vec![9u8; 100]);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut cmb = CmbModule::new(cfg(4096, 8192));
+        let mut port = Port::new();
+        cmb.ingest(SimTime::ZERO, 0, &[1u8; 100], |t, b| port.acquire(t, b)).unwrap();
+        cmb.reset();
+        assert_eq!(cmb.tail(), 0);
+        assert_eq!(cmb.head(), 0);
+        assert_eq!(cmb.credit_at(SimTime::from_secs(1)), 0);
+    }
+}

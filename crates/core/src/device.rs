@@ -1,0 +1,566 @@
+//! The Villars device — the X-SSD reference design (paper §4, Fig. 4).
+//!
+//! A Villars is a fully conformant NVMe device: the conventional side is a
+//! [`ConventionalSsd`] reached through the standard block interface, and the
+//! fast side (CMB + Destage + Transport) is reached through MMIO against the
+//! CMB window plus vendor-specific admin commands for setup.
+
+use crate::cmb::{CmbError, CmbModule};
+use crate::config::VillarsConfig;
+use crate::destage::DestageModule;
+use crate::transport::{DeviceIndex, Outbound, Role, TransportModule, TransportStatus};
+use nvme::{
+    AdminCommand, BackingClass, Command, CommandKind, CompletionEntry, Namespace,
+    NvmeController, Status, VendorCommand,
+};
+use pcie::{MmioMode, StoreIssueModel};
+use simkit::{Bandwidth, Grant, SerialResource, SimDuration, SimTime};
+use ssd::ConventionalSsd;
+
+/// Vendor-specific opcodes (paper §4.2: role changes are NVMe
+/// vendor-specific commands; §7.1 adds promotion/demotion).
+pub mod vendor {
+    /// Return the device to stand-alone mode.
+    pub const SET_STAND_ALONE: u8 = 0xC0;
+    /// Become a primary; CDW10 = secondary count, CDW11..15 = indices.
+    pub const SET_PRIMARY: u8 = 0xC1;
+    /// Become a secondary; CDW10 = primary index.
+    pub const SET_SECONDARY: u8 = 0xC2;
+    /// Set shadow update period; CDW10 = period in nanoseconds.
+    pub const SET_SHADOW_PERIOD: u8 = 0xC3;
+    /// Set the channel-scheduler mode; CDW10 = 0 neutral / 1 destage / 2
+    /// conventional priority.
+    pub const SET_SCHED_MODE: u8 = 0xC4;
+    /// Read the transport status register; result = 0 ok / 1 degraded / 2
+    /// inactive.
+    pub const GET_TRANSPORT_STATUS: u8 = 0xC5;
+    /// Set the intake-queue (flow-control window) size; CDW10 = bytes,
+    /// CDW11 = lane.
+    pub const SET_INTAKE_QUEUE: u8 = 0xC6;
+}
+
+/// Result of a fast-side MMIO write burst.
+#[derive(Debug)]
+pub struct FastWrite {
+    /// When the host link accepted the last TLP (wire free): the CPU can
+    /// issue the next store from this instant — stores pipeline on the
+    /// wire, they do not wait for device-side arrival.
+    pub issued_at: SimTime,
+    /// When the last TLP of the burst fully arrived at the device.
+    pub arrived_at: SimTime,
+    /// Cross-device deliveries (mirror traffic) for the cluster to route.
+    pub outbound: Vec<Outbound>,
+}
+
+/// What the crash-destage protocol salvaged (paper §4.1).
+#[derive(Debug, Clone, Serialize)]
+#[derive(PartialEq)]
+pub struct CrashReport {
+    /// Per lane: the monotonic log offset made durable on the conventional
+    /// side.
+    pub durable_upto: Vec<u64>,
+    /// Per lane: bytes abandoned beyond a reordering gap.
+    pub lost_beyond_gap: Vec<u64>,
+}
+
+use serde::Serialize;
+
+/// One fast-side lane: its own CMB ring, credit counter, and destage ring
+/// slice (paper §7.1's multi-writer extension; lane 0 is the classic
+/// single-counter device).
+#[derive(Debug)]
+struct Lane {
+    cmb: CmbModule,
+    destage: DestageModule,
+}
+
+/// The Villars device.
+pub struct VillarsDevice {
+    config: VillarsConfig,
+    conventional: ConventionalSsd,
+    lanes: Vec<Lane>,
+    transport: TransportModule,
+    /// Dedicated SRAM backing port (None when DRAM-backed: the shared data
+    /// buffer port is used instead).
+    sram_port: Option<SerialResource>,
+    backing_bw: Bandwidth,
+    /// Completions for vendor commands handled by the fast side.
+    vendor_out: Vec<(SimTime, CompletionEntry)>,
+    /// Total bytes accepted via the fast interface.
+    fast_bytes_in: u64,
+}
+
+impl std::fmt::Debug for VillarsDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VillarsDevice")
+            .field("lanes", &self.lanes.len())
+            .field("role", self.transport.role())
+            .field("fast_bytes_in", &self.fast_bytes_in)
+            .finish()
+    }
+}
+
+impl VillarsDevice {
+    /// Build a device from its configuration.
+    pub fn new(config: VillarsConfig) -> Self {
+        let conventional = ConventionalSsd::new(config.conventional.clone());
+        let page_bytes = config.conventional.geometry.page_bytes as u64;
+        let lanes_n = config.cmb.writer_lanes.max(1) as usize;
+        let mut lanes = Vec::with_capacity(lanes_n);
+        for i in 0..lanes_n {
+            let mut cmb_cfg = config.cmb;
+            cmb_cfg.size = config.cmb.size / lanes_n as u64;
+            cmb_cfg.intake_queue_bytes =
+                (config.cmb.intake_queue_bytes / lanes_n as u64).max(page_bytes.min(512));
+            let mut destage_cfg = config.destage;
+            let slice = config.destage.ring_lbas / lanes_n as u64;
+            assert!(slice > 0, "destage ring too small for {lanes_n} lanes");
+            destage_cfg.ring_base_lba = config.destage.ring_base_lba + i as u64 * slice;
+            destage_cfg.ring_lbas = slice;
+            lanes.push(Lane {
+                cmb: CmbModule::new(cmb_cfg),
+                destage: DestageModule::new(destage_cfg, page_bytes),
+            });
+        }
+        let sram_port = match config.cmb.backing {
+            BackingClass::Sram => Some(SerialResource::new()),
+            BackingClass::Dram => None,
+        };
+        let backing_bw = config.cmb.backing_bandwidth();
+        VillarsDevice {
+            transport: TransportModule::new(config.transport),
+            config,
+            conventional,
+            lanes,
+            sram_port,
+            backing_bw,
+            vendor_out: Vec::new(),
+            fast_bytes_in: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &VillarsConfig {
+        &self.config
+    }
+
+    /// Number of writer lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The conventional side (block device, stats, media peeks).
+    pub fn conventional(&self) -> &ConventionalSsd {
+        &self.conventional
+    }
+
+    /// Mutable conventional side (for test staging / direct block I/O).
+    pub fn conventional_mut(&mut self) -> &mut ConventionalSsd {
+        &mut self.conventional
+    }
+
+    /// The transport module.
+    pub fn transport(&self) -> &TransportModule {
+        &self.transport
+    }
+
+    /// Mutable transport (direct role setup, as the cluster does).
+    pub fn transport_mut(&mut self) -> &mut TransportModule {
+        &mut self.transport
+    }
+
+    /// The intake-queue size the flow-control protocol negotiates with the
+    /// database (paper §4.1).
+    pub fn intake_queue_bytes(&self, lane: usize) -> u64 {
+        self.lanes[lane].cmb.config().intake_queue_bytes
+    }
+
+    /// Total bytes accepted via the fast interface.
+    pub fn fast_bytes_in(&self) -> u64 {
+        self.fast_bytes_in
+    }
+
+    /// CMB statistics for a lane.
+    pub fn cmb_stats(&self, lane: usize) -> crate::cmb::CmbStats {
+        self.lanes[lane].cmb.stats()
+    }
+
+    /// Destage statistics for a lane.
+    pub fn destage_stats(&self, lane: usize) -> crate::destage::DestageStats {
+        self.lanes[lane].destage.stats()
+    }
+
+    /// Grant backing-memory time: dedicated SRAM, or the shared DRAM port
+    /// (the derated transfer time models the 64-bit CMB path on the shared
+    /// controller, paper §6).
+    fn backing_acquire(
+        sram_port: &mut Option<SerialResource>,
+        conv: &mut ConventionalSsd,
+        bw: Bandwidth,
+        now: SimTime,
+        bytes: u64,
+    ) -> Grant {
+        match sram_port {
+            Some(port) => port.acquire(now, bw.transfer_time(bytes)),
+            None => {
+                // Hold the shared DRAM port for the CMB-path duration.
+                conv.dram_hold(now, bw.transfer_time(bytes))
+            }
+        }
+    }
+
+    /// Host fast-side write: `data` stored to the CMB window at monotonic
+    /// ring `offset` on `lane`, issued under `mode` (WC or UC). The TLPs
+    /// ride the shared host PCIe link. Mirrors to secondaries when primary.
+    pub fn fast_write(
+        &mut self,
+        now: SimTime,
+        lane: usize,
+        offset: u64,
+        data: &[u8],
+        mode: MmioMode,
+    ) -> Result<FastWrite, CmbError> {
+        let issue = StoreIssueModel { mode };
+        // Capacity pre-check: a full ring must stall the writer *before*
+        // any TLP is issued, so a retry re-sends the same offsets.
+        if !self.lanes[lane].cmb.has_room(offset, data.len() as u64) {
+            return Err(CmbError::RingFull);
+        }
+        let payloads = issue.tlp_payloads(data.len() as u64);
+        let mut cursor = 0usize;
+        let mut arrived = now;
+        let sram_port = &mut self.sram_port;
+        let conv = &mut self.conventional;
+        let bw = self.backing_bw;
+        let lane_ref = &mut self.lanes[lane];
+        for p in payloads {
+            let chunk = &data[cursor..cursor + p as usize];
+            let grant = conv.host_link_mut().send_write_burst(now, p, 1);
+            arrived = grant.end;
+            lane_ref.cmb.ingest(grant.end, offset + cursor as u64, chunk, |t, b| {
+                Self::backing_acquire(sram_port, conv, bw, t, b)
+            })?;
+            cursor += p as usize;
+        }
+        self.fast_bytes_in += data.len() as u64;
+        let issued_at = self.conventional.host_link_busy_until();
+        // Mirror the chunk to secondaries (lane 0 carries replication).
+        let outbound = if lane == 0 {
+            self.transport.mirror(arrived, offset, data)
+        } else {
+            Vec::new()
+        };
+        Ok(FastWrite { issued_at, arrived_at: arrived, outbound })
+    }
+
+    /// Deliver a mirrored chunk from the primary into this (secondary)
+    /// device's CMB intake.
+    pub fn receive_mirror(&mut self, at: SimTime, offset: u64, data: &[u8]) -> Result<(), CmbError> {
+        let sram_port = &mut self.sram_port;
+        let conv = &mut self.conventional;
+        let bw = self.backing_bw;
+        let lane = &mut self.lanes[0];
+        lane.cmb.ingest(at, offset, data, |t, b| {
+            Self::backing_acquire(sram_port, conv, bw, t, b)
+        })?;
+        self.fast_bytes_in += data.len() as u64;
+        Ok(())
+    }
+
+    /// Host control-interface read of the credit counter: an MMIO read
+    /// round trip on the host link, returning the policy-combined value
+    /// (paper §4.2). Returns `(completion instant, counter)`.
+    pub fn read_credit(&mut self, now: SimTime, lane: usize) -> (SimTime, u64) {
+        let g = self.conventional.host_link_mut().read_round_trip(now, 0, 8);
+        let local = self.lanes[lane].cmb.credit_at(g.end);
+        let value = if lane == 0 {
+            self.transport.combined_credit(local, self.config.replication)
+        } else {
+            local
+        };
+        (g.end, value)
+    }
+
+    /// Raw local credit (no PCIe round trip) — device-internal observers.
+    pub fn local_credit(&mut self, now: SimTime, lane: usize) -> u64 {
+        self.lanes[lane].cmb.credit_at(now)
+    }
+
+    /// Secondary: emit shadow-counter updates up to `now` for the cluster.
+    pub fn take_shadow_updates(&mut self, now: SimTime, me: DeviceIndex) -> Vec<Outbound> {
+        let lane = &mut self.lanes[0];
+        let cmb = &mut lane.cmb;
+        self.transport.take_shadow_updates(now, me, |at| cmb.credit_at(at))
+    }
+
+    /// Primary: apply a shadow-counter update from secondary `src`,
+    /// arriving at `at`.
+    pub fn apply_shadow(&mut self, src: DeviceIndex, value: u64, at: SimTime) {
+        self.transport.apply_shadow(src, value, at);
+    }
+
+    /// Drive the device to `t`, stepping through internal event times so
+    /// that destage decisions fire when their triggers occur (a credit
+    /// crossing a page boundary, a latency deadline) rather than at the
+    /// advance horizon.
+    pub fn advance(&mut self, t: SimTime) {
+        let mut stuck_at: Option<SimTime> = None;
+        loop {
+            let step = match self.next_internal_event() {
+                Some(e) if e <= t => e,
+                _ => t,
+            };
+            self.conventional.advance_to(step);
+            let mut progressed = false;
+            // Route destage completions to their owning lanes (tokens are
+            // device-global).
+            for (_at, token) in self.conventional.drain_destage_completions(step) {
+                for lane in &mut self.lanes {
+                    if lane.destage.complete(token) {
+                        progressed = true;
+                        break;
+                    }
+                }
+            }
+            for lane in &mut self.lanes {
+                progressed |= lane.destage.pump(step, &mut lane.cmb, &mut self.conventional);
+            }
+            if progressed {
+                stuck_at = None;
+                continue;
+            }
+            if step >= t {
+                break;
+            }
+            // No progress below the horizon: safe only if the event frontier
+            // moved past `step`; a second no-progress visit to the same
+            // instant means the remaining event there is not actionable.
+            if stuck_at == Some(step) {
+                break;
+            }
+            stuck_at = Some(step);
+        }
+        self.conventional.advance_to(t);
+    }
+
+    /// Earliest device-internal event for the advance stepper (excludes
+    /// vendor completions and host-facing outbound completions, which only
+    /// the host consumes).
+    fn next_internal_event(&self) -> Option<SimTime> {
+        let mut next = self.conventional.next_device_event();
+        for lane in &self.lanes {
+            if let Some(d) = lane.destage.next_deadline() {
+                next = Some(next.map_or(d, |n: SimTime| n.min(d)));
+            }
+            if let Some(d) = lane.cmb.next_pending() {
+                next = Some(next.map_or(d, |n: SimTime| n.min(d)));
+            }
+        }
+        next
+    }
+
+    /// The earliest pending device event (conventional work or a destage
+    /// latency deadline).
+    pub fn next_event(&self) -> Option<SimTime> {
+        let mut next = self.conventional.next_event_at();
+        for lane in &self.lanes {
+            if let Some(d) = lane.destage.next_deadline() {
+                next = Some(next.map_or(d, |n: SimTime| n.min(d)));
+            }
+            if let Some(d) = lane.cmb.next_pending() {
+                next = Some(next.map_or(d, |n: SimTime| n.min(d)));
+            }
+        }
+        if let Some(t) = self.vendor_out.iter().map(|(at, _)| *at).min() {
+            next = Some(next.map_or(t, |n: SimTime| n.min(t)));
+        }
+        next
+    }
+
+    /// Log offset durable on the conventional side for `lane` (x_pread
+    /// horizon).
+    pub fn destaged_upto(&self, lane: usize) -> u64 {
+        self.lanes[lane].destage.persisted()
+    }
+
+    /// Read destaged log content `[offset, offset+len)` from `lane`,
+    /// driving the device until the read completes. Returns `None` if the
+    /// range is not (or no longer) on the destage ring.
+    pub fn read_destaged(
+        &mut self,
+        now: SimTime,
+        lane: usize,
+        offset: u64,
+        len: usize,
+    ) -> Option<(SimTime, Vec<u8>)> {
+        let mut out = Vec::with_capacity(len);
+        let mut ready = now;
+        let mut cursor = offset;
+        let end = offset + len as u64;
+        while cursor < end {
+            let seg = self.lanes[lane].destage.segment_for(cursor)?;
+            let media = self.conventional.media_content(seg.lba)?;
+            let within = (cursor - seg.log_from) as usize;
+            let take = ((seg.log_to - cursor) as usize).min((end - cursor) as usize);
+            out.extend_from_slice(&media[within..within + take]);
+            // Timing: one flash read per touched page.
+            if let Some(_token) = self.conventional.submit_internal_read(ready, seg.lba) {
+                // Drive until that read completes.
+                loop {
+                    self.conventional.advance_to(ready);
+                    let done = self.conventional.drain_internal_reads(ready);
+                    if let Some((at, _)) = done.last() {
+                        ready = *at;
+                        break;
+                    }
+                    match self.conventional.next_event_at() {
+                        Some(t) if t > ready => ready = t,
+                        _ => break,
+                    }
+                }
+            }
+            cursor += take as u64;
+        }
+        Some((ready, out))
+    }
+
+    /// Sudden power interruption (paper §4.1 crash consistency): the device
+    /// drains the intake queues (stopping at gaps), destages every lane's
+    /// ring residue on supercap power, and loses all host-volatile state.
+    pub fn power_fail(&mut self, now: SimTime) -> CrashReport {
+        self.advance(now);
+        let mut frontiers = Vec::with_capacity(self.lanes.len());
+        let mut lost = Vec::with_capacity(self.lanes.len());
+        for lane in &mut self.lanes {
+            let tail_before = lane.cmb.tail();
+            let frontier = lane.cmb.crash_drain();
+            lost.push(tail_before.saturating_sub(frontier));
+            frontiers.push(frontier);
+        }
+        for (lane, &frontier) in self.lanes.iter_mut().zip(&frontiers) {
+            lane.destage.crash_submit(now, frontier, &mut lane.cmb, &mut self.conventional);
+        }
+        self.conventional.power_fail_rescue_destage(now);
+        let durable_upto: Vec<u64> =
+            self.lanes.iter_mut().map(|l| l.destage.crash_finalize()).collect();
+        // Reboot: CMB content is reset but the log-offset space continues
+        // from the durable frontier; destaged data is on the conventional
+        // side, readable through the destage ring segments. The transport
+        // role does not survive the crash — peers must be reconfigured via
+        // vendor commands (paper §7.1).
+        for lane in &mut self.lanes {
+            let frontier = lane.destage.persisted();
+            lane.cmb.reset_to(frontier);
+        }
+        self.transport.set_stand_alone();
+        CrashReport { durable_upto, lost_beyond_gap: lost }
+    }
+
+    fn vendor_complete(&mut self, now: SimTime, cid: u16, status: Status, result: u32) {
+        // Vendor commands cost one admin round: fetch + decode.
+        let at = now + SimDuration::from_micros(2);
+        self.vendor_out.push((at, CompletionEntry { cid, status, result }));
+    }
+
+    fn handle_vendor(&mut self, now: SimTime, cid: u16, v: VendorCommand) {
+        match v.opcode {
+            vendor::SET_STAND_ALONE => {
+                self.transport.set_stand_alone();
+                self.vendor_complete(now, cid, Status::Success, 0);
+            }
+            vendor::SET_PRIMARY => {
+                let n = v.dwords[0] as usize;
+                if n == 0 || n > 5 {
+                    self.vendor_complete(now, cid, Status::InvalidField, 0);
+                    return;
+                }
+                let secondaries: Vec<DeviceIndex> =
+                    v.dwords[1..=n].iter().map(|d| *d as DeviceIndex).collect();
+                self.transport.set_primary(secondaries, self.config.ntb, now);
+                self.vendor_complete(now, cid, Status::Success, 0);
+            }
+            vendor::SET_SECONDARY => {
+                self.transport.set_secondary(v.dwords[0] as DeviceIndex, self.config.ntb, now);
+                self.vendor_complete(now, cid, Status::Success, 0);
+            }
+            vendor::SET_SHADOW_PERIOD => {
+                if v.dwords[0] == 0 {
+                    self.vendor_complete(now, cid, Status::InvalidField, 0);
+                } else {
+                    self.transport.set_shadow_period(SimDuration::from_nanos(v.dwords[0] as u64));
+                    self.vendor_complete(now, cid, Status::Success, 0);
+                }
+            }
+            vendor::SET_SCHED_MODE => {
+                let mode = match v.dwords[0] {
+                    0 => flash::SchedulingMode::Neutral,
+                    1 => flash::SchedulingMode::DestagePriority,
+                    2 => flash::SchedulingMode::ConventionalPriority,
+                    _ => {
+                        self.vendor_complete(now, cid, Status::InvalidField, 0);
+                        return;
+                    }
+                };
+                self.conventional.set_scheduling_mode(mode);
+                self.vendor_complete(now, cid, Status::Success, 0);
+            }
+            vendor::GET_TRANSPORT_STATUS => {
+                let code = match self.transport.status_at(now) {
+                    TransportStatus::Ok => 0,
+                    TransportStatus::Degraded => 1,
+                    TransportStatus::Inactive => 2,
+                };
+                self.vendor_complete(now, cid, Status::Success, code);
+            }
+            vendor::SET_INTAKE_QUEUE => {
+                let bytes = v.dwords[0] as u64;
+                let lane = v.dwords[1] as usize;
+                if bytes == 0 || lane >= self.lanes.len() {
+                    self.vendor_complete(now, cid, Status::InvalidField, 0);
+                } else {
+                    // Reconfiguration only applies to an idle lane: the
+                    // flow-control window is negotiated at setup time.
+                    self.lanes[lane].cmb.set_intake_queue(bytes);
+                    self.vendor_complete(now, cid, Status::Success, 0);
+                }
+            }
+            _ => self.vendor_complete(now, cid, Status::InvalidOpcode, 0),
+        }
+    }
+
+    /// Whether this device currently acts as a primary.
+    pub fn is_primary(&self) -> bool {
+        matches!(self.transport.role(), Role::Primary { .. })
+    }
+}
+
+impl NvmeController for VillarsDevice {
+    fn submit(&mut self, now: SimTime, cmd: Command) {
+        match cmd.kind {
+            CommandKind::Admin(AdminCommand::Vendor(v)) => self.handle_vendor(now, cmd.cid, v),
+            _ => self.conventional.submit(now, cmd),
+        }
+    }
+
+    fn advance_to(&mut self, t: SimTime) {
+        self.advance(t);
+    }
+
+    fn drain_completions(&mut self, t: SimTime) -> Vec<(SimTime, CompletionEntry)> {
+        let mut out = self.conventional.drain_completions(t);
+        let (ready, rest): (Vec<_>, Vec<_>) =
+            std::mem::take(&mut self.vendor_out).into_iter().partition(|(at, _)| *at <= t);
+        self.vendor_out = rest;
+        out.extend(ready);
+        out.sort_by_key(|(at, _)| *at);
+        out
+    }
+
+    fn next_event_at(&self) -> Option<SimTime> {
+        self.next_event()
+    }
+
+    fn namespace(&self) -> Namespace {
+        self.conventional.namespace()
+    }
+}

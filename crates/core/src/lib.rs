@@ -1,0 +1,41 @@
+//! # xssd_core — the X-SSD architecture and the Villars reference device
+//!
+//! The paper's primary contribution (SIGMOD '22): an SSD that mixes PM and
+//! NAND flash, taking transaction-log writes on a byte-addressable *fast
+//! side* and owning their propagation — to NAND (destaging) and to peer
+//! devices (log shipping) — on behalf of the database.
+//!
+//! - [`config`] — device/CMB/destage/transport configuration;
+//! - [`cmb`] — the CMB module: intake queue, PM ring, credit counter,
+//!   credit-based flow control, gap detection (paper §4.1);
+//! - [`destage`] — the Destage module: LBA ring, filler pages, latency
+//!   threshold, crash destaging (paper §4.3);
+//! - [`transport`] — the Transport module: NTB mirror flows, shadow
+//!   counters, replication policies (paper §4.2);
+//! - [`device`] — [`VillarsDevice`]: both sides glued together behind a
+//!   conformant NVMe interface with vendor-command setup;
+//! - [`cluster`] — [`Cluster`]: devices interconnected by NTB, routing
+//!   mirror and shadow-counter traffic deterministically;
+//! - [`api`] — the drop-in host API: [`XLogFile`] (`x_pwrite`/`x_fsync`/
+//!   `x_pread`) and the advanced [`XAllocator`] (`x_alloc`/`x_free`)
+//!   (paper §5).
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cluster;
+pub mod cmb;
+pub mod config;
+pub mod destage;
+pub mod device;
+pub mod tenancy;
+pub mod transport;
+
+pub use api::{XAllocator, XApiError, XLogFile, XRegion};
+pub use cluster::Cluster;
+pub use cmb::{CmbError, CmbModule, CmbStats};
+pub use config::{CmbConfig, DestageConfig, ReplicationPolicy, TransportConfig, VillarsConfig};
+pub use destage::{DestageModule, DestageStats, Segment};
+pub use tenancy::{TenancyError, TenantId, TenantManager, TenantUsage};
+pub use device::{vendor, CrashReport, FastWrite, VillarsDevice};
+pub use transport::{DeviceIndex, Outbound, Role, TransportModule, TransportStatus};

@@ -1,0 +1,277 @@
+//! Multi-tenant CMB partitioning (paper §7.2).
+//!
+//! "An SR-IOV implementation could simply segment the CMB across smaller,
+//! independent regions … which would then be assigned to different virtual
+//! machines." Writer lanes already give each region its own ring, credit
+//! counter, flow-control window, and destage-ring slice; this module adds
+//! the tenancy layer: handing out *capabilities* to lanes, per-tenant
+//! accounting, and revocation. (Per-tenant replication configurations are
+//! future work here as in the paper — replication rides lane 0.)
+
+use crate::api::{XApiError, XLogFile};
+use crate::cluster::Cluster;
+use crate::transport::DeviceIndex;
+use serde::Serialize;
+use simkit::SimTime;
+use std::collections::HashMap;
+
+/// An opaque tenant identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub struct TenantId(pub u32);
+
+/// Errors from tenancy operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TenancyError {
+    /// All lanes are assigned.
+    NoFreeLane,
+    /// The tenant does not exist (or was revoked).
+    UnknownTenant(TenantId),
+    /// Underlying fast-side failure.
+    Api(XApiError),
+}
+
+impl std::fmt::Display for TenancyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TenancyError::NoFreeLane => f.write_str("no free CMB lane"),
+            TenancyError::UnknownTenant(t) => write!(f, "unknown tenant {t:?}"),
+            TenancyError::Api(e) => write!(f, "fast-side error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TenancyError {}
+
+impl From<XApiError> for TenancyError {
+    fn from(e: XApiError) -> Self {
+        TenancyError::Api(e)
+    }
+}
+
+/// Per-tenant usage accounting.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct TenantUsage {
+    /// Bytes appended by the tenant.
+    pub bytes_written: u64,
+    /// Appends issued.
+    pub appends: u64,
+    /// fsyncs issued.
+    pub fsyncs: u64,
+}
+
+struct Tenant {
+    file: XLogFile,
+    usage: TenantUsage,
+}
+
+/// The hyperscaler-facing layer: one device, many virtual databases, each
+/// holding a capability to its own lane.
+pub struct TenantManager {
+    dev: DeviceIndex,
+    lanes: usize,
+    free_lanes: Vec<usize>,
+    tenants: HashMap<TenantId, Tenant>,
+    /// High-water log offset per lane: a recycled lane's next tenant opens
+    /// its handle here so appends continue the lane's monotonic log.
+    lane_offsets: HashMap<usize, u64>,
+    next_id: u32,
+}
+
+impl std::fmt::Debug for TenantManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantManager")
+            .field("device", &self.dev)
+            .field("tenants", &self.tenants.len())
+            .field("free_lanes", &self.free_lanes.len())
+            .finish()
+    }
+}
+
+impl TenantManager {
+    /// Manage the lanes of device `dev` in `cluster`.
+    pub fn new(cluster: &Cluster, dev: DeviceIndex) -> Self {
+        let lanes = cluster.device(dev).lanes();
+        TenantManager {
+            dev,
+            lanes,
+            free_lanes: (0..lanes).rev().collect(),
+            tenants: HashMap::new(),
+            lane_offsets: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Total lanes on the device.
+    pub fn capacity(&self) -> usize {
+        self.lanes
+    }
+
+    /// Tenants currently admitted.
+    pub fn admitted(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Admit a tenant: assigns a dedicated lane and returns its capability.
+    /// A recycled lane's handle continues from the lane's log high-water
+    /// mark (the previous tenant's data ages off the destage ring).
+    pub fn admit(&mut self) -> Result<TenantId, TenancyError> {
+        let lane = self.free_lanes.pop().ok_or(TenancyError::NoFreeLane)?;
+        let offset = self.lane_offsets.get(&lane).copied().unwrap_or(0);
+        let id = TenantId(self.next_id);
+        self.next_id += 1;
+        self.tenants.insert(
+            id,
+            Tenant {
+                file: XLogFile::open_lane_at(
+                    self.dev,
+                    lane,
+                    pcie::MmioMode::WriteCombining,
+                    offset,
+                ),
+                usage: TenantUsage::default(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Revoke a tenant: its lane returns to the pool, remembering the log
+    /// high-water mark for the next holder. (A production device would also
+    /// fence the stale mapping in hardware.)
+    pub fn revoke(&mut self, id: TenantId) -> Result<TenantUsage, TenancyError> {
+        let t = self.tenants.remove(&id).ok_or(TenancyError::UnknownTenant(id))?;
+        self.lane_offsets.insert(t.file.lane(), t.file.written());
+        self.free_lanes.push(t.file.lane());
+        Ok(t.usage)
+    }
+
+    /// The lane a tenant holds (isolation checks in tests).
+    pub fn lane_of(&self, id: TenantId) -> Option<usize> {
+        self.tenants.get(&id).map(|t| t.file.lane())
+    }
+
+    /// Usage accounting for a tenant.
+    pub fn usage(&self, id: TenantId) -> Option<TenantUsage> {
+        self.tenants.get(&id).map(|t| t.usage)
+    }
+
+    /// Tenant-scoped `x_pwrite`: only the owning capability can reach the
+    /// lane.
+    pub fn append(
+        &mut self,
+        cluster: &mut Cluster,
+        id: TenantId,
+        now: SimTime,
+        data: &[u8],
+    ) -> Result<SimTime, TenancyError> {
+        let t = self.tenants.get_mut(&id).ok_or(TenancyError::UnknownTenant(id))?;
+        let at = t.file.x_pwrite(cluster, now, data)?;
+        t.usage.bytes_written += data.len() as u64;
+        t.usage.appends += 1;
+        Ok(at)
+    }
+
+    /// Tenant-scoped `x_fsync`.
+    pub fn fsync(
+        &mut self,
+        cluster: &mut Cluster,
+        id: TenantId,
+        now: SimTime,
+    ) -> Result<SimTime, TenancyError> {
+        let t = self.tenants.get_mut(&id).ok_or(TenancyError::UnknownTenant(id))?;
+        let at = t.file.x_fsync(cluster, now)?;
+        t.usage.fsyncs += 1;
+        Ok(at)
+    }
+
+    /// Tenant-scoped tail read of the destaged log.
+    pub fn read_tail(
+        &mut self,
+        cluster: &mut Cluster,
+        id: TenantId,
+        now: SimTime,
+        len: usize,
+    ) -> Result<(SimTime, Vec<u8>), TenancyError> {
+        let t = self.tenants.get_mut(&id).ok_or(TenancyError::UnknownTenant(id))?;
+        Ok(t.file.x_pread(cluster, now, len)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VillarsConfig;
+    use simkit::SimDuration;
+
+    fn four_lane_cluster() -> (Cluster, DeviceIndex) {
+        let mut cfg = VillarsConfig::small();
+        cfg.cmb.writer_lanes = 4;
+        let mut cl = Cluster::new();
+        let dev = cl.add_device(cfg);
+        (cl, dev)
+    }
+
+    #[test]
+    fn admission_hands_out_distinct_lanes() {
+        let (cl, dev) = four_lane_cluster();
+        let mut mgr = TenantManager::new(&cl, dev);
+        assert_eq!(mgr.capacity(), 4);
+        let ids: Vec<_> = (0..4).map(|_| mgr.admit().unwrap()).collect();
+        let lanes: std::collections::HashSet<_> =
+            ids.iter().map(|i| mgr.lane_of(*i).unwrap()).collect();
+        assert_eq!(lanes.len(), 4);
+        assert_eq!(mgr.admit(), Err(TenancyError::NoFreeLane));
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let (mut cl, dev) = four_lane_cluster();
+        let mut mgr = TenantManager::new(&cl, dev);
+        let a = mgr.admit().unwrap();
+        let b = mgr.admit().unwrap();
+        let mut now = SimTime::ZERO;
+        now = mgr.append(&mut cl, a, now, &[0xAA; 900]).unwrap();
+        now = mgr.append(&mut cl, b, now, &[0xBB; 300]).unwrap();
+        now = mgr.fsync(&mut cl, a, now).unwrap();
+        now = mgr.fsync(&mut cl, b, now).unwrap();
+        // Each lane's credit covers only its own tenant's bytes.
+        let (la, lb) = (mgr.lane_of(a).unwrap(), mgr.lane_of(b).unwrap());
+        let ca = cl.device_mut(dev).local_credit(now, la);
+        let cb = cl.device_mut(dev).local_credit(now, lb);
+        assert_eq!(ca, 900);
+        assert_eq!(cb, 300);
+        // And each tenant reads back only its own log.
+        let (_t, bytes_a) = mgr.read_tail(&mut cl, a, now, 900).unwrap();
+        assert_eq!(bytes_a, vec![0xAA; 900]);
+        let (_t, bytes_b) = mgr.read_tail(&mut cl, b, now, 300).unwrap();
+        assert_eq!(bytes_b, vec![0xBB; 300]);
+        let ua = mgr.usage(a).unwrap();
+        assert_eq!((ua.bytes_written, ua.appends, ua.fsyncs), (900, 1, 1));
+    }
+
+    #[test]
+    fn revocation_recycles_the_lane() {
+        let (mut cl, dev) = four_lane_cluster();
+        let mut mgr = TenantManager::new(&cl, dev);
+        let ids: Vec<_> = (0..4).map(|_| mgr.admit().unwrap()).collect();
+        // The departing tenant actually used its lane.
+        let mut now = mgr.append(&mut cl, ids[1], SimTime::ZERO, &[9u8; 700]).unwrap();
+        now = mgr.fsync(&mut cl, ids[1], now).unwrap();
+        let lane = mgr.lane_of(ids[1]).unwrap();
+        let usage = mgr.revoke(ids[1]).unwrap();
+        assert_eq!(usage.bytes_written, 700);
+        assert_eq!(mgr.admitted(), 3);
+        // The freed lane is reusable: the newcomer's handle continues the
+        // lane's monotonic log, so appends work immediately.
+        let newcomer = mgr.admit().unwrap();
+        assert_eq!(mgr.lane_of(newcomer), Some(lane));
+        now = mgr.append(&mut cl, newcomer, now, &[1u8; 64]).unwrap();
+        now = mgr.fsync(&mut cl, newcomer, now).unwrap();
+        let credit = cl.device_mut(dev).local_credit(now, lane);
+        assert_eq!(credit, 764, "old + new bytes on the lane's log");
+        // Revoked capabilities are dead.
+        assert_eq!(
+            mgr.append(&mut cl, ids[1], now + SimDuration::from_micros(1), &[0u8; 8]),
+            Err(TenancyError::UnknownTenant(ids[1]))
+        );
+    }
+}

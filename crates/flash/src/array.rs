@@ -1,0 +1,451 @@
+//! The flash arrays: dies, channel buses, and low-level operations.
+//!
+//! Models what the paper's Flash Storage Controller drives (§2.2): each
+//! channel is a shared bus to several dies; a program moves the page over
+//! the bus and then occupies the die for `t_prog` (the bus is free to feed
+//! other dies meanwhile — the interleaving that gives NAND its aggregate
+//! bandwidth). Reliability (bad blocks, wear, ECC) is modelled so the error
+//! paths of paper §7.1 are exercisable.
+
+use crate::geometry::{BlockAddr, DieAddr, FlashGeometry, Ppa};
+use crate::timing::{FlashTiming, ReliabilityConfig};
+use simkit::{DetRng, Grant, SerialResource, SimTime};
+
+/// Errors surfaced by flash operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlashError {
+    /// Target address outside the geometry.
+    OutOfBounds(Ppa),
+    /// The block was already marked bad.
+    BadBlock(BlockAddr),
+    /// The program operation failed; the block is now marked bad.
+    ProgramFailed(BlockAddr),
+    /// NAND constraint violation: pages in a block must program in order.
+    OutOfOrderProgram {
+        /// Attempted page.
+        got: u32,
+        /// Next programmable page in that block.
+        expected: u32,
+    },
+    /// Reading a page that was never programmed since the last erase.
+    ReadUnwritten(Ppa),
+    /// Raw bit errors exceeded ECC correction capability.
+    Uncorrectable(Ppa),
+}
+
+impl std::fmt::Display for FlashError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlashError::OutOfBounds(p) => write!(f, "address out of bounds: {p:?}"),
+            FlashError::BadBlock(b) => write!(f, "block is bad: {b:?}"),
+            FlashError::ProgramFailed(b) => write!(f, "program failed, block grown bad: {b:?}"),
+            FlashError::OutOfOrderProgram { got, expected } => {
+                write!(f, "out-of-order program: page {got}, expected {expected}")
+            }
+            FlashError::ReadUnwritten(p) => write!(f, "read of unwritten page: {p:?}"),
+            FlashError::Uncorrectable(p) => write!(f, "uncorrectable ECC error: {p:?}"),
+        }
+    }
+}
+
+impl std::error::Error for FlashError {}
+
+/// Successful-operation detail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpOutcome {
+    /// Service window on the device.
+    pub grant: Grant,
+    /// Bit errors the ECC corrected (reads only; 0 otherwise).
+    pub corrected_bits: u32,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BlockState {
+    bad: bool,
+    pe_cycles: u32,
+    next_page: u32,
+}
+
+/// Cumulative operation counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlashStats {
+    /// Pages programmed.
+    pub programs: u64,
+    /// Pages read.
+    pub reads: u64,
+    /// Blocks erased.
+    pub erases: u64,
+    /// Program failures (grown bad blocks).
+    pub program_failures: u64,
+    /// Reads with uncorrectable errors.
+    pub uncorrectable_reads: u64,
+    /// Total ECC-corrected bits.
+    pub corrected_bits: u64,
+}
+
+/// The full set of flash arrays behind the storage controller.
+#[derive(Debug, Clone)]
+pub struct FlashArray {
+    geometry: FlashGeometry,
+    timing: FlashTiming,
+    reliability: ReliabilityConfig,
+    dies: Vec<SerialResource>,
+    buses: Vec<SerialResource>,
+    blocks: Vec<BlockState>,
+    rng: DetRng,
+    stats: FlashStats,
+}
+
+impl FlashArray {
+    /// Build the arrays; initial bad blocks are sampled deterministically
+    /// from `seed`.
+    pub fn new(
+        geometry: FlashGeometry,
+        timing: FlashTiming,
+        reliability: ReliabilityConfig,
+        seed: u64,
+    ) -> Self {
+        geometry.validate();
+        let mut rng = DetRng::new(seed);
+        let mut blocks = vec![BlockState::default(); geometry.total_blocks() as usize];
+        if reliability.initial_bad_block_rate > 0.0 {
+            for b in blocks.iter_mut() {
+                if rng.chance(reliability.initial_bad_block_rate) {
+                    b.bad = true;
+                }
+            }
+        }
+        FlashArray {
+            dies: vec![SerialResource::new(); geometry.total_dies() as usize],
+            buses: vec![SerialResource::new(); geometry.channels as usize],
+            blocks,
+            geometry,
+            timing,
+            reliability,
+            rng,
+            stats: FlashStats::default(),
+        }
+    }
+
+    /// The geometry.
+    pub fn geometry(&self) -> &FlashGeometry {
+        &self.geometry
+    }
+
+    /// The timing constants.
+    pub fn timing(&self) -> &FlashTiming {
+        &self.timing
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> FlashStats {
+        self.stats
+    }
+
+    fn die_index(&self, die: DieAddr) -> usize {
+        (die.channel * self.geometry.dies_per_channel + die.die) as usize
+    }
+
+    fn block_index(&self, b: BlockAddr) -> usize {
+        (self.die_index(b.die) * self.geometry.blocks_per_die as usize) + b.block as usize
+    }
+
+    /// When the channel bus of `channel` next goes idle.
+    pub fn bus_busy_until(&self, channel: u32) -> SimTime {
+        self.buses[channel as usize].busy_until()
+    }
+
+    /// When `die` next goes idle.
+    pub fn die_busy_until(&self, die: DieAddr) -> SimTime {
+        self.dies[self.die_index(die)].busy_until()
+    }
+
+    /// The earliest-free die on `channel` (where a striping FTL would place
+    /// the next page).
+    pub fn earliest_free_die(&self, channel: u32) -> DieAddr {
+        let mut best = DieAddr { channel, die: 0 };
+        for d in 1..self.geometry.dies_per_channel {
+            let cand = DieAddr { channel, die: d };
+            if self.die_busy_until(cand) < self.die_busy_until(best) {
+                best = cand;
+            }
+        }
+        best
+    }
+
+    /// Whether `block` is marked bad.
+    pub fn is_bad(&self, block: BlockAddr) -> bool {
+        self.blocks[self.block_index(block)].bad
+    }
+
+    /// P/E cycles consumed by `block`.
+    pub fn pe_cycles(&self, block: BlockAddr) -> u32 {
+        self.blocks[self.block_index(block)].pe_cycles
+    }
+
+    /// Next programmable page of `block`.
+    pub fn next_page(&self, block: BlockAddr) -> u32 {
+        self.blocks[self.block_index(block)].next_page
+    }
+
+    /// Program one page. Bus transfer from `now` (or when the bus frees),
+    /// then `t_prog` on the die. Enforces in-order page programming.
+    pub fn program(&mut self, now: SimTime, ppa: Ppa) -> Result<OpOutcome, FlashError> {
+        if !ppa.in_bounds(&self.geometry) {
+            return Err(FlashError::OutOfBounds(ppa));
+        }
+        let bi = self.block_index(ppa.block);
+        if self.blocks[bi].bad {
+            return Err(FlashError::BadBlock(ppa.block));
+        }
+        if self.blocks[bi].next_page != ppa.page {
+            return Err(FlashError::OutOfOrderProgram {
+                got: ppa.page,
+                expected: self.blocks[bi].next_page,
+            });
+        }
+        let xfer = self.timing.page_transfer(self.geometry.page_bytes);
+        let bus = self.buses[ppa.channel() as usize].acquire(now, xfer);
+        let di = self.die_index(ppa.die());
+        let die = self.dies[di].acquire(bus.end, self.timing.t_prog);
+        self.blocks[bi].next_page += 1;
+        self.stats.programs += 1;
+        if self.reliability.program_fail_rate > 0.0
+            && self.rng.chance(self.reliability.program_fail_rate)
+        {
+            self.blocks[bi].bad = true;
+            self.stats.program_failures += 1;
+            return Err(FlashError::ProgramFailed(ppa.block));
+        }
+        Ok(OpOutcome { grant: Grant { start: bus.start, end: die.end }, corrected_bits: 0 })
+    }
+
+    /// Read one page. `t_read` on the die, then the bus transfer out.
+    pub fn read(&mut self, now: SimTime, ppa: Ppa) -> Result<OpOutcome, FlashError> {
+        if !ppa.in_bounds(&self.geometry) {
+            return Err(FlashError::OutOfBounds(ppa));
+        }
+        let bi = self.block_index(ppa.block);
+        if self.blocks[bi].bad {
+            return Err(FlashError::BadBlock(ppa.block));
+        }
+        if ppa.page >= self.blocks[bi].next_page {
+            return Err(FlashError::ReadUnwritten(ppa));
+        }
+        let di = self.die_index(ppa.die());
+        let die = self.dies[di].acquire(now, self.timing.t_read);
+        let xfer = self.timing.page_transfer(self.geometry.page_bytes);
+        let bus = self.buses[ppa.channel() as usize].acquire(die.end, xfer);
+        self.stats.reads += 1;
+
+        let errors = self.sample_bit_errors(self.blocks[bi].pe_cycles);
+        if errors > self.reliability.ecc_correctable_bits {
+            self.stats.uncorrectable_reads += 1;
+            return Err(FlashError::Uncorrectable(ppa));
+        }
+        self.stats.corrected_bits += errors as u64;
+        Ok(OpOutcome {
+            grant: Grant { start: die.start, end: bus.end },
+            corrected_bits: errors,
+        })
+    }
+
+    /// Erase a block: resets the program pointer and consumes one P/E cycle.
+    /// A block past its cycle limit grows bad.
+    pub fn erase(&mut self, now: SimTime, block: BlockAddr) -> Result<OpOutcome, FlashError> {
+        let probe = Ppa { block, page: 0 };
+        if !probe.in_bounds(&self.geometry) {
+            return Err(FlashError::OutOfBounds(probe));
+        }
+        let bi = self.block_index(block);
+        if self.blocks[bi].bad {
+            return Err(FlashError::BadBlock(block));
+        }
+        let di = self.die_index(block.die);
+        let die = self.dies[di].acquire(now, self.timing.t_erase);
+        self.blocks[bi].pe_cycles += 1;
+        self.blocks[bi].next_page = 0;
+        self.stats.erases += 1;
+        if self.blocks[bi].pe_cycles >= self.reliability.pe_cycle_limit {
+            self.blocks[bi].bad = true;
+        }
+        Ok(OpOutcome { grant: die, corrected_bits: 0 })
+    }
+
+    /// Sample raw bit errors for a page read (Poisson via Knuth's method —
+    /// expected counts are tiny).
+    fn sample_bit_errors(&mut self, pe_cycles: u32) -> u32 {
+        let page_bits = (self.geometry.page_bytes as u64) * 8;
+        let lambda = self.reliability.expected_bit_errors(page_bits, pe_cycles);
+        if lambda <= 0.0 {
+            return 0;
+        }
+        let l = (-lambda).exp();
+        let mut k = 0u32;
+        let mut p = 1.0;
+        loop {
+            p *= self.rng.unit();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            if k > 10_000 {
+                return k; // pathological lambda; cap rather than spin
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array() -> FlashArray {
+        FlashArray::new(
+            FlashGeometry::tiny(),
+            FlashTiming::fast(),
+            ReliabilityConfig::perfect(),
+            7,
+        )
+    }
+
+    #[test]
+    fn program_then_read_round_trip() {
+        let mut a = array();
+        let ppa = Ppa::new(0, 0, 0, 0);
+        let w = a.program(SimTime::ZERO, ppa).unwrap();
+        assert!(w.grant.end.as_micros_f64() >= 50.0, "includes t_prog");
+        let r = a.read(w.grant.end, ppa).unwrap();
+        assert!(r.grant.end > w.grant.end);
+        assert_eq!(a.stats().programs, 1);
+        assert_eq!(a.stats().reads, 1);
+    }
+
+    #[test]
+    fn in_order_programming_enforced() {
+        let mut a = array();
+        a.program(SimTime::ZERO, Ppa::new(0, 0, 0, 0)).unwrap();
+        let err = a.program(SimTime::ZERO, Ppa::new(0, 0, 0, 2)).unwrap_err();
+        assert_eq!(err, FlashError::OutOfOrderProgram { got: 2, expected: 1 });
+        a.program(SimTime::ZERO, Ppa::new(0, 0, 0, 1)).unwrap();
+    }
+
+    #[test]
+    fn read_of_unwritten_page_errors() {
+        let mut a = array();
+        let e = a.read(SimTime::ZERO, Ppa::new(0, 0, 0, 0)).unwrap_err();
+        assert_eq!(e, FlashError::ReadUnwritten(Ppa::new(0, 0, 0, 0)));
+    }
+
+    #[test]
+    fn erase_resets_program_pointer_and_wears() {
+        let mut a = array();
+        let b = BlockAddr { die: DieAddr { channel: 0, die: 0 }, block: 0 };
+        a.program(SimTime::ZERO, Ppa { block: b, page: 0 }).unwrap();
+        assert_eq!(a.next_page(b), 1);
+        a.erase(SimTime::ZERO, b).unwrap();
+        assert_eq!(a.next_page(b), 0);
+        assert_eq!(a.pe_cycles(b), 1);
+        a.program(SimTime::ZERO, Ppa { block: b, page: 0 }).unwrap();
+    }
+
+    #[test]
+    fn pe_limit_grows_bad_block() {
+        let mut rel = ReliabilityConfig::perfect();
+        rel.pe_cycle_limit = 2;
+        let mut a = FlashArray::new(FlashGeometry::tiny(), FlashTiming::fast(), rel, 7);
+        let b = BlockAddr { die: DieAddr { channel: 0, die: 0 }, block: 0 };
+        a.erase(SimTime::ZERO, b).unwrap();
+        assert!(!a.is_bad(b));
+        a.erase(SimTime::ZERO, b).unwrap();
+        assert!(a.is_bad(b));
+        assert_eq!(a.erase(SimTime::ZERO, b).unwrap_err(), FlashError::BadBlock(b));
+    }
+
+    #[test]
+    fn bus_is_shared_but_dies_overlap() {
+        let mut a = array();
+        // Two programs to different dies on the same channel: bus transfers
+        // serialize, die programming overlaps.
+        let g1 = a.program(SimTime::ZERO, Ppa::new(0, 0, 0, 0)).unwrap().grant;
+        let g2 = a.program(SimTime::ZERO, Ppa::new(0, 1, 0, 0)).unwrap().grant;
+        assert!(g2.start >= g1.start);
+        let serial_end = g1.end + FlashTiming::fast().t_prog;
+        assert!(g2.end < serial_end, "dies must overlap: {} vs {}", g2.end, serial_end);
+    }
+
+    #[test]
+    fn same_die_operations_serialize() {
+        let mut a = array();
+        let g1 = a.program(SimTime::ZERO, Ppa::new(0, 0, 0, 0)).unwrap().grant;
+        let g2 = a.program(SimTime::ZERO, Ppa::new(0, 0, 0, 1)).unwrap().grant;
+        assert!(g2.end.as_nanos() >= g1.end.as_nanos() + FlashTiming::fast().t_prog.as_nanos());
+    }
+
+    #[test]
+    fn initial_bad_blocks_sampled() {
+        let mut rel = ReliabilityConfig::perfect();
+        rel.initial_bad_block_rate = 0.5;
+        let a = FlashArray::new(FlashGeometry::tiny(), FlashTiming::fast(), rel, 42);
+        let g = FlashGeometry::tiny();
+        let bad = (0..g.total_blocks())
+            .filter(|i| {
+                let die_index = i / g.blocks_per_die as u64;
+                let b = BlockAddr {
+                    die: DieAddr {
+                        channel: (die_index / g.dies_per_channel as u64) as u32,
+                        die: (die_index % g.dies_per_channel as u64) as u32,
+                    },
+                    block: (i % g.blocks_per_die as u64) as u32,
+                };
+                a.is_bad(b)
+            })
+            .count();
+        assert!(bad > 0 && bad < g.total_blocks() as usize);
+    }
+
+    #[test]
+    fn uncorrectable_errors_at_high_wear() {
+        let rel = ReliabilityConfig {
+            initial_bad_block_rate: 0.0,
+            program_fail_rate: 0.0,
+            base_bit_error_rate: 1e-3, // absurdly high to force failure
+            wear_ber_slope: 0.0,
+            ecc_correctable_bits: 2,
+            pe_cycle_limit: u32::MAX,
+        };
+        let mut a = FlashArray::new(FlashGeometry::tiny(), FlashTiming::fast(), rel, 7);
+        let ppa = Ppa::new(0, 0, 0, 0);
+        a.program(SimTime::ZERO, ppa).unwrap();
+        let mut saw_uncorrectable = false;
+        for _ in 0..20 {
+            if matches!(a.read(SimTime::ZERO, ppa), Err(FlashError::Uncorrectable(_))) {
+                saw_uncorrectable = true;
+                break;
+            }
+        }
+        assert!(saw_uncorrectable);
+        assert!(a.stats().uncorrectable_reads > 0);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut a = array();
+        assert!(matches!(
+            a.program(SimTime::ZERO, Ppa::new(9, 0, 0, 0)),
+            Err(FlashError::OutOfBounds(_))
+        ));
+        assert!(matches!(
+            a.erase(SimTime::ZERO, BlockAddr { die: DieAddr { channel: 0, die: 0 }, block: 99 }),
+            Err(FlashError::OutOfBounds(_))
+        ));
+    }
+
+    #[test]
+    fn earliest_free_die_balances() {
+        let mut a = array();
+        a.program(SimTime::ZERO, Ppa::new(0, 0, 0, 0)).unwrap();
+        let free = a.earliest_free_die(0);
+        assert_eq!(free, DieAddr { channel: 0, die: 1 });
+    }
+}

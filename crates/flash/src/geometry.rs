@@ -1,0 +1,215 @@
+//! NAND geometry and physical addressing.
+//!
+//! Mirrors the Cosmos+ OpenSSD organization the Villars prototype is built
+//! on (paper §2.2 / Fig. 2): channels of flash arrays, each array a set of
+//! dies holding blocks of pages. The page is the program unit, the block the
+//! erase unit.
+
+use serde::{Deserialize, Serialize};
+
+/// Static shape of the flash subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlashGeometry {
+    /// Independent channels (buses).
+    pub channels: u32,
+    /// Dies (ways) per channel.
+    pub dies_per_channel: u32,
+    /// Erase blocks per die.
+    pub blocks_per_die: u32,
+    /// Program/read pages per block.
+    pub pages_per_block: u32,
+    /// Bytes per page.
+    pub page_bytes: u32,
+}
+
+impl Default for FlashGeometry {
+    /// Cosmos+-class defaults: 8 channels × 8 ways, 16 KiB pages. The block
+    /// count is scaled down from the real 2 TB so tests and experiments run
+    /// fast; capacity-sensitive callers pass their own geometry.
+    fn default() -> Self {
+        FlashGeometry {
+            channels: 8,
+            dies_per_channel: 8,
+            blocks_per_die: 256,
+            pages_per_block: 256,
+            page_bytes: 16 << 10,
+        }
+    }
+}
+
+impl FlashGeometry {
+    /// A tiny geometry for unit tests.
+    pub fn tiny() -> Self {
+        FlashGeometry {
+            channels: 2,
+            dies_per_channel: 2,
+            blocks_per_die: 8,
+            pages_per_block: 16,
+            page_bytes: 4096,
+        }
+    }
+
+    /// Total dies across all channels.
+    pub fn total_dies(&self) -> u32 {
+        self.channels * self.dies_per_channel
+    }
+
+    /// Total blocks in the device.
+    pub fn total_blocks(&self) -> u64 {
+        self.total_dies() as u64 * self.blocks_per_die as u64
+    }
+
+    /// Total pages in the device.
+    pub fn total_pages(&self) -> u64 {
+        self.total_blocks() * self.pages_per_block as u64
+    }
+
+    /// Raw capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_pages() * self.page_bytes as u64
+    }
+
+    /// Validate internal consistency; panics on a degenerate geometry.
+    pub fn validate(&self) {
+        assert!(self.channels > 0, "geometry needs >=1 channel");
+        assert!(self.dies_per_channel > 0, "geometry needs >=1 die per channel");
+        assert!(self.blocks_per_die > 0, "geometry needs >=1 block per die");
+        assert!(self.pages_per_block > 0, "geometry needs >=1 page per block");
+        assert!(self.page_bytes > 0, "geometry needs non-empty pages");
+    }
+}
+
+/// Identifies one die: `(channel, way)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DieAddr {
+    /// Channel index.
+    pub channel: u32,
+    /// Way (die within the channel).
+    pub die: u32,
+}
+
+/// Identifies one erase block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockAddr {
+    /// Owning die.
+    pub die: DieAddr,
+    /// Block index within the die.
+    pub block: u32,
+}
+
+/// Physical Page Address: the unit the FTL maps logical pages onto.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Ppa {
+    /// Owning block.
+    pub block: BlockAddr,
+    /// Page index within the block.
+    pub page: u32,
+}
+
+impl Ppa {
+    /// Construct from components.
+    pub fn new(channel: u32, die: u32, block: u32, page: u32) -> Self {
+        Ppa { block: BlockAddr { die: DieAddr { channel, die }, block }, page }
+    }
+
+    /// The owning channel.
+    pub fn channel(&self) -> u32 {
+        self.block.die.channel
+    }
+
+    /// The owning die.
+    pub fn die(&self) -> DieAddr {
+        self.block.die
+    }
+
+    /// Flatten to a device-wide page index (for map keys / round trips).
+    pub fn flatten(&self, g: &FlashGeometry) -> u64 {
+        let die_index =
+            self.block.die.channel as u64 * g.dies_per_channel as u64 + self.block.die.die as u64;
+        (die_index * g.blocks_per_die as u64 + self.block.block as u64)
+            * g.pages_per_block as u64
+            + self.page as u64
+    }
+
+    /// Inverse of [`Ppa::flatten`].
+    pub fn unflatten(index: u64, g: &FlashGeometry) -> Ppa {
+        let page = (index % g.pages_per_block as u64) as u32;
+        let rest = index / g.pages_per_block as u64;
+        let block = (rest % g.blocks_per_die as u64) as u32;
+        let die_index = rest / g.blocks_per_die as u64;
+        let die = (die_index % g.dies_per_channel as u64) as u32;
+        let channel = (die_index / g.dies_per_channel as u64) as u32;
+        Ppa::new(channel, die, block, page)
+    }
+
+    /// Whether the address is inside the geometry.
+    pub fn in_bounds(&self, g: &FlashGeometry) -> bool {
+        self.block.die.channel < g.channels
+            && self.block.die.die < g.dies_per_channel
+            && self.block.block < g.blocks_per_die
+            && self.page < g.pages_per_block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_geometry_capacity() {
+        let g = FlashGeometry::default();
+        g.validate();
+        assert_eq!(g.total_dies(), 64);
+        // 64 dies * 256 blocks * 256 pages * 16KiB = 64 GiB (scaled-down 2TB).
+        assert_eq!(g.capacity_bytes(), 64 << 30);
+    }
+
+    #[test]
+    fn flatten_round_trip_examples() {
+        let g = FlashGeometry::tiny();
+        let ppa = Ppa::new(1, 0, 3, 7);
+        assert!(ppa.in_bounds(&g));
+        let flat = ppa.flatten(&g);
+        assert_eq!(Ppa::unflatten(flat, &g), ppa);
+        // Page 0 of die (0,0) block 0 is index 0.
+        assert_eq!(Ppa::new(0, 0, 0, 0).flatten(&g), 0);
+    }
+
+    #[test]
+    fn bounds_checking() {
+        let g = FlashGeometry::tiny();
+        assert!(!Ppa::new(2, 0, 0, 0).in_bounds(&g));
+        assert!(!Ppa::new(0, 2, 0, 0).in_bounds(&g));
+        assert!(!Ppa::new(0, 0, 8, 0).in_bounds(&g));
+        assert!(!Ppa::new(0, 0, 0, 16).in_bounds(&g));
+    }
+
+    #[test]
+    fn flat_indices_are_dense_and_unique() {
+        let g = FlashGeometry::tiny();
+        let mut seen = vec![false; g.total_pages() as usize];
+        for ch in 0..g.channels {
+            for die in 0..g.dies_per_channel {
+                for blk in 0..g.blocks_per_die {
+                    for pg in 0..g.pages_per_block {
+                        let idx = Ppa::new(ch, die, blk, pg).flatten(&g) as usize;
+                        assert!(!seen[idx], "duplicate index {idx}");
+                        seen[idx] = true;
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_flatten_round_trips(idx in 0u64..FlashGeometry::default().total_pages()) {
+            let g = FlashGeometry::default();
+            let ppa = Ppa::unflatten(idx, &g);
+            prop_assert!(ppa.in_bounds(&g));
+            prop_assert_eq!(ppa.flatten(&g), idx);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! NAND operation timing and reliability parameters.
+
+use serde::{Deserialize, Serialize};
+use simkit::{Bandwidth, SimDuration};
+
+/// Latency/bandwidth constants for the flash arrays.
+///
+/// Defaults model the Hynix MLC NAND on the Cosmos+ board: with 8 channels ×
+/// 8 ways and 16 KiB pages, `t_prog = 500 µs` yields ≈32 MB/s per die and
+/// ≈2 GB/s aggregate program bandwidth — the envelope the paper quotes for
+/// the platform ("sized to accommodate a maximum of 2 GB/s", §6.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlashTiming {
+    /// Page program time (cell array busy).
+    pub t_prog: SimDuration,
+    /// Page read time (cell array busy before data is available).
+    pub t_read: SimDuration,
+    /// Block erase time.
+    pub t_erase: SimDuration,
+    /// Channel bus rate for moving a page between controller and die
+    /// (NV-DDR class).
+    pub channel_bus: Bandwidth,
+    /// Fixed command/address cycle cost per operation on the bus.
+    pub cmd_overhead: SimDuration,
+}
+
+impl Default for FlashTiming {
+    fn default() -> Self {
+        FlashTiming {
+            t_prog: SimDuration::from_micros(500),
+            t_read: SimDuration::from_micros(45),
+            t_erase: SimDuration::from_millis(3),
+            channel_bus: Bandwidth::mbytes_per_sec(400.0),
+            cmd_overhead: SimDuration::from_nanos(500),
+        }
+    }
+}
+
+impl FlashTiming {
+    /// Fast timing for unit tests (keeps simulated experiments short while
+    /// preserving the prog ≫ read ≫ bus ordering).
+    pub fn fast() -> Self {
+        FlashTiming {
+            t_prog: SimDuration::from_micros(50),
+            t_read: SimDuration::from_micros(5),
+            t_erase: SimDuration::from_micros(300),
+            channel_bus: Bandwidth::gbytes_per_sec(1.0),
+            cmd_overhead: SimDuration::from_nanos(100),
+        }
+    }
+
+    /// Bus time to move one `page_bytes` page.
+    pub fn page_transfer(&self, page_bytes: u32) -> SimDuration {
+        self.cmd_overhead + self.channel_bus.transfer_time(page_bytes as u64)
+    }
+
+    /// Aggregate steady-state program bandwidth for a geometry, in decimal
+    /// GB/s — the die-parallelism bound (min of die-bound and bus-bound).
+    pub fn program_bandwidth_gbps(&self, g: &crate::geometry::FlashGeometry) -> f64 {
+        let per_die = g.page_bytes as f64 / self.t_prog.as_secs_f64() / 1e9;
+        let die_bound = per_die * g.total_dies() as f64;
+        let per_channel_bus = g.page_bytes as f64
+            / self.page_transfer(g.page_bytes).as_secs_f64()
+            / 1e9;
+        let bus_bound = per_channel_bus * g.channels as f64;
+        die_bound.min(bus_bound)
+    }
+}
+
+/// Reliability model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityConfig {
+    /// Fraction of blocks marked bad at manufacture.
+    pub initial_bad_block_rate: f64,
+    /// Probability a program operation fails and turns its block bad
+    /// (grown bad block), before wear scaling.
+    pub program_fail_rate: f64,
+    /// Raw bit-error rate per read at zero wear.
+    pub base_bit_error_rate: f64,
+    /// Additional BER per program/erase cycle (wear-out slope).
+    pub wear_ber_slope: f64,
+    /// Bit errors per page the ECC can correct.
+    pub ecc_correctable_bits: u32,
+    /// Program/erase cycles before a block is considered worn out.
+    pub pe_cycle_limit: u32,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        ReliabilityConfig {
+            initial_bad_block_rate: 0.002,
+            program_fail_rate: 1e-7,
+            base_bit_error_rate: 1e-8,
+            wear_ber_slope: 1e-11,
+            ecc_correctable_bits: 72,
+            pe_cycle_limit: 3000,
+        }
+    }
+}
+
+impl ReliabilityConfig {
+    /// A perfectly reliable device (for experiments where error handling is
+    /// out of scope, like the throughput figures).
+    pub fn perfect() -> Self {
+        ReliabilityConfig {
+            initial_bad_block_rate: 0.0,
+            program_fail_rate: 0.0,
+            base_bit_error_rate: 0.0,
+            wear_ber_slope: 0.0,
+            ecc_correctable_bits: 72,
+            pe_cycle_limit: u32::MAX,
+        }
+    }
+
+    /// Expected raw bit errors in a page read at the given wear level.
+    pub fn expected_bit_errors(&self, page_bits: u64, pe_cycles: u32) -> f64 {
+        let ber = self.base_bit_error_rate + self.wear_ber_slope * pe_cycles as f64;
+        ber * page_bits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::FlashGeometry;
+
+    #[test]
+    fn default_timing_hits_platform_envelope() {
+        let t = FlashTiming::default();
+        let g = FlashGeometry::default();
+        let bw = t.program_bandwidth_gbps(&g);
+        // ~2 GB/s, the Cosmos+ ceiling the paper quotes.
+        assert!((bw - 2.0).abs() < 0.2, "program bandwidth {bw} GB/s");
+    }
+
+    #[test]
+    fn page_transfer_cost() {
+        let t = FlashTiming::default();
+        let d = t.page_transfer(16 << 10);
+        // 16KiB at 400 MB/s = 40.96us + 0.5us command overhead.
+        assert!((d.as_micros_f64() - 41.46).abs() < 0.1, "transfer {d}");
+    }
+
+    #[test]
+    fn ordering_invariant() {
+        for t in [FlashTiming::default(), FlashTiming::fast()] {
+            assert!(t.t_erase > t.t_prog);
+            assert!(t.t_prog > t.t_read);
+        }
+    }
+
+    #[test]
+    fn wear_increases_expected_errors() {
+        let r = ReliabilityConfig::default();
+        let bits = (16u64 << 10) * 8;
+        let fresh = r.expected_bit_errors(bits, 0);
+        let worn = r.expected_bit_errors(bits, 3000);
+        assert!(worn > fresh);
+    }
+
+    #[test]
+    fn perfect_reliability_is_error_free() {
+        let r = ReliabilityConfig::perfect();
+        assert_eq!(r.expected_bit_errors(1 << 20, 1000), 0.0);
+        assert_eq!(r.initial_bad_block_rate, 0.0);
+    }
+}

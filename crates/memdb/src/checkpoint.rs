@@ -1,0 +1,379 @@
+//! Checkpointing: bounding recovery when the destage ring wraps.
+//!
+//! A Villars destage ring is finite — the paper sizes it "much larger than
+//! the one on the fast side" (Fig. 3), but it still wraps, and log data
+//! beyond the ring is gone. A database that runs longer than one ring's
+//! worth of log therefore checkpoints: it serializes its tables through the
+//! *conventional* block interface (the same device, the workload isolation
+//! of §6.4 applies) and records the log offset the snapshot covers.
+//! Recovery = load the newest valid snapshot + replay the log suffix from
+//! its offset.
+//!
+//! Snapshots are written ping-pong into two slots so a crash mid-checkpoint
+//! always leaves the previous one intact.
+
+use crate::log::fnv1a;
+use crate::storage::Database;
+use serde::Serialize;
+use simkit::SimTime;
+use xssd_core::{Cluster, DeviceIndex};
+
+/// Snapshot framing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Magic bytes missing (slot never written or torn header).
+    BadMagic,
+    /// Checksum mismatch (torn or corrupt snapshot).
+    BadChecksum,
+    /// Structurally truncated image.
+    Truncated,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic => f.write_str("snapshot magic missing"),
+            SnapshotError::BadChecksum => f.write_str("snapshot checksum mismatch"),
+            SnapshotError::Truncated => f.write_str("snapshot truncated"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+const SNAP_MAGIC: &[u8; 8] = b"XSSDSNAP";
+
+/// Metadata describing one checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct CheckpointMeta {
+    /// Monotonically increasing checkpoint generation.
+    pub generation: u64,
+    /// The snapshot reflects every log byte below this offset; recovery
+    /// replays from here.
+    pub log_offset: u64,
+    /// Serialized snapshot length in bytes.
+    pub bytes: u64,
+}
+
+/// Serialize the full database (catalog + rows) into a self-validating
+/// image.
+pub fn encode_snapshot(db: &Database, generation: u64, log_offset: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(SNAP_MAGIC);
+    // Total image length (filled in at the end): lets a reader working over
+    // page-padded media find the exact image boundary.
+    out.extend_from_slice(&0u64.to_le_bytes());
+    out.extend_from_slice(&generation.to_le_bytes());
+    out.extend_from_slice(&log_offset.to_le_bytes());
+    let names = db.table_names();
+    out.extend_from_slice(&(names.len() as u32).to_le_bytes());
+    for (tid, name) in names.iter().enumerate() {
+        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        let rows = db.export_table(tid as u16);
+        out.extend_from_slice(&(rows.len() as u64).to_le_bytes());
+        for (k, v) in rows {
+            out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            out.extend_from_slice(&k);
+            out.extend_from_slice(&v);
+        }
+    }
+    let total = (out.len() + 4) as u64;
+    out[8..16].copy_from_slice(&total.to_le_bytes());
+    let sum = fnv1a(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// The exact image length framed in a snapshot header, if the prefix is
+/// long enough and carries the magic. Trailing page padding is ignored.
+pub fn framed_len(bytes: &[u8]) -> Result<usize, SnapshotError> {
+    if bytes.len() < 16 {
+        return Err(SnapshotError::Truncated);
+    }
+    if &bytes[..8] != SNAP_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    Ok(u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize)
+}
+
+/// Reconstruct a database from a snapshot image. Trailing bytes beyond the
+/// framed length (page padding, stale data from an older, larger snapshot in
+/// the same slot) are ignored.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<(CheckpointMeta, Database), SnapshotError> {
+    let total = framed_len(bytes)?;
+    if total < 16 + 8 + 8 + 4 + 4 || bytes.len() < total {
+        return Err(SnapshotError::Truncated);
+    }
+    let bytes = &bytes[..total];
+    let body = &bytes[..total - 4];
+    let stored = u32::from_le_bytes(bytes[total - 4..].try_into().expect("4 bytes"));
+    if fnv1a(body) != stored {
+        return Err(SnapshotError::BadChecksum);
+    }
+    let mut pos = 16usize;
+    let mut take = |n: usize| -> Result<&[u8], SnapshotError> {
+        if pos + n > body.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let s = &body[pos..pos + n];
+        pos += n;
+        Ok(s)
+    };
+    let generation = u64::from_le_bytes(take(8)?.try_into().expect("8"));
+    let log_offset = u64::from_le_bytes(take(8)?.try_into().expect("8"));
+    let tables = u32::from_le_bytes(take(4)?.try_into().expect("4")) as usize;
+    let mut db = Database::new();
+    for _ in 0..tables {
+        let nlen = u16::from_le_bytes(take(2)?.try_into().expect("2")) as usize;
+        let name = String::from_utf8_lossy(take(nlen)?).into_owned();
+        let tid = db.create_table(&name);
+        let rows = u64::from_le_bytes(take(8)?.try_into().expect("8"));
+        for _ in 0..rows {
+            let klen = u32::from_le_bytes(take(4)?.try_into().expect("4")) as usize;
+            let vlen = u32::from_le_bytes(take(4)?.try_into().expect("4")) as usize;
+            let key = take(klen)?.to_vec();
+            let val = take(vlen)?.to_vec();
+            db.install_row(tid, key, val);
+        }
+    }
+    Ok((
+        CheckpointMeta { generation, log_offset, bytes: total as u64 },
+        db,
+    ))
+}
+
+/// Ping-pong checkpoint storage on a Villars conventional side.
+#[derive(Debug)]
+pub struct Checkpointer {
+    dev: DeviceIndex,
+    /// First LBA of slot 0; slot 1 follows at `base + slot_lbas`.
+    base_lba: u64,
+    /// LBAs reserved per slot.
+    slot_lbas: u64,
+    generation: u64,
+}
+
+impl Checkpointer {
+    /// A checkpointer over device `dev`, using `2 * slot_lbas` blocks from
+    /// `base_lba` (keep this range disjoint from the destage ring).
+    pub fn new(dev: DeviceIndex, base_lba: u64, slot_lbas: u64) -> Self {
+        assert!(slot_lbas > 0);
+        Checkpointer { dev, base_lba, slot_lbas, generation: 0 }
+    }
+
+    fn slot_base(&self, slot: u64) -> u64 {
+        self.base_lba + slot * self.slot_lbas
+    }
+
+    /// Write a checkpoint of `db` covering the log below `log_offset`.
+    /// Returns the completion instant and the metadata. The write goes
+    /// through the conventional block interface (Conventional-class flash
+    /// traffic) and is durable (flushed) when this returns.
+    pub fn checkpoint(
+        &mut self,
+        cl: &mut Cluster,
+        now: SimTime,
+        db: &Database,
+        log_offset: u64,
+    ) -> (SimTime, CheckpointMeta) {
+        self.generation += 1;
+        let image = encode_snapshot(db, self.generation, log_offset);
+        let slot = self.generation % 2;
+        let page = cl.device(self.dev).config().conventional.geometry.page_bytes as usize;
+        let blocks_needed = image.len().div_ceil(page) as u64;
+        assert!(
+            blocks_needed <= self.slot_lbas,
+            "snapshot ({} B) exceeds the checkpoint slot ({} LBAs of {page} B)",
+            image.len(),
+            self.slot_lbas
+        );
+        // Stage content page by page, then issue one ranged block write.
+        let base = self.slot_base(slot);
+        for (i, chunk) in image.chunks(page).enumerate() {
+            cl.device_mut(self.dev)
+                .conventional_mut()
+                .stage_write_data(base + i as u64, bytes::Bytes::copy_from_slice(chunk));
+        }
+        let t = cl.block_write_blocking(self.dev, now, base, blocks_needed as u32);
+        let t = cl.block_flush_blocking(self.dev, t);
+        (
+            t,
+            CheckpointMeta {
+                generation: self.generation,
+                log_offset,
+                bytes: image.len() as u64,
+            },
+        )
+    }
+
+    /// Load the newest valid checkpoint from either slot, driving the
+    /// device for the read timing. Returns `None` when no valid snapshot
+    /// exists.
+    pub fn restore(
+        &self,
+        cl: &mut Cluster,
+        now: SimTime,
+    ) -> Option<(SimTime, CheckpointMeta, Database)> {
+        let page = cl.device(self.dev).config().conventional.geometry.page_bytes as usize;
+        let mut best: Option<(SimTime, CheckpointMeta, Database)> = None;
+        for slot in 0..2u64 {
+            let base = self.slot_base(slot);
+            // Read pages until the framed image length is covered (the
+            // header tells us exactly where the image ends, so stale tail
+            // pages from an older, larger snapshot in this slot are
+            // ignored).
+            let mut image = Vec::new();
+            for i in 0..self.slot_lbas {
+                match cl.device(self.dev).conventional().media_content(base + i) {
+                    Some(b) => image.extend_from_slice(&b),
+                    None => break,
+                }
+                if let Ok(total) = framed_len(&image) {
+                    if image.len() >= total {
+                        break;
+                    }
+                }
+            }
+            if let Ok((meta, db)) = decode_snapshot(&image) {
+                // Timing: one block read per page actually used.
+                let blocks = meta.bytes.div_ceil(page as u64) as u32;
+                let t = cl.block_read_blocking(self.dev, now, base, blocks);
+                let _ = page;
+                if best.as_ref().is_none_or(|(_, m, _)| meta.generation > m.generation) {
+                    best = Some((t, meta, db));
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xssd_core::VillarsConfig;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        let a = db.create_table("alpha");
+        let b = db.create_table("beta");
+        let mut ctx = db.begin();
+        for i in 0..50u32 {
+            db.insert(&mut ctx, a, crate::storage::keys::composite(&[i]), vec![i as u8; 40]);
+        }
+        db.insert(&mut ctx, b, b"solo".to_vec(), b"row".to_vec());
+        db.commit(ctx).unwrap();
+        db
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let db = sample_db();
+        let image = encode_snapshot(&db, 3, 12345);
+        let (meta, restored) = decode_snapshot(&image).unwrap();
+        assert_eq!(meta.generation, 3);
+        assert_eq!(meta.log_offset, 12345);
+        assert_eq!(restored.fingerprint(), db.fingerprint());
+        assert_eq!(restored.table_id("beta"), db.table_id("beta"));
+    }
+
+    #[test]
+    fn snapshot_detects_corruption() {
+        let db = sample_db();
+        let mut image = encode_snapshot(&db, 1, 0);
+        let mid = image.len() / 2;
+        image[mid] ^= 0x40;
+        assert_eq!(decode_snapshot(&image).err(), Some(SnapshotError::BadChecksum));
+        assert_eq!(decode_snapshot(&image[..10]).err(), Some(SnapshotError::Truncated));
+        let mut bad_magic = encode_snapshot(&db, 1, 0);
+        bad_magic[0] = b'Y';
+        assert_eq!(decode_snapshot(&bad_magic).err(), Some(SnapshotError::BadMagic));
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trip_through_device() {
+        let mut cl = Cluster::new();
+        let dev = cl.add_device(VillarsConfig::small());
+        let db = sample_db();
+        // Keep the slot range clear of the small destage ring (64 LBAs).
+        let mut ck = Checkpointer::new(dev, 128, 16);
+        let (t1, meta) = ck.checkpoint(&mut cl, SimTime::ZERO, &db, 777);
+        assert!(t1 > SimTime::ZERO);
+        assert_eq!(meta.generation, 1);
+        let (t2, meta2, restored) = ck.restore(&mut cl, t1).expect("snapshot present");
+        assert!(t2 > t1);
+        assert_eq!(meta2.log_offset, 777);
+        assert_eq!(restored.fingerprint(), db.fingerprint());
+    }
+
+    #[test]
+    fn ping_pong_keeps_previous_generation() {
+        let mut cl = Cluster::new();
+        let dev = cl.add_device(VillarsConfig::small());
+        let mut ck = Checkpointer::new(dev, 128, 16);
+        let db1 = sample_db();
+        let (t1, _) = ck.checkpoint(&mut cl, SimTime::ZERO, &db1, 100);
+        // Mutate and checkpoint again (other slot).
+        let mut db2 = sample_db();
+        let t = db2.table_id("alpha").unwrap();
+        let mut ctx = db2.begin();
+        db2.insert(&mut ctx, t, b"extra".to_vec(), b"row".to_vec());
+        db2.commit(ctx).unwrap();
+        let (t2, meta2) = ck.checkpoint(&mut cl, t1, &db2, 200);
+        assert_eq!(meta2.generation, 2);
+        // Restore returns the NEWEST.
+        let (_t3, meta3, restored) = ck.restore(&mut cl, t2).expect("snapshot");
+        assert_eq!(meta3.generation, 2);
+        assert_eq!(restored.fingerprint(), db2.fingerprint());
+    }
+
+    #[test]
+    fn shrinking_snapshot_in_reused_slot_still_restores() {
+        // Regression: generation 3 writes a SMALLER image into the slot
+        // generation 1 used; the stale non-zero tail pages of generation 1
+        // must not confuse the reader (the framed length bounds the image).
+        let mut cl = Cluster::new();
+        let dev = cl.add_device(VillarsConfig::small());
+        let mut ck = Checkpointer::new(dev, 128, 32);
+        let big = sample_db(); // ~50 rows
+        let mut small = Database::new();
+        let t = small.create_table("alpha");
+        small.create_table("beta");
+        let mut ctx = small.begin();
+        small.insert(&mut ctx, t, b"only".to_vec(), b"row".to_vec());
+        small.commit(ctx).unwrap();
+
+        let (t1, m1) = ck.checkpoint(&mut cl, SimTime::ZERO, &big, 10); // slot 1
+        let (t2, _m2) = ck.checkpoint(&mut cl, t1, &big, 20); // slot 0
+        let (t3, m3) = ck.checkpoint(&mut cl, t2, &small, 30); // slot 1 again, smaller
+        assert!(m3.bytes < m1.bytes, "test needs a shrinking image");
+        let (_t, meta, restored) = ck.restore(&mut cl, t3).expect("restores");
+        assert_eq!(meta.generation, 3, "newest generation wins");
+        assert_eq!(restored.fingerprint(), small.fingerprint());
+    }
+
+    #[test]
+    fn checkpoint_survives_power_failure() {
+        let mut cl = Cluster::new();
+        let dev = cl.add_device(VillarsConfig::small());
+        let mut ck = Checkpointer::new(dev, 128, 16);
+        let db = sample_db();
+        let (t1, _) = ck.checkpoint(&mut cl, SimTime::ZERO, &db, 42);
+        cl.power_fail(dev, t1);
+        cl.reboot_device(dev);
+        let (_t, meta, restored) =
+            ck.restore(&mut cl, t1).expect("flushed checkpoint survives");
+        assert_eq!(meta.log_offset, 42);
+        assert_eq!(restored.fingerprint(), db.fingerprint());
+    }
+
+    #[test]
+    fn empty_device_restores_nothing() {
+        let mut cl = Cluster::new();
+        let dev = cl.add_device(VillarsConfig::small());
+        let ck = Checkpointer::new(dev, 128, 16);
+        assert!(ck.restore(&mut cl, SimTime::ZERO).is_none());
+    }
+}

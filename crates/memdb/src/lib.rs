@@ -1,0 +1,37 @@
+//! # memdb — main-memory database substrate
+//!
+//! An ERMIA-class main-memory engine (paper §6: "they maintain all their
+//! data in DRAM and persist only the transaction log, which therefore
+//! becomes their main bottleneck"):
+//!
+//! - [`storage`] — ordered in-memory tables, transactions with read
+//!   validation, order-preserving key encoding;
+//! - [`log`] — self-framing WAL records with checksums;
+//! - [`backend`] — the pluggable log devices Fig. 9 compares ([`NoLog`],
+//!   [`PmLog`], [`NvmeLog`], [`XssdLog`]);
+//! - [`wal`] — group commit (16 KiB threshold + timeout);
+//! - [`runner`] — pinned-worker workload driver (latency/throughput);
+//! - [`recovery`] — analysis+redo from the destaged log;
+//! - [`replica`] — hot-standby apply over a Villars secondary.
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod checkpoint;
+pub mod log;
+pub mod recovery;
+pub mod replica;
+pub mod runner;
+pub mod storage;
+pub mod wal;
+
+pub use backend::{LogBackend, NoLog, NvmeLog, PmConfig, PmLog, XssdLog};
+pub use checkpoint::{
+    decode_snapshot, encode_snapshot, CheckpointMeta, Checkpointer, SnapshotError,
+};
+pub use log::{decode_one, decode_stream, DecodeError, LogOp, LogRecord, TableId};
+pub use recovery::{encode_txn, recover, RecoveryReport};
+pub use replica::Replica;
+pub use runner::{run_workload, RunReport, RunnerConfig, TxnOutcome};
+pub use storage::{keys, Database, Key, Row, Table, TxnCtx, TxnError};
+pub use wal::{FlushReport, Lsn, WalConfig, WalManager};

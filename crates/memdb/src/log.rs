@@ -1,0 +1,283 @@
+//! Write-ahead-log records and their wire encoding.
+//!
+//! The encoding is self-framing (magic + lengths + checksum) so a recovery
+//! scan over the destaged log stream can detect a torn tail — even though a
+//! Villars device's crash semantics should never produce one (paper §4.1),
+//! the database verifies rather than trusts.
+
+use serde::{Deserialize, Serialize};
+
+/// Table identifier within the catalog.
+pub type TableId = u16;
+
+/// What a record does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LogOp {
+    /// Insert a new row.
+    Insert,
+    /// Replace an existing row.
+    Update,
+    /// Remove a row.
+    Delete,
+    /// Transaction commit marker: everything for `txn_id` before this
+    /// record is atomic.
+    Commit,
+}
+
+impl LogOp {
+    fn code(self) -> u8 {
+        match self {
+            LogOp::Insert => 1,
+            LogOp::Update => 2,
+            LogOp::Delete => 3,
+            LogOp::Commit => 4,
+        }
+    }
+
+    fn from_code(c: u8) -> Option<Self> {
+        match c {
+            1 => Some(LogOp::Insert),
+            2 => Some(LogOp::Update),
+            3 => Some(LogOp::Delete),
+            4 => Some(LogOp::Commit),
+            _ => None,
+        }
+    }
+}
+
+/// One WAL record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// Owning transaction.
+    pub txn_id: u64,
+    /// Operation.
+    pub op: LogOp,
+    /// Target table (0 for commit markers).
+    pub table: TableId,
+    /// Row key (empty for commit markers).
+    pub key: Vec<u8>,
+    /// Row image (empty for deletes/commits).
+    pub value: Vec<u8>,
+}
+
+impl LogRecord {
+    /// A commit marker for `txn_id`.
+    pub fn commit(txn_id: u64) -> Self {
+        LogRecord { txn_id, op: LogOp::Commit, table: 0, key: Vec::new(), value: Vec::new() }
+    }
+
+    /// Encoded length in bytes.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_LEN + self.key.len() + self.value.len() + 4
+    }
+
+    /// Append the wire encoding to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.push(MAGIC);
+        out.push(self.op.code());
+        out.extend_from_slice(&self.txn_id.to_le_bytes());
+        out.extend_from_slice(&self.table.to_le_bytes());
+        out.extend_from_slice(&(self.key.len() as u16).to_le_bytes());
+        out.extend_from_slice(&(self.value.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.key);
+        out.extend_from_slice(&self.value);
+        let sum = fnv1a(&out[start..]);
+        out.extend_from_slice(&sum.to_le_bytes());
+    }
+
+    /// Encode to a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+}
+
+const MAGIC: u8 = 0xD6;
+/// magic + op + txn(8) + table(2) + klen(2) + vlen(4).
+const HEADER_LEN: usize = 1 + 1 + 8 + 2 + 2 + 4;
+
+/// Decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Not enough bytes for a full record (clean end of stream if at a
+    /// record boundary, torn tail otherwise).
+    Truncated,
+    /// First byte is not the record magic (filler or corruption).
+    BadMagic(u8),
+    /// Unknown op code.
+    BadOp(u8),
+    /// Checksum mismatch (torn or corrupt record).
+    BadChecksum,
+}
+
+/// Decode one record from the front of `buf`. Returns the record and the
+/// bytes consumed.
+pub fn decode_one(buf: &[u8]) -> Result<(LogRecord, usize), DecodeError> {
+    if buf.len() < HEADER_LEN {
+        return Err(DecodeError::Truncated);
+    }
+    if buf[0] != MAGIC {
+        return Err(DecodeError::BadMagic(buf[0]));
+    }
+    let op = LogOp::from_code(buf[1]).ok_or(DecodeError::BadOp(buf[1]))?;
+    let txn_id = u64::from_le_bytes(buf[2..10].try_into().expect("8 bytes"));
+    let table = u16::from_le_bytes(buf[10..12].try_into().expect("2 bytes"));
+    let klen = u16::from_le_bytes(buf[12..14].try_into().expect("2 bytes")) as usize;
+    let vlen = u32::from_le_bytes(buf[14..18].try_into().expect("4 bytes")) as usize;
+    let total = HEADER_LEN + klen + vlen + 4;
+    if buf.len() < total {
+        return Err(DecodeError::Truncated);
+    }
+    let key = buf[HEADER_LEN..HEADER_LEN + klen].to_vec();
+    let value = buf[HEADER_LEN + klen..HEADER_LEN + klen + vlen].to_vec();
+    let stored = u32::from_le_bytes(buf[total - 4..total].try_into().expect("4 bytes"));
+    if fnv1a(&buf[..total - 4]) != stored {
+        return Err(DecodeError::BadChecksum);
+    }
+    Ok((LogRecord { txn_id, op, table, key, value }, total))
+}
+
+/// Decode a whole stream; stops cleanly at the end or at the first
+/// truncated/corrupt record (returning what was recovered and how many
+/// bytes were consumed).
+pub fn decode_stream(buf: &[u8]) -> (Vec<LogRecord>, usize) {
+    let mut out = Vec::new();
+    let mut cursor = 0usize;
+    while cursor < buf.len() {
+        match decode_one(&buf[cursor..]) {
+            Ok((rec, used)) => {
+                out.push(rec);
+                cursor += used;
+            }
+            Err(_) => break,
+        }
+    }
+    (out, cursor)
+}
+
+/// FNV-1a over a byte slice (record checksums).
+pub fn fnv1a(data: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811C_9DC5;
+    for b in data {
+        hash ^= *b as u32;
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> LogRecord {
+        LogRecord {
+            txn_id: 42,
+            op: LogOp::Update,
+            table: 3,
+            key: vec![1, 2, 3],
+            value: vec![9; 100],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let rec = sample();
+        let buf = rec.encode();
+        assert_eq!(buf.len(), rec.encoded_len());
+        let (dec, used) = decode_one(&buf).unwrap();
+        assert_eq!(dec, rec);
+        assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn commit_marker_round_trip() {
+        let rec = LogRecord::commit(77);
+        let (dec, _) = decode_one(&rec.encode()).unwrap();
+        assert_eq!(dec.op, LogOp::Commit);
+        assert_eq!(dec.txn_id, 77);
+    }
+
+    #[test]
+    fn stream_decoding_stops_at_filler() {
+        let mut buf = Vec::new();
+        sample().encode_into(&mut buf);
+        LogRecord::commit(42).encode_into(&mut buf);
+        let records_end = buf.len();
+        buf.extend_from_slice(&[0u8; 64]); // zero filler
+        let (recs, used) = decode_stream(&buf);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(used, records_end);
+    }
+
+    #[test]
+    fn torn_tail_detected() {
+        let buf = sample().encode();
+        let torn = &buf[..buf.len() - 2];
+        assert_eq!(decode_one(torn), Err(DecodeError::Truncated));
+        let (recs, _) = decode_stream(torn);
+        assert!(recs.is_empty());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut buf = sample().encode();
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0xFF;
+        assert!(matches!(decode_one(&buf), Err(DecodeError::BadChecksum)));
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut buf = sample().encode();
+        buf[0] = 0x00;
+        assert_eq!(decode_one(&buf), Err(DecodeError::BadMagic(0)));
+    }
+
+    #[test]
+    fn bad_op_detected() {
+        let mut buf = sample().encode();
+        buf[1] = 99;
+        assert_eq!(decode_one(&buf), Err(DecodeError::BadOp(99)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(
+            txn_id in any::<u64>(),
+            table in any::<u16>(),
+            key in proptest::collection::vec(any::<u8>(), 0..64),
+            value in proptest::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let rec = LogRecord { txn_id, op: LogOp::Insert, table, key, value };
+            let (dec, used) = decode_one(&rec.encode()).unwrap();
+            prop_assert_eq!(&dec, &rec);
+            prop_assert_eq!(used, rec.encoded_len());
+        }
+
+        #[test]
+        fn prop_stream_concatenation(
+            n in 1usize..20,
+            seed in any::<u64>(),
+        ) {
+            let mut buf = Vec::new();
+            let mut expect = Vec::new();
+            for i in 0..n {
+                let rec = LogRecord {
+                    txn_id: seed.wrapping_add(i as u64),
+                    op: if i % 2 == 0 { LogOp::Insert } else { LogOp::Update },
+                    table: (i % 7) as u16,
+                    key: vec![i as u8; i % 16],
+                    value: vec![(i * 3) as u8; (i * 13) % 200],
+                };
+                rec.encode_into(&mut buf);
+                expect.push(rec);
+            }
+            let (recs, used) = decode_stream(&buf);
+            prop_assert_eq!(recs, expect);
+            prop_assert_eq!(used, buf.len());
+        }
+    }
+}

@@ -1,0 +1,599 @@
+//! The main-memory storage engine.
+//!
+//! An ERMIA-class main-memory database keeps all data in DRAM and persists
+//! only the transaction log (paper §1); the storage engine is therefore
+//! ordered in-memory tables plus a transaction layer producing WAL records.
+//! Tables are `BTreeMap`s over order-preserving encoded keys, so TPC-C's
+//! range lookups (customer-by-last-name, latest order, oldest new-order)
+//! are native scans.
+
+use crate::log::{LogOp, LogRecord, TableId};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A row image.
+pub type Row = Vec<u8>;
+/// An encoded, order-preserving key.
+pub type Key = Vec<u8>;
+
+#[derive(Debug, Clone)]
+struct Versioned {
+    row: Row,
+    version: u64,
+}
+
+/// One table: ordered rows + a version per row for validation.
+#[derive(Debug, Default)]
+pub struct Table {
+    rows: BTreeMap<Key, Versioned>,
+}
+
+impl Table {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Why a transaction failed to commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnError {
+    /// A row read by the transaction changed before commit.
+    Conflict {
+        /// Table of the conflicting read.
+        table: TableId,
+        /// Key of the conflicting read.
+        key: Key,
+    },
+    /// Insert of a key that already exists.
+    DuplicateKey(Key),
+    /// Update/delete of a missing key.
+    NotFound(Key),
+    /// Unknown table id.
+    NoSuchTable(TableId),
+}
+
+impl std::fmt::Display for TxnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxnError::Conflict { table, key } => {
+                write!(f, "validation conflict on table {table}, key {key:02X?}")
+            }
+            TxnError::DuplicateKey(k) => write!(f, "duplicate key {k:02X?}"),
+            TxnError::NotFound(k) => write!(f, "key not found {k:02X?}"),
+            TxnError::NoSuchTable(t) => write!(f, "no such table {t}"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+#[derive(Debug, Clone)]
+enum PendingWrite {
+    Insert(Key, Row),
+    Update(Key, Row),
+    Delete(Key),
+}
+
+/// An open transaction: buffered writes + read validation set.
+#[derive(Debug)]
+pub struct TxnCtx {
+    id: u64,
+    reads: Vec<(TableId, Key, Option<u64>)>,
+    writes: Vec<(TableId, PendingWrite)>,
+}
+
+impl TxnCtx {
+    /// Transaction id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Buffered write count.
+    pub fn write_count(&self) -> usize {
+        self.writes.len()
+    }
+}
+
+/// The database: a catalog of tables and the transaction layer.
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: Vec<Table>,
+    names: Vec<String>,
+    next_txn: u64,
+    commits: u64,
+    aborts: u64,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Create a table; returns its id.
+    pub fn create_table(&mut self, name: &str) -> TableId {
+        assert!(self.tables.len() < u16::MAX as usize);
+        self.tables.push(Table::default());
+        self.names.push(name.to_string());
+        (self.tables.len() - 1) as TableId
+    }
+
+    /// Look up a table id by name.
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.names.iter().position(|n| n == name).map(|i| i as TableId)
+    }
+
+    /// Borrow a table.
+    pub fn table(&self, id: TableId) -> Option<&Table> {
+        self.tables.get(id as usize)
+    }
+
+    /// Committed transactions so far.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// Aborted transactions so far.
+    pub fn aborts(&self) -> u64 {
+        self.aborts
+    }
+
+    /// Begin a transaction.
+    pub fn begin(&mut self) -> TxnCtx {
+        let id = self.next_txn;
+        self.next_txn += 1;
+        TxnCtx { id, reads: Vec::new(), writes: Vec::new() }
+    }
+
+    /// Transactional point read. Records the observed version for commit
+    /// validation. Sees the transaction's own buffered writes.
+    pub fn get(&self, ctx: &mut TxnCtx, table: TableId, key: &[u8]) -> Option<Row> {
+        // Own writes first (read-your-writes).
+        for (t, w) in ctx.writes.iter().rev() {
+            if *t != table {
+                continue;
+            }
+            match w {
+                PendingWrite::Insert(k, v) | PendingWrite::Update(k, v) if k == key => {
+                    return Some(v.clone());
+                }
+                PendingWrite::Delete(k) if k == key => return None,
+                _ => {}
+            }
+        }
+        let slot = self.tables.get(table as usize)?.rows.get(key);
+        ctx.reads.push((table, key.to_vec(), slot.map(|s| s.version)));
+        slot.map(|s| s.row.clone())
+    }
+
+    /// Transactional range scan over `[from, to)`, yielding up to `limit`
+    /// `(key, row)` pairs in key order. (Scans validate at item
+    /// granularity, not phantom-proof — adequate for the workload model.)
+    pub fn scan(
+        &self,
+        ctx: &mut TxnCtx,
+        table: TableId,
+        from: &[u8],
+        to: &[u8],
+        limit: usize,
+    ) -> Vec<(Key, Row)> {
+        let Some(t) = self.tables.get(table as usize) else { return Vec::new() };
+        let mut out = Vec::new();
+        for (k, v) in t.rows.range::<[u8], _>((Bound::Included(from), Bound::Excluded(to))) {
+            if out.len() >= limit {
+                break;
+            }
+            ctx.reads.push((table, k.clone(), Some(v.version)));
+            out.push((k.clone(), v.row.clone()));
+        }
+        out
+    }
+
+    /// Last `(key, row)` in `[from, to)` (e.g. a customer's latest order).
+    pub fn last_in_range(
+        &self,
+        ctx: &mut TxnCtx,
+        table: TableId,
+        from: &[u8],
+        to: &[u8],
+    ) -> Option<(Key, Row)> {
+        let t = self.tables.get(table as usize)?;
+        let (k, v) = t
+            .rows
+            .range::<[u8], _>((Bound::Included(from), Bound::Excluded(to)))
+            .next_back()?;
+        ctx.reads.push((table, k.clone(), Some(v.version)));
+        Some((k.clone(), v.row.clone()))
+    }
+
+    /// Buffer an insert.
+    pub fn insert(&self, ctx: &mut TxnCtx, table: TableId, key: Key, row: Row) {
+        ctx.writes.push((table, PendingWrite::Insert(key, row)));
+    }
+
+    /// Buffer an update.
+    pub fn update(&self, ctx: &mut TxnCtx, table: TableId, key: Key, row: Row) {
+        ctx.writes.push((table, PendingWrite::Update(key, row)));
+    }
+
+    /// Buffer a delete.
+    pub fn delete(&self, ctx: &mut TxnCtx, table: TableId, key: Key) {
+        ctx.writes.push((table, PendingWrite::Delete(key)));
+    }
+
+    /// Validate and apply the transaction. On success the buffered writes
+    /// are installed atomically and the WAL records (ending with a commit
+    /// marker) are returned for the log manager to persist.
+    pub fn commit(&mut self, ctx: TxnCtx) -> Result<Vec<LogRecord>, TxnError> {
+        // Validation: every read version unchanged.
+        for (table, key, version) in &ctx.reads {
+            let t = self
+                .tables
+                .get(*table as usize)
+                .ok_or(TxnError::NoSuchTable(*table))?;
+            let current = t.rows.get(key).map(|s| s.version);
+            if current != *version {
+                self.aborts += 1;
+                return Err(TxnError::Conflict { table: *table, key: key.clone() });
+            }
+        }
+        // Pre-check writes for structural errors (atomicity: reject before
+        // applying anything).
+        for (table, w) in &ctx.writes {
+            let t = self
+                .tables
+                .get(*table as usize)
+                .ok_or(TxnError::NoSuchTable(*table))?;
+            match w {
+                PendingWrite::Insert(k, _) => {
+                    if t.rows.contains_key(k) {
+                        self.aborts += 1;
+                        return Err(TxnError::DuplicateKey(k.clone()));
+                    }
+                }
+                PendingWrite::Update(k, _) | PendingWrite::Delete(k) => {
+                    if !t.rows.contains_key(k) {
+                        // Updating a row this txn itself inserts is legal.
+                        let own_insert = ctx.writes.iter().any(|(t2, w2)| {
+                            *t2 == *table && matches!(w2, PendingWrite::Insert(k2, _) if k2 == k)
+                        });
+                        if !own_insert {
+                            self.aborts += 1;
+                            return Err(TxnError::NotFound(k.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        // Apply + emit log records.
+        let mut records = Vec::with_capacity(ctx.writes.len() + 1);
+        let txn_id = ctx.id;
+        for (table, w) in ctx.writes {
+            let t = &mut self.tables[table as usize];
+            match w {
+                PendingWrite::Insert(k, v) => {
+                    records.push(LogRecord {
+                        txn_id,
+                        op: LogOp::Insert,
+                        table,
+                        key: k.clone(),
+                        value: v.clone(),
+                    });
+                    t.rows.insert(k, Versioned { row: v, version: txn_id });
+                }
+                PendingWrite::Update(k, v) => {
+                    records.push(LogRecord {
+                        txn_id,
+                        op: LogOp::Update,
+                        table,
+                        key: k.clone(),
+                        value: v.clone(),
+                    });
+                    t.rows.insert(k, Versioned { row: v, version: txn_id });
+                }
+                PendingWrite::Delete(k) => {
+                    records.push(LogRecord {
+                        txn_id,
+                        op: LogOp::Delete,
+                        table,
+                        key: k.clone(),
+                        value: Vec::new(),
+                    });
+                    t.rows.remove(&k);
+                }
+            }
+        }
+        records.push(LogRecord::commit(txn_id));
+        self.commits += 1;
+        Ok(records)
+    }
+
+    /// Apply one *committed* log record directly (recovery / replica redo).
+    /// Record application is idempotent for inserts/updates.
+    pub fn apply_record(&mut self, rec: &LogRecord) {
+        match rec.op {
+            LogOp::Commit => {}
+            LogOp::Insert | LogOp::Update => {
+                let table = rec.table as usize;
+                while self.tables.len() <= table {
+                    self.create_table(&format!("recovered_{}", self.tables.len()));
+                }
+                self.tables[table]
+                    .rows
+                    .insert(rec.key.clone(), Versioned { row: rec.value.clone(), version: rec.txn_id });
+            }
+            LogOp::Delete => {
+                if let Some(t) = self.tables.get_mut(rec.table as usize) {
+                    t.rows.remove(&rec.key);
+                }
+            }
+        }
+    }
+
+    /// Raw (non-transactional) read, e.g. for verification.
+    pub fn peek(&self, table: TableId, key: &[u8]) -> Option<&Row> {
+        self.tables.get(table as usize)?.rows.get(key).map(|v| &v.row)
+    }
+
+    /// The catalog's table names in id order (checkpoint encoding).
+    pub fn table_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Export every `(key, row)` of a table in key order (checkpointing).
+    pub fn export_table(&self, table: TableId) -> Vec<(Key, Row)> {
+        self.tables
+            .get(table as usize)
+            .map(|t| t.rows.iter().map(|(k, v)| (k.clone(), v.row.clone())).collect())
+            .unwrap_or_default()
+    }
+
+    /// Install a row directly (checkpoint restore); bypasses transactions.
+    pub fn install_row(&mut self, table: TableId, key: Key, row: Row) {
+        let t = self
+            .tables
+            .get_mut(table as usize)
+            .expect("install_row into missing table");
+        t.rows.insert(key, Versioned { row, version: 0 });
+    }
+
+    /// A stable fingerprint of all content (tables, keys, rows) for
+    /// primary/replica equivalence checks.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |data: &[u8]| {
+            for b in data {
+                h ^= *b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for (i, t) in self.tables.iter().enumerate() {
+            mix(&(i as u32).to_le_bytes());
+            for (k, v) in &t.rows {
+                mix(k);
+                mix(&v.row);
+            }
+        }
+        h
+    }
+}
+
+/// Order-preserving key encoding helpers (big-endian fixed-width fields).
+pub mod keys {
+    /// Append a `u32` big-endian component.
+    pub fn push_u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a `u64` big-endian component.
+    pub fn push_u64(out: &mut Vec<u8>, v: u64) {
+        out.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a fixed-width, zero-padded string component.
+    pub fn push_str(out: &mut Vec<u8>, s: &str, width: usize) {
+        let bytes = s.as_bytes();
+        let take = bytes.len().min(width);
+        out.extend_from_slice(&bytes[..take]);
+        out.extend(std::iter::repeat_n(0u8, width - take));
+    }
+
+    /// Compose a key from `u32` components.
+    pub fn composite(parts: &[u32]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(parts.len() * 4);
+        for p in parts {
+            push_u32(&mut out, *p);
+        }
+        out
+    }
+
+    /// The smallest key strictly greater than every key with prefix `p`
+    /// (for range scans: `[p, successor(p))`).
+    pub fn successor(p: &[u8]) -> Vec<u8> {
+        let mut out = p.to_vec();
+        for i in (0..out.len()).rev() {
+            if out[i] != 0xFF {
+                out[i] += 1;
+                out.truncate(i + 1);
+                return out;
+            }
+        }
+        out.push(0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_with_table() -> (Database, TableId) {
+        let mut db = Database::new();
+        let t = db.create_table("t");
+        (db, t)
+    }
+
+    #[test]
+    fn insert_commit_read_back() {
+        let (mut db, t) = db_with_table();
+        let mut ctx = db.begin();
+        db.insert(&mut ctx, t, b"k1".to_vec(), b"v1".to_vec());
+        let recs = db.commit(ctx).unwrap();
+        assert_eq!(recs.len(), 2, "insert + commit marker");
+        assert_eq!(recs.last().unwrap().op, LogOp::Commit);
+        let mut ctx2 = db.begin();
+        assert_eq!(db.get(&mut ctx2, t, b"k1"), Some(b"v1".to_vec()));
+        assert_eq!(db.commits(), 1);
+    }
+
+    #[test]
+    fn read_your_own_writes() {
+        let (mut db, t) = db_with_table();
+        let mut ctx = db.begin();
+        db.insert(&mut ctx, t, b"k".to_vec(), b"v0".to_vec());
+        assert_eq!(db.get(&mut ctx, t, b"k"), Some(b"v0".to_vec()));
+        db.update(&mut ctx, t, b"k".to_vec(), b"v1".to_vec());
+        assert_eq!(db.get(&mut ctx, t, b"k"), Some(b"v1".to_vec()));
+        db.delete(&mut ctx, t, b"k".to_vec());
+        assert_eq!(db.get(&mut ctx, t, b"k"), None);
+    }
+
+    #[test]
+    fn conflict_detected_on_changed_read() {
+        let (mut db, t) = db_with_table();
+        let mut setup = db.begin();
+        db.insert(&mut setup, t, b"k".to_vec(), b"v0".to_vec());
+        db.commit(setup).unwrap();
+
+        // T1 reads; T2 updates and commits; T1's commit must fail.
+        let mut t1 = db.begin();
+        let _ = db.get(&mut t1, t, b"k");
+        db.update(&mut t1, t, b"k".to_vec(), b"from-t1".to_vec());
+
+        let mut t2 = db.begin();
+        let _ = db.get(&mut t2, t, b"k");
+        db.update(&mut t2, t, b"k".to_vec(), b"from-t2".to_vec());
+        db.commit(t2).unwrap();
+
+        let err = db.commit(t1).unwrap_err();
+        assert!(matches!(err, TxnError::Conflict { .. }));
+        assert_eq!(db.peek(t, b"k").unwrap(), b"from-t2");
+        assert_eq!(db.aborts(), 1);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected_atomically() {
+        let (mut db, t) = db_with_table();
+        let mut setup = db.begin();
+        db.insert(&mut setup, t, b"k".to_vec(), b"v".to_vec());
+        db.commit(setup).unwrap();
+
+        let mut bad = db.begin();
+        db.insert(&mut bad, t, b"fresh".to_vec(), b"x".to_vec());
+        db.insert(&mut bad, t, b"k".to_vec(), b"dup".to_vec());
+        assert!(matches!(db.commit(bad), Err(TxnError::DuplicateKey(_))));
+        // Atomicity: the fresh insert must not have been applied.
+        assert!(db.peek(t, b"fresh").is_none());
+    }
+
+    #[test]
+    fn update_of_missing_key_rejected() {
+        let (mut db, t) = db_with_table();
+        let mut ctx = db.begin();
+        db.update(&mut ctx, t, b"ghost".to_vec(), b"v".to_vec());
+        assert!(matches!(db.commit(ctx), Err(TxnError::NotFound(_))));
+    }
+
+    #[test]
+    fn update_of_own_insert_allowed() {
+        let (mut db, t) = db_with_table();
+        let mut ctx = db.begin();
+        db.insert(&mut ctx, t, b"k".to_vec(), b"v0".to_vec());
+        db.update(&mut ctx, t, b"k".to_vec(), b"v1".to_vec());
+        db.commit(ctx).unwrap();
+        assert_eq!(db.peek(t, b"k").unwrap(), b"v1");
+    }
+
+    #[test]
+    fn scan_is_ordered_and_bounded() {
+        let (mut db, t) = db_with_table();
+        let mut setup = db.begin();
+        for i in [5u32, 1, 3, 2, 4] {
+            db.insert(&mut setup, t, keys::composite(&[i]), vec![i as u8]);
+        }
+        db.commit(setup).unwrap();
+        let mut ctx = db.begin();
+        let rows = db.scan(&mut ctx, t, &keys::composite(&[2]), &keys::composite(&[5]), 10);
+        let got: Vec<u8> = rows.iter().map(|(_, v)| v[0]).collect();
+        assert_eq!(got, vec![2, 3, 4]);
+        let limited = db.scan(&mut ctx, t, &keys::composite(&[0]), &keys::composite(&[99]), 2);
+        assert_eq!(limited.len(), 2);
+    }
+
+    #[test]
+    fn last_in_range_finds_latest() {
+        let (mut db, t) = db_with_table();
+        let mut setup = db.begin();
+        for o in 1..=7u32 {
+            db.insert(&mut setup, t, keys::composite(&[1, o]), vec![o as u8]);
+        }
+        db.insert(&mut setup, t, keys::composite(&[2, 1]), vec![0xFF]);
+        db.commit(setup).unwrap();
+        let mut ctx = db.begin();
+        let from = keys::composite(&[1]);
+        let to = keys::successor(&from);
+        let (_, row) = db.last_in_range(&mut ctx, t, &from, &to).unwrap();
+        assert_eq!(row, vec![7]);
+    }
+
+    #[test]
+    fn key_successor_properties() {
+        assert_eq!(keys::successor(&[1, 2, 3]), vec![1, 2, 4]);
+        assert_eq!(keys::successor(&[1, 0xFF]), vec![2]);
+        assert_eq!(keys::successor(&[0xFF, 0xFF]), vec![0xFF, 0xFF, 0]);
+        // successor(p) > any key prefixed by p
+        let p = vec![9u8, 9];
+        let mut extended = p.clone();
+        extended.extend_from_slice(&[0xFF; 8]);
+        assert!(keys::successor(&p) > extended);
+    }
+
+    #[test]
+    fn apply_record_replays_committed_state() {
+        let (mut db, t) = db_with_table();
+        let mut ctx = db.begin();
+        db.insert(&mut ctx, t, b"a".to_vec(), b"1".to_vec());
+        db.insert(&mut ctx, t, b"b".to_vec(), b"2".to_vec());
+        let recs = db.commit(ctx).unwrap();
+        let mut ctx2 = db.begin();
+        db.delete(&mut ctx2, t, b"a".to_vec());
+        let recs2 = db.commit(ctx2).unwrap();
+
+        let mut replica = Database::new();
+        replica.create_table("t");
+        for r in recs.iter().chain(recs2.iter()) {
+            replica.apply_record(r);
+        }
+        assert_eq!(replica.fingerprint(), db.fingerprint());
+        assert!(replica.peek(t, b"a").is_none());
+        assert_eq!(replica.peek(t, b"b").unwrap(), b"2");
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_content() {
+        let (mut db1, t) = db_with_table();
+        let mut db2 = Database::new();
+        db2.create_table("t");
+        assert_eq!(db1.fingerprint(), db2.fingerprint());
+        let mut ctx = db1.begin();
+        db1.insert(&mut ctx, t, b"x".to_vec(), b"y".to_vec());
+        db1.commit(ctx).unwrap();
+        assert_ne!(db1.fingerprint(), db2.fingerprint());
+    }
+}

@@ -1,0 +1,171 @@
+//! NVMe command set: I/O, admin, and vendor-specific commands.
+//!
+//! The Villars device "is fully compatible with the NVMe standard, even with
+//! our extensions" (paper §1): all X-SSD control — transport roles, ring
+//! configuration, scheduling mode — travels as *vendor-specific* admin
+//! commands (§4.2), which the standard reserves opcode space for.
+
+use serde::{Deserialize, Serialize};
+
+/// Command identifier, unique within a submission queue.
+pub type CommandId = u16;
+
+/// Logical block address.
+pub type Lba = u64;
+
+/// An I/O-queue command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IoCommand {
+    /// Read `blocks` logical blocks starting at `lba`.
+    Read {
+        /// First block.
+        lba: Lba,
+        /// Number of blocks.
+        blocks: u32,
+    },
+    /// Write `blocks` logical blocks starting at `lba`.
+    Write {
+        /// First block.
+        lba: Lba,
+        /// Number of blocks.
+        blocks: u32,
+    },
+    /// Flush the volatile write cache to media.
+    Flush,
+}
+
+/// A vendor-specific command: an opcode in the vendor range plus the six
+/// command dwords (CDW10–CDW15) the standard hands through untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VendorCommand {
+    /// Vendor opcode (the standard reserves 0xC0–0xFF).
+    pub opcode: u8,
+    /// CDW10–CDW15 payload.
+    pub dwords: [u32; 6],
+}
+
+impl VendorCommand {
+    /// Build a vendor command; panics if the opcode is outside the vendor
+    /// range.
+    pub fn new(opcode: u8, dwords: [u32; 6]) -> Self {
+        assert!(opcode >= 0xC0, "vendor opcodes start at 0xC0, got {opcode:#x}");
+        VendorCommand { opcode, dwords }
+    }
+}
+
+/// An admin-queue command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdminCommand {
+    /// Identify controller/namespace.
+    Identify,
+    /// Get a log page (health, error log).
+    GetLogPage,
+    /// Set a feature (arbitration, interrupt coalescing, ...).
+    SetFeatures {
+        /// Feature identifier.
+        fid: u8,
+        /// Feature value.
+        value: u32,
+    },
+    /// A vendor-specific extension (the X-SSD control plane).
+    Vendor(VendorCommand),
+}
+
+/// Any command, as it sits in a submission queue entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommandKind {
+    /// I/O queue command.
+    Io(IoCommand),
+    /// Admin queue command.
+    Admin(AdminCommand),
+}
+
+/// A submission-queue entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Command {
+    /// Command identifier echoed in the completion.
+    pub cid: CommandId,
+    /// The operation.
+    pub kind: CommandKind,
+}
+
+/// NVMe status codes (the subset the models produce).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Status {
+    /// Command completed successfully.
+    Success,
+    /// Opcode not supported.
+    InvalidOpcode,
+    /// Field out of range (bad queue id, bad feature).
+    InvalidField,
+    /// LBA beyond namespace capacity.
+    LbaOutOfRange,
+    /// Unrecoverable media error (uncorrectable ECC).
+    MediaError,
+    /// Internal device error.
+    InternalError,
+    /// Vendor-specific failure (X-SSD control-plane rejection).
+    VendorError,
+}
+
+impl Status {
+    /// Whether the status indicates success.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Status::Success)
+    }
+}
+
+/// A completion-queue entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompletionEntry {
+    /// Echo of the command id.
+    pub cid: CommandId,
+    /// Outcome.
+    pub status: Status,
+    /// Command-specific result dword (e.g. a vendor command's return value).
+    pub result: u32,
+}
+
+impl CompletionEntry {
+    /// A successful completion with no result payload.
+    pub fn ok(cid: CommandId) -> Self {
+        CompletionEntry { cid, status: Status::Success, result: 0 }
+    }
+
+    /// A failed completion.
+    pub fn err(cid: CommandId, status: Status) -> Self {
+        CompletionEntry { cid, status, result: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vendor_opcode_range_enforced() {
+        let v = VendorCommand::new(0xC1, [1, 2, 3, 4, 5, 6]);
+        assert_eq!(v.opcode, 0xC1);
+    }
+
+    #[test]
+    #[should_panic(expected = "vendor opcodes")]
+    fn non_vendor_opcode_panics() {
+        let _ = VendorCommand::new(0x01, [0; 6]);
+    }
+
+    #[test]
+    fn status_predicates() {
+        assert!(Status::Success.is_ok());
+        assert!(!Status::MediaError.is_ok());
+        assert!(CompletionEntry::ok(7).status.is_ok());
+        assert_eq!(CompletionEntry::err(7, Status::LbaOutOfRange).cid, 7);
+    }
+
+    #[test]
+    fn commands_are_copy_and_comparable() {
+        let c = Command { cid: 1, kind: CommandKind::Io(IoCommand::Write { lba: 0, blocks: 8 }) };
+        let d = c;
+        assert_eq!(c, d);
+    }
+}

@@ -1,0 +1,29 @@
+//! # nvme — the NVMe protocol layer
+//!
+//! "Today's main conduit between devices and the OS/applications is a
+//! standard protocol called NVMe" (paper §2.1). This crate provides:
+//!
+//! - [`command`] — the I/O, admin, and vendor-specific command set (the
+//!   X-SSD control plane rides on vendor commands, §4.2);
+//! - [`queue`] — submission/completion rings and doorbells;
+//! - [`namespace`] — the logical-block address space;
+//! - [`regions`] — CMB/PMR descriptors (§2.3);
+//! - [`controller`] — the [`NvmeController`] device contract and the
+//!   blocking host [`NvmeDriver`] with explicit syscall/interrupt costs.
+
+#![warn(missing_docs)]
+
+pub mod command;
+pub mod controller;
+pub mod namespace;
+pub mod queue;
+pub mod regions;
+
+pub use command::{
+    AdminCommand, Command, CommandId, CommandKind, CompletionEntry, IoCommand, Lba, Status,
+    VendorCommand,
+};
+pub use controller::{HostCosts, IoResult, NvmeController, NvmeDriver, QueuedDriver};
+pub use namespace::Namespace;
+pub use queue::{CompletionQueue, QueueError, QueueId, QueuePair, SubmissionQueue};
+pub use regions::{BackingClass, CmbDescriptor};

@@ -1,0 +1,76 @@
+//! Controller Memory Buffer / Persistent Memory Region descriptors.
+//!
+//! Paper §2.3: CMB optionally exposes device-internal memory via MMIO; PMR
+//! additionally promises persistence. "For our purposes, we consider CMB and
+//! PMR as functionally equivalent" — the descriptor carries a persistence
+//! flag instead of duplicating the machinery.
+
+use serde::{Deserialize, Serialize};
+
+/// What memory technology backs the exposed region (paper §4.1 evaluates
+/// SRAM and DRAM; Z-NAND/Optane are mentioned as drop-ins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BackingClass {
+    /// FPGA BlockRAM: 128-bit @ 250 MHz = 4 GB/s, small (128 KiB).
+    Sram,
+    /// Device DRAM (shared with the data buffer): 64-bit @ 250 MHz = 2 GB/s
+    /// raw, derated by sharing; larger (128 MiB).
+    Dram,
+}
+
+/// Descriptor of an exposed controller memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CmbDescriptor {
+    /// Region size in bytes.
+    pub size: u64,
+    /// Backing technology.
+    pub backing: BackingClass,
+    /// Whether writes are persistent on arrival (PMR semantics / battery
+    /// backing). The Villars fast side sets this.
+    pub persistent: bool,
+    /// Whether the host may issue reads against the region (RDS).
+    pub reads_supported: bool,
+    /// Whether the host may issue writes against the region (WDS).
+    pub writes_supported: bool,
+}
+
+impl CmbDescriptor {
+    /// The Villars SRAM configuration from the paper: 128 KiB of BlockRAM.
+    pub fn villars_sram() -> Self {
+        CmbDescriptor {
+            size: 128 << 10,
+            backing: BackingClass::Sram,
+            persistent: true,
+            reads_supported: true,
+            writes_supported: true,
+        }
+    }
+
+    /// The Villars DRAM configuration from the paper: 128 MiB carved from
+    /// the data-buffer pool.
+    pub fn villars_dram() -> Self {
+        CmbDescriptor {
+            size: 128 << 20,
+            backing: BackingClass::Dram,
+            persistent: true,
+            reads_supported: true,
+            writes_supported: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configurations() {
+        let s = CmbDescriptor::villars_sram();
+        assert_eq!(s.size, 131072);
+        assert_eq!(s.backing, BackingClass::Sram);
+        assert!(s.persistent);
+        let d = CmbDescriptor::villars_dram();
+        assert_eq!(d.size, 128 << 20);
+        assert_eq!(d.backing, BackingClass::Dram);
+    }
+}

@@ -1,0 +1,255 @@
+//! PCIe link bandwidth model.
+//!
+//! The Villars prototype constrains its interface to ×4 Gen2 — 2 GB/s —
+//! "to better reflect the fact that the full PCIe bandwidth may seldom be
+//! available for CMB to consume" (paper §6). This module provides the
+//! generation/lane-width arithmetic and a [`PcieLink`] that serializes TLPs.
+
+use crate::tlp::{Tlp, TlpOverhead};
+use serde::{Deserialize, Serialize};
+use simkit::{Bandwidth, Grant, Link, LinkStats, SimDuration, SimTime};
+
+/// PCIe protocol generation; determines per-lane raw rate and line encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Generation {
+    /// 2.5 GT/s, 8b/10b encoding.
+    Gen1,
+    /// 5.0 GT/s, 8b/10b encoding.
+    Gen2,
+    /// 8.0 GT/s, 128b/130b encoding.
+    Gen3,
+    /// 16.0 GT/s, 128b/130b encoding.
+    Gen4,
+    /// 32.0 GT/s, 128b/130b encoding.
+    Gen5,
+}
+
+impl Generation {
+    /// Effective (post-encoding) bandwidth per lane, decimal GB/s.
+    pub fn gbytes_per_sec_per_lane(self) -> f64 {
+        match self {
+            Generation::Gen1 => 2.5 / 10.0,       // 0.25 GB/s
+            Generation::Gen2 => 5.0 / 10.0,       // 0.5 GB/s
+            Generation::Gen3 => 8.0 * (128.0 / 130.0) / 8.0,
+            Generation::Gen4 => 16.0 * (128.0 / 130.0) / 8.0,
+            Generation::Gen5 => 32.0 * (128.0 / 130.0) / 8.0,
+        }
+    }
+}
+
+/// Number of lanes (×1 .. ×16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaneWidth(pub u8);
+
+impl LaneWidth {
+    /// ×1 link.
+    pub const X1: LaneWidth = LaneWidth(1);
+    /// ×4 link (the Villars configuration).
+    pub const X4: LaneWidth = LaneWidth(4);
+    /// ×8 link (the unconstrained Cosmos+ configuration).
+    pub const X8: LaneWidth = LaneWidth(8);
+    /// ×16 link.
+    pub const X16: LaneWidth = LaneWidth(16);
+}
+
+/// Static description of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Protocol generation.
+    pub generation: Generation,
+    /// Lane count.
+    pub lanes: LaneWidth,
+    /// Per-TLP fixed overhead.
+    pub overhead: TlpOverhead,
+    /// Propagation latency added to every packet (switch + flight time).
+    pub propagation: SimDuration,
+}
+
+impl LinkConfig {
+    /// The Villars host link: ×4 Gen2 = 2 GB/s (paper §6).
+    pub fn villars_host() -> Self {
+        LinkConfig {
+            generation: Generation::Gen2,
+            lanes: LaneWidth::X4,
+            overhead: TlpOverhead::default(),
+            propagation: SimDuration::from_nanos(150),
+        }
+    }
+
+    /// The unconstrained Cosmos+ link: ×8 Gen2 = 4 GB/s.
+    pub fn cosmos_native() -> Self {
+        LinkConfig { lanes: LaneWidth::X8, ..Self::villars_host() }
+    }
+
+    /// Raw bandwidth of the configured link.
+    pub fn bandwidth(&self) -> Bandwidth {
+        Bandwidth::gbytes_per_sec(self.generation.gbytes_per_sec_per_lane() * self.lanes.0 as f64)
+    }
+}
+
+/// A serializing PCIe link carrying TLPs.
+///
+/// Latency of a packet = queueing (FIFO behind in-flight TLPs)
+/// + serialization (wire bytes / bandwidth) + propagation.
+#[derive(Debug, Clone)]
+pub struct PcieLink {
+    config: LinkConfig,
+    wire: Link,
+}
+
+impl PcieLink {
+    /// Build a link from its static description.
+    pub fn new(config: LinkConfig) -> Self {
+        // Overhead is accounted per-TLP by `send`, not per-message by the
+        // inner Link, so the inner link gets zero fixed overhead.
+        let wire = Link::new(config.bandwidth(), 0);
+        PcieLink { config, wire }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Transmit one TLP. Returns the window whose `end` is the instant the
+    /// packet has fully arrived at the far side (serialization done +
+    /// propagation).
+    pub fn send(&mut self, now: SimTime, tlp: &Tlp) -> Grant {
+        let overhead = tlp.wire_bytes(&self.config.overhead) - tlp.payload_data_bytes();
+        let g = self.wire.transmit_with_overhead(now, tlp.payload_data_bytes(), overhead);
+        Grant { start: g.start, end: g.end + self.config.propagation }
+    }
+
+    /// Transmit a burst of `n` identical write TLPs of `payload` bytes each,
+    /// back to back. Returns the arrival instant of the last packet. This is
+    /// the fast path used by the DMA and WC models to avoid allocating one
+    /// `Tlp` per packet.
+    pub fn send_write_burst(&mut self, now: SimTime, payload: u32, n: u64) -> Grant {
+        assert!(n > 0, "burst must contain at least one TLP");
+        let per_tlp = self.config.overhead.per_tlp_bytes();
+        let mut first_start = None;
+        let mut last_end = now;
+        for _ in 0..n {
+            let g = self.wire.transmit_with_overhead(last_end, payload as u64, per_tlp);
+            first_start.get_or_insert(g.start);
+            last_end = g.end;
+        }
+        Grant { start: first_start.unwrap_or(now), end: last_end + self.config.propagation }
+    }
+
+    /// Round-trip read: a read-request TLP travels out, the completion with
+    /// `len` payload travels back. Returns when the completion data is fully
+    /// received.
+    pub fn read_round_trip(&mut self, now: SimTime, addr: u64, len: u32) -> Grant {
+        let req = self.send(now, &Tlp::read(addr, len));
+        let comp = self.send(req.end, &Tlp::completion(addr, len));
+        Grant { start: req.start, end: comp.end }
+    }
+
+    /// The instant the wire next goes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.wire.busy_until()
+    }
+
+    /// Cumulative traffic statistics.
+    pub fn stats(&self) -> LinkStats {
+        self.wire.stats()
+    }
+
+    /// Wire utilization over `[0, horizon]`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        self.wire.utilization(horizon)
+    }
+}
+
+impl Tlp {
+    /// Data bytes this packet carries in its travel direction (reads carry
+    /// none; the completion carries them instead).
+    pub fn payload_data_bytes(&self) -> u64 {
+        match self.kind {
+            crate::tlp::TlpKind::MemRead => 0,
+            _ => self.payload as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tlp::TlpKind;
+
+    #[test]
+    fn generation_rates() {
+        assert!((Generation::Gen2.gbytes_per_sec_per_lane() - 0.5).abs() < 1e-12);
+        assert!((Generation::Gen3.gbytes_per_sec_per_lane() - 0.985).abs() < 0.01);
+    }
+
+    #[test]
+    fn villars_link_is_2_gbps() {
+        let cfg = LinkConfig::villars_host();
+        assert!((cfg.bandwidth().as_gbytes_per_sec() - 2.0).abs() < 1e-9);
+        let cfg8 = LinkConfig::cosmos_native();
+        assert!((cfg8.bandwidth().as_gbytes_per_sec() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn send_costs_serialization_plus_propagation() {
+        let mut link = PcieLink::new(LinkConfig {
+            generation: Generation::Gen2,
+            lanes: LaneWidth::X4, // 2 B/ns
+            overhead: TlpOverhead::default(),
+            propagation: SimDuration::from_nanos(100),
+        });
+        let g = link.send(SimTime::ZERO, &Tlp::write(0x0, 64));
+        // (64 + 24) / 2 = 44ns serialization + 100ns propagation.
+        assert_eq!(g.end.as_nanos(), 144);
+    }
+
+    #[test]
+    fn packets_queue_fifo() {
+        let mut link = PcieLink::new(LinkConfig::villars_host());
+        let a = link.send(SimTime::ZERO, &Tlp::write(0, 232)); // 256 wire bytes -> 128ns
+        let b = link.send(SimTime::ZERO, &Tlp::write(0, 232));
+        assert_eq!(a.end.as_nanos(), 128 + 150);
+        assert_eq!(b.start.as_nanos(), 128);
+        assert_eq!(b.end.as_nanos(), 256 + 150);
+    }
+
+    #[test]
+    fn burst_matches_individual_sends() {
+        let mut a = PcieLink::new(LinkConfig::villars_host());
+        let mut b = PcieLink::new(LinkConfig::villars_host());
+        let burst = a.send_write_burst(SimTime::ZERO, 64, 10);
+        let mut end = SimTime::ZERO;
+        for _ in 0..10 {
+            // Individual sends chained serially (next starts when wire frees).
+            let g = b.send(end, &Tlp::write(0, 64));
+            end = g.end - b.config.propagation;
+        }
+        assert_eq!(burst.end, end + b.config.propagation);
+        assert_eq!(a.stats().payload_bytes, b.stats().payload_bytes);
+    }
+
+    #[test]
+    fn read_round_trip_includes_completion_payload() {
+        let mut link = PcieLink::new(LinkConfig {
+            generation: Generation::Gen2,
+            lanes: LaneWidth::X4,
+            overhead: TlpOverhead::default(),
+            propagation: SimDuration::from_nanos(0),
+        });
+        let g = link.read_round_trip(SimTime::ZERO, 0x0, 8);
+        // Request: 24B -> 12ns. Completion: 32B -> 16ns. Total 28ns.
+        assert_eq!(g.end.as_nanos(), 28);
+        assert_eq!(link.stats().messages, 2);
+    }
+
+    #[test]
+    fn utilization_reflects_traffic() {
+        let mut link = PcieLink::new(LinkConfig::villars_host());
+        // 2000 wire bytes at 2 B/ns = 1000 ns busy.
+        link.send(SimTime::ZERO, &Tlp { kind: TlpKind::MemWrite, addr: 0, payload: 1976 });
+        let u = link.utilization(SimTime::from_nanos(2000));
+        assert!((u - 0.5).abs() < 0.01);
+    }
+}

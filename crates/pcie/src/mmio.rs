@@ -1,0 +1,211 @@
+//! MMIO address space: BAR windows and routing.
+//!
+//! The CMB is "an internal memory area exposed to applications via memory
+//! mapping" (paper §2.3): the device claims a Base Address Register window
+//! and loads/stores against it become PCIe TLPs. This module models the
+//! fabric's address map so TLPs can be routed to the owning device region.
+
+use crate::tlp::BusAddr;
+use serde::{Deserialize, Serialize};
+
+/// Identifies a device function on the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DeviceId(pub u16);
+
+/// What an address window maps to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegionKind {
+    /// NVMe register file (doorbells, controller config).
+    NvmeRegisters,
+    /// Controller Memory Buffer / Persistent Memory Region data window.
+    Cmb,
+    /// CMB control window (credit counter, ring head/tail, status registers).
+    CmbControl,
+    /// An NTB translation window into a peer fabric.
+    NtbWindow,
+}
+
+/// One mapped window of the bus address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// Owning device.
+    pub device: DeviceId,
+    /// Window role.
+    pub kind: RegionKind,
+    /// First bus address of the window.
+    pub base: BusAddr,
+    /// Window length in bytes.
+    pub len: u64,
+}
+
+impl Region {
+    /// Whether `addr` falls inside this window.
+    pub fn contains(&self, addr: BusAddr) -> bool {
+        addr >= self.base && addr - self.base < self.len
+    }
+
+    /// Offset of `addr` within the window. Panics if outside.
+    pub fn offset(&self, addr: BusAddr) -> u64 {
+        assert!(self.contains(addr), "address {addr:#x} outside region");
+        addr - self.base
+    }
+}
+
+/// Errors from address-map operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MmioError {
+    /// The requested window overlaps an existing one.
+    Overlap {
+        /// Base of the conflicting existing window.
+        existing_base: BusAddr,
+    },
+    /// No window covers the address.
+    Unmapped(BusAddr),
+}
+
+impl std::fmt::Display for MmioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmioError::Overlap { existing_base } => {
+                write!(f, "window overlaps existing region at {existing_base:#x}")
+            }
+            MmioError::Unmapped(a) => write!(f, "no region maps address {a:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for MmioError {}
+
+/// The fabric's address map: an allocator plus router.
+#[derive(Debug, Clone, Default)]
+pub struct AddressMap {
+    regions: Vec<Region>,
+    next_free: BusAddr,
+}
+
+/// Alignment for allocated windows (1 MiB keeps the math simple and mimics
+/// BAR alignment rules).
+const BAR_ALIGN: u64 = 1 << 20;
+
+impl AddressMap {
+    /// An empty map whose allocations start at 4 GiB (above typical RAM
+    /// windows, purely cosmetic).
+    pub fn new() -> Self {
+        AddressMap { regions: Vec::new(), next_free: 4 << 30 }
+    }
+
+    /// Allocate a fresh window of at least `len` bytes for `device`/`kind`.
+    pub fn allocate(&mut self, device: DeviceId, kind: RegionKind, len: u64) -> Region {
+        let aligned = len.div_ceil(BAR_ALIGN) * BAR_ALIGN;
+        let region = Region { device, kind, base: self.next_free, len };
+        self.next_free += aligned.max(BAR_ALIGN);
+        self.regions.push(region);
+        region
+    }
+
+    /// Map a window at an explicit base (used by NTB peers that mirror each
+    /// other's layouts). Fails on overlap.
+    pub fn map_at(
+        &mut self,
+        device: DeviceId,
+        kind: RegionKind,
+        base: BusAddr,
+        len: u64,
+    ) -> Result<Region, MmioError> {
+        for r in &self.regions {
+            let disjoint = base + len <= r.base || r.base + r.len <= base;
+            if !disjoint {
+                return Err(MmioError::Overlap { existing_base: r.base });
+            }
+        }
+        let region = Region { device, kind, base, len };
+        self.regions.push(region);
+        self.next_free = self.next_free.max(base + len);
+        Ok(region)
+    }
+
+    /// Route an address to its owning window.
+    pub fn route(&self, addr: BusAddr) -> Result<&Region, MmioError> {
+        self.regions
+            .iter()
+            .find(|r| r.contains(addr))
+            .ok_or(MmioError::Unmapped(addr))
+    }
+
+    /// All windows owned by `device`.
+    pub fn regions_of(&self, device: DeviceId) -> impl Iterator<Item = &Region> {
+        self.regions.iter().filter(move |r| r.device == device)
+    }
+
+    /// Total number of mapped windows.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True if no windows are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_is_disjoint_and_routable() {
+        let mut map = AddressMap::new();
+        let d0 = DeviceId(0);
+        let d1 = DeviceId(1);
+        let cmb = map.allocate(d0, RegionKind::Cmb, 128 << 10);
+        let ctl = map.allocate(d0, RegionKind::CmbControl, 4096);
+        let peer = map.allocate(d1, RegionKind::Cmb, 128 << 20);
+        assert_ne!(cmb.base, ctl.base);
+        assert_eq!(map.route(cmb.base + 17).unwrap().kind, RegionKind::Cmb);
+        assert_eq!(map.route(ctl.base).unwrap().kind, RegionKind::CmbControl);
+        assert_eq!(map.route(peer.base + (64 << 20)).unwrap().device, d1);
+    }
+
+    #[test]
+    fn unmapped_addresses_error() {
+        let map = AddressMap::new();
+        assert_eq!(map.route(0x1234), Err(MmioError::Unmapped(0x1234)));
+    }
+
+    #[test]
+    fn region_offset_math() {
+        let r = Region { device: DeviceId(0), kind: RegionKind::Cmb, base: 0x1000, len: 0x100 };
+        assert!(r.contains(0x1000));
+        assert!(r.contains(0x10FF));
+        assert!(!r.contains(0x1100));
+        assert_eq!(r.offset(0x1080), 0x80);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside region")]
+    fn offset_outside_panics() {
+        let r = Region { device: DeviceId(0), kind: RegionKind::Cmb, base: 0x1000, len: 0x100 };
+        let _ = r.offset(0x2000);
+    }
+
+    #[test]
+    fn explicit_mapping_detects_overlap() {
+        let mut map = AddressMap::new();
+        map.map_at(DeviceId(0), RegionKind::NtbWindow, 0x10_0000, 0x1000).unwrap();
+        let err = map.map_at(DeviceId(1), RegionKind::NtbWindow, 0x10_0800, 0x1000);
+        assert!(matches!(err, Err(MmioError::Overlap { .. })));
+        // Adjacent (non-overlapping) is fine.
+        map.map_at(DeviceId(1), RegionKind::NtbWindow, 0x10_1000, 0x1000).unwrap();
+    }
+
+    #[test]
+    fn regions_of_filters_by_device() {
+        let mut map = AddressMap::new();
+        map.allocate(DeviceId(0), RegionKind::Cmb, 4096);
+        map.allocate(DeviceId(1), RegionKind::Cmb, 4096);
+        map.allocate(DeviceId(0), RegionKind::NvmeRegisters, 4096);
+        assert_eq!(map.regions_of(DeviceId(0)).count(), 2);
+        assert_eq!(map.regions_of(DeviceId(1)).count(), 1);
+        assert_eq!(map.len(), 3);
+    }
+}

@@ -1,0 +1,249 @@
+//! Non-Transparent Bridging between PCIe fabrics.
+//!
+//! NTB interconnects the PCIe systems of different hosts (paper §2.3): a
+//! write landing in a local NTB window is address-translated and re-emitted
+//! on the peer fabric. The paper chose NTB over RDMA because forwarding TLPs
+//! "involves very little additional effort, mainly address translations and
+//! sometimes minor formatting" — which is exactly what this model costs:
+//! a per-hop latency plus serialization on the inter-host link, with a small
+//! translation-prefix overhead per TLP.
+
+use crate::link::{LinkConfig, PcieLink};
+use crate::tlp::{BusAddr, Tlp};
+use serde::{Deserialize, Serialize};
+use simkit::{Grant, LinkStats, SimDuration, SimTime};
+
+/// Identifies a host/fabric connected by NTB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HostId(pub u16);
+
+/// One address-translation window: `[local_base, local_base+len)` on the
+/// local fabric forwards to `[remote_base, ...)` on `remote_host`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TranslationWindow {
+    /// Window base on the local fabric.
+    pub local_base: BusAddr,
+    /// Window length.
+    pub len: u64,
+    /// Peer fabric.
+    pub remote_host: HostId,
+    /// Base address on the peer fabric.
+    pub remote_base: BusAddr,
+}
+
+impl TranslationWindow {
+    /// Translate a local address to the peer fabric. Returns `None` if the
+    /// address is outside the window.
+    pub fn translate(&self, addr: BusAddr) -> Option<(HostId, BusAddr)> {
+        if addr >= self.local_base && addr - self.local_base < self.len {
+            Some((self.remote_host, self.remote_base + (addr - self.local_base)))
+        } else {
+            None
+        }
+    }
+}
+
+/// Timing characteristics of the NTB adapter pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NtbConfig {
+    /// The inter-host cable/link (defaults to ×8 Gen3-class, the Dolphin
+    /// PXH830's envelope).
+    pub link: LinkConfig,
+    /// One-way latency added by the bridge pair (translation + retimers).
+    pub hop_latency: SimDuration,
+    /// Extra bytes prepended per forwarded TLP (translation prefix /
+    /// "minor formatting", paper §2.3).
+    pub translation_overhead_bytes: u64,
+    /// Whether the adapter multicasts one ingress TLP to several peers in
+    /// hardware. The paper's prototype deliberately does NOT use multicast:
+    /// "for simplicity we chose not to use it" — the primary creates one
+    /// mirror flow per secondary.
+    pub hardware_multicast: bool,
+}
+
+impl Default for NtbConfig {
+    fn default() -> Self {
+        NtbConfig {
+            link: LinkConfig {
+                generation: crate::link::Generation::Gen3,
+                // The paper daisy-chains Dolphin PXH830 adapters; the
+                // effective per-flow share is x4 Gen3 (~3.9 GB/s).
+                lanes: crate::link::LaneWidth::X4,
+                overhead: crate::tlp::TlpOverhead::default(),
+                propagation: SimDuration::from_nanos(0),
+            },
+            // Application-level one-way latency of a daisy-chained NTB
+            // path: adapter + cable + intermediate switch hops.
+            hop_latency: SimDuration::from_nanos(1_400),
+            translation_overhead_bytes: 4,
+            hardware_multicast: false,
+        }
+    }
+}
+
+/// A point-to-point NTB connection from a local fabric to one peer fabric.
+///
+/// Each secondary gets its own `NtbPort` on the primary (one mirror flow per
+/// secondary, paper §4.2), so per-secondary pacing is independent.
+#[derive(Debug, Clone)]
+pub struct NtbPort {
+    config: NtbConfig,
+    peer: HostId,
+    windows: Vec<TranslationWindow>,
+    wire: PcieLink,
+    forwarded_tlps: u64,
+}
+
+impl NtbPort {
+    /// Open a port towards `peer`.
+    pub fn new(config: NtbConfig, peer: HostId) -> Self {
+        let wire = PcieLink::new(config.link);
+        NtbPort { config, peer, windows: Vec::new(), wire, forwarded_tlps: 0 }
+    }
+
+    /// The peer this port reaches.
+    pub fn peer(&self) -> HostId {
+        self.peer
+    }
+
+    /// Add a translation window. Windows must target this port's peer.
+    pub fn add_window(&mut self, w: TranslationWindow) {
+        assert_eq!(w.remote_host, self.peer, "window targets a different peer");
+        self.windows.push(w);
+    }
+
+    /// Translate a local address through this port's windows.
+    pub fn translate(&self, addr: BusAddr) -> Option<BusAddr> {
+        self.windows.iter().find_map(|w| w.translate(addr).map(|(_, a)| a))
+    }
+
+    /// Forward one TLP to the peer. Returns the translated packet and the
+    /// window whose `end` is when it has fully arrived on the peer fabric.
+    ///
+    /// Returns `None` if no window covers the address (the bridge drops it,
+    /// as real NTBs do for unmapped traffic).
+    pub fn forward(&mut self, now: SimTime, tlp: &Tlp) -> Option<(Tlp, Grant)> {
+        let remote_addr = self.translate(tlp.addr)?;
+        let g = self.wire.send(now, &Tlp { addr: remote_addr, ..*tlp });
+        self.forwarded_tlps += 1;
+        let extra = self
+            .config
+            .link
+            .bandwidth()
+            .transfer_time(self.config.translation_overhead_bytes);
+        let arrive = g.end + self.config.hop_latency + extra;
+        Some((Tlp { addr: remote_addr, ..*tlp }, Grant { start: g.start, end: arrive }))
+    }
+
+    /// Forward a burst of `n` write TLPs of `payload` bytes each into the
+    /// window containing `addr`. Used by the transport module's mirror flow.
+    pub fn forward_burst(
+        &mut self,
+        now: SimTime,
+        addr: BusAddr,
+        payload: u32,
+        n: u64,
+    ) -> Option<Grant> {
+        let _remote = self.translate(addr)?;
+        let g = self.wire.send_write_burst(now, payload, n);
+        self.forwarded_tlps += n;
+        Some(Grant { start: g.start, end: g.end + self.config.hop_latency })
+    }
+
+    /// Number of TLPs forwarded so far.
+    pub fn forwarded_tlps(&self) -> u64 {
+        self.forwarded_tlps
+    }
+
+    /// Traffic statistics of the inter-host wire.
+    pub fn stats(&self) -> LinkStats {
+        self.wire.stats()
+    }
+
+    /// Wire utilization over `[0, horizon]`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        self.wire.utilization(horizon)
+    }
+
+    /// The configured hop latency (exposed for experiment reporting).
+    pub fn hop_latency(&self) -> SimDuration {
+        self.config.hop_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn port() -> NtbPort {
+        let mut p = NtbPort::new(NtbConfig::default(), HostId(1));
+        p.add_window(TranslationWindow {
+            local_base: 0x8000_0000,
+            len: 1 << 20,
+            remote_host: HostId(1),
+            remote_base: 0x4000_0000,
+        });
+        p
+    }
+
+    #[test]
+    fn translation_maps_offsets() {
+        let w = TranslationWindow {
+            local_base: 0x1000,
+            len: 0x100,
+            remote_host: HostId(2),
+            remote_base: 0x9000,
+        };
+        assert_eq!(w.translate(0x1080), Some((HostId(2), 0x9080)));
+        assert_eq!(w.translate(0x1100), None);
+        assert_eq!(w.translate(0x0FFF), None);
+    }
+
+    #[test]
+    fn forward_translates_and_costs_hop() {
+        let mut p = port();
+        let (tlp, g) = p.forward(SimTime::ZERO, &Tlp::write(0x8000_0040, 64)).unwrap();
+        assert_eq!(tlp.addr, 0x4000_0040);
+        // Must include at least the hop latency.
+        assert!(g.end.as_nanos() >= 900);
+        assert_eq!(p.forwarded_tlps(), 1);
+    }
+
+    #[test]
+    fn unmapped_traffic_is_dropped() {
+        let mut p = port();
+        assert!(p.forward(SimTime::ZERO, &Tlp::write(0x1234, 8)).is_none());
+        assert_eq!(p.forwarded_tlps(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different peer")]
+    fn window_peer_mismatch_panics() {
+        let mut p = NtbPort::new(NtbConfig::default(), HostId(1));
+        p.add_window(TranslationWindow {
+            local_base: 0,
+            len: 4096,
+            remote_host: HostId(9),
+            remote_base: 0,
+        });
+    }
+
+    #[test]
+    fn burst_forwarding_queues_on_wire() {
+        let mut p = port();
+        let g1 = p.forward_burst(SimTime::ZERO, 0x8000_0000, 64, 100).unwrap();
+        let g2 = p.forward_burst(SimTime::ZERO, 0x8000_0000, 64, 100).unwrap();
+        assert!(g2.end > g1.end, "second burst must queue behind the first");
+        assert_eq!(p.forwarded_tlps(), 200);
+    }
+
+    #[test]
+    fn ntb_latency_is_microsecond_class() {
+        // Sanity for Fig. 13 calibration: a single small write arrives in
+        // ~1us, far below RDMA-style multi-us paths.
+        let mut p = port();
+        let (_, g) = p.forward(SimTime::ZERO, &Tlp::write(0x8000_0000, 8)).unwrap();
+        let us = g.end.as_micros_f64();
+        assert!(us > 0.5 && us < 2.0, "one-way {us}us");
+    }
+}

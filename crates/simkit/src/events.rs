@@ -1,0 +1,208 @@
+//! A generic event calendar.
+//!
+//! Each device model in this workspace owns one [`EventQueue`] parameterized
+//! over its private event enum. Events scheduled at the same instant are
+//! delivered in the order they were scheduled (FIFO tie-break via a
+//! monotonically increasing sequence number), which keeps the whole
+//! simulation deterministic.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Opaque handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-heap of timestamped events.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    live: HashSet<EventId>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty calendar.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, live: HashSet::new() }
+    }
+
+    /// Schedule `payload` for delivery at `at`. Returns a handle that can be
+    /// passed to [`EventQueue::cancel`].
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        let id = EventId(self.next_seq);
+        self.heap.push(Entry { at, seq: self.next_seq, id, payload });
+        self.live.insert(id);
+        self.next_seq += 1;
+        id
+    }
+
+    /// Cancel a previously scheduled event. Cancellation is lazy: the entry
+    /// stays in the heap but is skipped when popped. Cancelling an event that
+    /// already fired (or twice) is a harmless no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.live.remove(&id);
+    }
+
+    /// The delivery time of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_cancelled();
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Immutable variant of [`EventQueue::peek_time`]: scans for the
+    /// earliest live entry without compacting cancelled ones (O(n), for
+    /// `&self` contexts like a device's `next_event_at`).
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap
+            .iter()
+            .filter(|e| self.live.contains(&e.id))
+            .map(|e| e.at)
+            .min()
+    }
+
+    /// Pop the next event regardless of time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.skip_cancelled();
+        self.heap.pop().map(|e| {
+            self.live.remove(&e.id);
+            (e.at, e.payload)
+        })
+    }
+
+    /// Pop the next event only if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= now => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.live.contains(&top.id) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), "c");
+        q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert_eq!(q.pop(), Some((t(20), "b")));
+        assert_eq!(q.pop(), Some((t(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_tie_break_at_same_instant() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), "early");
+        q.schedule(t(100), "late");
+        assert_eq!(q.pop_due(t(50)), Some((t(10), "early")));
+        assert_eq!(q.pop_due(t(50)), None);
+        assert_eq!(q.pop_due(t(100)), Some((t(100), "late")));
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(t(20)));
+        assert_eq!(q.pop(), Some((t(20), "b")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn double_cancel_is_harmless() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(10), "a");
+        q.cancel(a);
+        q.cancel(a);
+        q.schedule(t(20), "b");
+        assert_eq!(q.pop(), Some((t(20), "b")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn peek_time_reflects_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(t(42), ());
+        q.schedule(t(7), ());
+        assert_eq!(q.peek_time(), Some(t(7)));
+    }
+}

@@ -1,0 +1,355 @@
+//! Contention primitives.
+//!
+//! The whole device stack models shared hardware — PCIe links, DRAM ports,
+//! flash dies — as *resources* that serialize work. A request against a
+//! resource yields a `(start, end)` window; contention emerges from requests
+//! queueing behind each other's `busy_until` horizon rather than from
+//! closed-form utilization formulas. This keeps interference experiments
+//! (paper §6.4) emergent instead of hand-tuned.
+
+use crate::bandwidth::Bandwidth;
+use crate::time::{SimDuration, SimTime};
+use serde::Serialize;
+
+/// The service window granted to a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// When service actually starts (>= request time under contention).
+    pub start: SimTime,
+    /// When service completes.
+    pub end: SimTime,
+}
+
+impl Grant {
+    /// Total time from request to completion.
+    pub fn latency_from(&self, requested_at: SimTime) -> SimDuration {
+        self.end.saturating_since(requested_at)
+    }
+
+    /// Time spent waiting before service began.
+    pub fn queueing_delay(&self, requested_at: SimTime) -> SimDuration {
+        self.start.saturating_since(requested_at)
+    }
+}
+
+/// A single-server FIFO resource (e.g. one flash die, a DMA engine).
+///
+/// Work requested at `now` begins at `max(now, busy_until)` and holds the
+/// resource for `service` time.
+#[derive(Debug, Clone, Default)]
+pub struct SerialResource {
+    busy_until: SimTime,
+    busy_accum: SimDuration,
+    requests: u64,
+}
+
+impl SerialResource {
+    /// A resource that is idle from t=0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request `service` time starting no earlier than `now`.
+    pub fn acquire(&mut self, now: SimTime, service: SimDuration) -> Grant {
+        let start = now.max(self.busy_until);
+        let end = start + service;
+        self.busy_until = end;
+        self.busy_accum += service;
+        self.requests += 1;
+        Grant { start, end }
+    }
+
+    /// The instant the resource next becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Whether the resource would be idle at `now`.
+    pub fn is_idle_at(&self, now: SimTime) -> bool {
+        self.busy_until <= now
+    }
+
+    /// Total service time ever granted.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy_accum
+    }
+
+    /// Number of requests served.
+    pub fn request_count(&self) -> u64 {
+        self.requests
+    }
+
+    /// Fraction of the window `[SimTime::ZERO, horizon]` spent busy.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        self.busy_accum.as_nanos() as f64 / horizon.as_nanos() as f64
+    }
+}
+
+/// A pool of identical servers (e.g. the dies of one flash channel viewed
+/// from the channel scheduler, or the lanes of a multi-queue DMA engine).
+/// Requests go to the server that frees up first.
+#[derive(Debug, Clone)]
+pub struct BankedResource {
+    banks: Vec<SerialResource>,
+}
+
+impl BankedResource {
+    /// Create a pool with `n` servers. Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a banked resource needs at least one bank");
+        BankedResource { banks: vec![SerialResource::new(); n] }
+    }
+
+    /// Number of servers.
+    pub fn banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Request `service` time on the earliest-free server.
+    pub fn acquire(&mut self, now: SimTime, service: SimDuration) -> Grant {
+        let idx = self.earliest_free();
+        self.banks[idx].acquire(now, service)
+    }
+
+    /// Request `service` time on a specific server (e.g. a die addressed by
+    /// the FTL's physical mapping).
+    pub fn acquire_bank(&mut self, bank: usize, now: SimTime, service: SimDuration) -> Grant {
+        self.banks[bank].acquire(now, service)
+    }
+
+    /// The instant bank `bank` next becomes idle.
+    pub fn bank_busy_until(&self, bank: usize) -> SimTime {
+        self.banks[bank].busy_until()
+    }
+
+    /// The earliest instant any bank becomes idle.
+    pub fn earliest_idle(&self) -> SimTime {
+        self.banks.iter().map(|b| b.busy_until()).min().unwrap_or(SimTime::ZERO)
+    }
+
+    fn earliest_free(&self) -> usize {
+        let mut best = 0;
+        for (i, b) in self.banks.iter().enumerate().skip(1) {
+            if b.busy_until() < self.banks[best].busy_until() {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Mean utilization across banks over `[0, horizon]`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if self.banks.is_empty() {
+            return 0.0;
+        }
+        self.banks.iter().map(|b| b.utilization(horizon)).sum::<f64>() / self.banks.len() as f64
+    }
+}
+
+/// Cumulative transfer statistics for a [`Link`].
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct LinkStats {
+    /// Payload bytes carried.
+    pub payload_bytes: u64,
+    /// Overhead bytes carried (headers, framing).
+    pub overhead_bytes: u64,
+    /// Number of messages.
+    pub messages: u64,
+}
+
+impl LinkStats {
+    /// Fraction of carried bytes that were payload.
+    pub fn efficiency(&self) -> f64 {
+        let total = self.payload_bytes + self.overhead_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.payload_bytes as f64 / total as f64
+        }
+    }
+}
+
+/// A serializing interconnect: each message occupies the wire for
+/// `(payload + per_message_overhead_bytes) / bandwidth` and messages queue
+/// FIFO. Used for PCIe links, NTB hops, and the flash channel bus.
+#[derive(Debug, Clone)]
+pub struct Link {
+    wire: SerialResource,
+    bandwidth: Bandwidth,
+    per_message_overhead_bytes: u64,
+    stats: LinkStats,
+}
+
+impl Link {
+    /// A link with the given raw bandwidth and fixed per-message byte
+    /// overhead (e.g. a TLP header).
+    pub fn new(bandwidth: Bandwidth, per_message_overhead_bytes: u64) -> Self {
+        Link {
+            wire: SerialResource::new(),
+            bandwidth,
+            per_message_overhead_bytes,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Raw bandwidth of the wire.
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.bandwidth
+    }
+
+    /// Per-message byte overhead.
+    pub fn overhead_bytes(&self) -> u64 {
+        self.per_message_overhead_bytes
+    }
+
+    /// Transmit a message of `payload` bytes, queueing behind in-flight
+    /// traffic. Returns the service window (ends when the last bit leaves
+    /// the wire).
+    pub fn transmit(&mut self, now: SimTime, payload: u64) -> Grant {
+        let wire_bytes = payload + self.per_message_overhead_bytes;
+        let service = self.bandwidth.transfer_time(wire_bytes);
+        self.stats.payload_bytes += payload;
+        self.stats.overhead_bytes += self.per_message_overhead_bytes;
+        self.stats.messages += 1;
+        self.wire.acquire(now, service)
+    }
+
+    /// Transmit with extra per-message overhead bytes on top of the link's
+    /// fixed overhead (e.g. an NTB-translation prefix).
+    pub fn transmit_with_overhead(&mut self, now: SimTime, payload: u64, extra_overhead: u64) -> Grant {
+        let wire_bytes = payload + self.per_message_overhead_bytes + extra_overhead;
+        let service = self.bandwidth.transfer_time(wire_bytes);
+        self.stats.payload_bytes += payload;
+        self.stats.overhead_bytes += self.per_message_overhead_bytes + extra_overhead;
+        self.stats.messages += 1;
+        self.wire.acquire(now, service)
+    }
+
+    /// The instant the wire next goes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.wire.busy_until()
+    }
+
+    /// Cumulative transfer statistics.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Fraction of `[0, horizon]` the wire was busy.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        self.wire.utilization(horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandwidth::Bandwidth;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+    fn d(ns: u64) -> SimDuration {
+        SimDuration::from_nanos(ns)
+    }
+
+    #[test]
+    fn serial_resource_serializes() {
+        let mut r = SerialResource::new();
+        let g1 = r.acquire(t(0), d(100));
+        assert_eq!((g1.start, g1.end), (t(0), t(100)));
+        // Requested while busy: starts when the first finishes.
+        let g2 = r.acquire(t(10), d(50));
+        assert_eq!((g2.start, g2.end), (t(100), t(150)));
+        assert_eq!(g2.queueing_delay(t(10)).as_nanos(), 90);
+        assert_eq!(g2.latency_from(t(10)).as_nanos(), 140);
+        // Requested after idle: starts immediately.
+        let g3 = r.acquire(t(500), d(10));
+        assert_eq!((g3.start, g3.end), (t(500), t(510)));
+        assert_eq!(r.request_count(), 3);
+        assert_eq!(r.busy_time().as_nanos(), 160);
+    }
+
+    #[test]
+    fn serial_resource_utilization() {
+        let mut r = SerialResource::new();
+        r.acquire(t(0), d(250));
+        assert!((r.utilization(t(1000)) - 0.25).abs() < 1e-9);
+        assert_eq!(r.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn banked_resource_parallelism() {
+        let mut b = BankedResource::new(2);
+        let g1 = b.acquire(t(0), d(100));
+        let g2 = b.acquire(t(0), d(100));
+        // Two banks: both run in parallel.
+        assert_eq!(g1.start, t(0));
+        assert_eq!(g2.start, t(0));
+        // Third request queues behind the earliest-free bank.
+        let g3 = b.acquire(t(0), d(100));
+        assert_eq!(g3.start, t(100));
+        assert_eq!(b.earliest_idle(), t(100));
+    }
+
+    #[test]
+    fn banked_resource_explicit_bank() {
+        let mut b = BankedResource::new(4);
+        b.acquire_bank(2, t(0), d(100));
+        assert_eq!(b.bank_busy_until(2), t(100));
+        assert_eq!(b.bank_busy_until(0), t(0));
+        let g = b.acquire_bank(2, t(0), d(10));
+        assert_eq!(g.start, t(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn banked_resource_rejects_zero() {
+        let _ = BankedResource::new(0);
+    }
+
+    #[test]
+    fn link_accounts_overhead() {
+        // 1 byte/ns, 24-byte header per message.
+        let mut l = Link::new(Bandwidth::bytes_per_ns(1.0), 24);
+        let g = l.transmit(t(0), 64);
+        assert_eq!(g.end, t(88)); // 64 + 24 bytes at 1 B/ns
+        let s = l.stats();
+        assert_eq!(s.payload_bytes, 64);
+        assert_eq!(s.overhead_bytes, 24);
+        assert_eq!(s.messages, 1);
+        assert!((s.efficiency() - 64.0 / 88.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_messages_queue() {
+        let mut l = Link::new(Bandwidth::bytes_per_ns(2.0), 0);
+        let g1 = l.transmit(t(0), 100); // 50ns
+        let g2 = l.transmit(t(0), 100);
+        assert_eq!(g1.end, t(50));
+        assert_eq!(g2.start, t(50));
+        assert_eq!(g2.end, t(100));
+    }
+
+    #[test]
+    fn link_extra_overhead() {
+        let mut l = Link::new(Bandwidth::bytes_per_ns(1.0), 24);
+        let g = l.transmit_with_overhead(t(0), 64, 8);
+        assert_eq!(g.end, t(96));
+        assert_eq!(l.stats().overhead_bytes, 32);
+    }
+
+    #[test]
+    fn small_payload_efficiency_drops() {
+        // The Fig. 10 mechanism in miniature: with a fixed header, small
+        // payloads waste most of the wire.
+        let mut l = Link::new(Bandwidth::bytes_per_ns(1.0), 24);
+        for _ in 0..100 {
+            l.transmit(t(0), 8);
+        }
+        assert!(l.stats().efficiency() < 0.26);
+    }
+}

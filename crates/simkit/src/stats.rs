@@ -1,0 +1,451 @@
+//! Measurement collection for experiments.
+//!
+//! The paper reports means, log-scale latency curves, throughput series, and
+//! candlestick (min/quartile/max) summaries (Fig. 13). Experiments here are
+//! small enough that we keep exact samples and compute summaries directly —
+//! no sketches, no reservoir sampling, fully reproducible.
+
+use crate::time::{SimDuration, SimTime};
+use serde::Serialize;
+
+/// Online mean/variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// Five-number summary used for candlestick plots (paper Fig. 13).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Candlestick {
+    /// Smallest sample.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+/// An exact sample collection with percentile queries.
+#[derive(Debug, Clone, Default)]
+pub struct SampleSeries {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl SampleSeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Record a duration sample in microseconds (the unit the paper plots).
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_micros_f64());
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Percentile in `[0, 100]` by nearest-rank interpolation. Returns 0 for
+    /// an empty series.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let rank = p / 100.0 * (self.samples.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        if lo == hi {
+            self.samples[lo]
+        } else {
+            let frac = rank - lo as f64;
+            self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac
+        }
+    }
+
+    /// Five-number candlestick summary.
+    pub fn candlestick(&mut self) -> Candlestick {
+        Candlestick {
+            min: self.percentile(0.0),
+            p25: self.percentile(25.0),
+            p50: self.percentile(50.0),
+            p75: self.percentile(75.0),
+            max: self.percentile(100.0),
+        }
+    }
+
+    /// Borrow the raw samples (unsorted insertion order is not preserved
+    /// after a percentile query).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+    }
+}
+
+/// Events-and-bytes throughput accounting over a simulated window.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ThroughputMeter {
+    events: u64,
+    bytes: u64,
+}
+
+impl ThroughputMeter {
+    /// Empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one event carrying `bytes` of payload.
+    pub fn record(&mut self, bytes: u64) {
+        self.events += 1;
+        self.bytes += bytes;
+    }
+
+    /// Record `n` events carrying `bytes` total.
+    pub fn record_many(&mut self, n: u64, bytes: u64) {
+        self.events += n;
+        self.bytes += bytes;
+    }
+
+    /// Total events recorded.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Total bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Events per second over the window ending at `elapsed`.
+    pub fn events_per_sec(&self, elapsed: SimDuration) -> f64 {
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.events as f64 / elapsed.as_secs_f64()
+        }
+    }
+
+    /// Decimal megabytes per second over the window.
+    pub fn mbytes_per_sec(&self, elapsed: SimDuration) -> f64 {
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.bytes as f64 / 1e6 / elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// A power-of-two-bucketed histogram for latency-class quantities: bucket
+/// `i` counts samples in `[2^i, 2^(i+1))` of the base unit. Cheap to
+/// record, compact to print, adequate when the exact-sample
+/// [`SampleSeries`] would grow too large.
+#[derive(Debug, Clone, Serialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram covering `[1, 2^48)` of the base unit.
+    pub fn new() -> Self {
+        Histogram { buckets: vec![0; 48], count: 0, sum: 0.0 }
+    }
+
+    fn bucket_of(x: f64) -> usize {
+        if x < 1.0 {
+            0
+        } else {
+            (x.log2() as usize).min(47)
+        }
+    }
+
+    /// Record one observation (non-negative).
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(x >= 0.0);
+        self.buckets[Self::bucket_of(x)] += 1;
+        self.count += 1;
+        self.sum += x;
+    }
+
+    /// Record a duration in microseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_micros_f64());
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Approximate percentile: the lower bound of the bucket where the
+    /// p-quantile falls (a guaranteed under-estimate within 2x).
+    pub fn percentile_lower_bound(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p));
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (p / 100.0 * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i == 0 { 0.0 } else { (1u64 << i) as f64 };
+            }
+        }
+        (1u64 << 47) as f64
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs, ascending.
+    pub fn non_empty(&self) -> Vec<(f64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (if i == 0 { 0.0 } else { (1u64 << i) as f64 }, *c))
+            .collect()
+    }
+}
+
+/// A labelled series point for figure output: `(x, value)` plus an optional
+/// candlestick. This is the row format the figure harnesses print.
+#[derive(Debug, Clone, Serialize)]
+pub struct SeriesPoint {
+    /// X-axis value (worker count, write size, period in µs, ...).
+    pub x: f64,
+    /// Primary Y value (mean latency, throughput, ...).
+    pub y: f64,
+    /// Optional distribution summary.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub candle: Option<Candlestick>,
+}
+
+/// Convert a time window to a human-readable observation horizon.
+pub fn window(start: SimTime, end: SimTime) -> SimDuration {
+    end.saturating_since(start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_mean_var() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let mut s = SampleSeries::new();
+        for x in 1..=100 {
+            s.record(x as f64);
+        }
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert!((s.percentile(50.0) - 50.5).abs() < 1e-9);
+        let c = s.candlestick();
+        assert!(c.min <= c.p25 && c.p25 <= c.p50 && c.p50 <= c.p75 && c.p75 <= c.max);
+    }
+
+    #[test]
+    fn percentile_of_empty_is_zero() {
+        let mut s = SampleSeries::new();
+        assert_eq!(s.percentile(50.0), 0.0);
+    }
+
+    #[test]
+    fn single_sample_candle_is_flat() {
+        let mut s = SampleSeries::new();
+        s.record(3.5);
+        let c = s.candlestick();
+        assert_eq!(c.min, 3.5);
+        assert_eq!(c.max, 3.5);
+        assert_eq!(c.p50, 3.5);
+    }
+
+    #[test]
+    fn record_duration_uses_micros() {
+        let mut s = SampleSeries::new();
+        s.record_duration(SimDuration::from_micros(5));
+        assert_eq!(s.samples()[0], 5.0);
+    }
+
+    #[test]
+    fn throughput_meter() {
+        let mut m = ThroughputMeter::new();
+        m.record(1000);
+        m.record_many(9, 9000);
+        assert_eq!(m.events(), 10);
+        assert_eq!(m.bytes(), 10_000);
+        let w = SimDuration::from_millis(1);
+        assert!((m.events_per_sec(w) - 10_000.0).abs() < 1e-6);
+        assert!((m.mbytes_per_sec(w) - 10.0).abs() < 1e-9);
+        assert_eq!(m.events_per_sec(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let mut h = Histogram::new();
+        for x in [0.5, 1.0, 3.0, 3.9, 8.0, 9.0, 100.0] {
+            h.record(x);
+        }
+        assert_eq!(h.count(), 7);
+        assert!((h.mean() - 125.4 / 7.0).abs() < 1e-9);
+        let buckets = h.non_empty();
+        // 0.5 -> [0,2); 1.0 -> [1,2); 3.0,3.9 -> [2,4); 8,9 -> [8,16); 100 -> [64,128)
+        assert_eq!(buckets.iter().map(|(_, c)| *c).sum::<u64>(), 7);
+        // Median falls in the [2,4) bucket -> lower bound 2.
+        assert_eq!(h.percentile_lower_bound(50.0), 2.0);
+        assert_eq!(h.percentile_lower_bound(100.0), 64.0);
+        assert_eq!(Histogram::new().percentile_lower_bound(50.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_duration_recording() {
+        let mut h = Histogram::new();
+        h.record_duration(SimDuration::from_micros(33));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.percentile_lower_bound(50.0), 32.0);
+    }
+
+    #[test]
+    fn window_helper() {
+        let w = window(SimTime::from_nanos(10), SimTime::from_nanos(110));
+        assert_eq!(w.as_nanos(), 100);
+    }
+}

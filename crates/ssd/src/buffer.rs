@@ -1,0 +1,307 @@
+//! The device Data Buffer.
+//!
+//! "It is very common for an SSD to cache data in this temporary area"
+//! (paper §2.2). The buffer is device DRAM behind a shared port; in the
+//! Villars DRAM configuration the CMB backing memory is carved from this
+//! same pool (paper §6), so the port resource is exposed for sharing — that
+//! sharing is what derates the DRAM-backed fast side in Fig. 9/10.
+
+use bytes::Bytes;
+use serde::Serialize;
+use simkit::{Bandwidth, Grant, SerialResource, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// Logical page number (buffer key).
+pub type Lpn = u64;
+
+/// A cached page.
+#[derive(Debug, Clone)]
+struct Slot {
+    data: Bytes,
+    dirty: bool,
+}
+
+/// Buffer statistics.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct BufferStats {
+    /// Read hits served from DRAM.
+    pub read_hits: u64,
+    /// Read misses that went to flash.
+    pub read_misses: u64,
+    /// Pages written into the buffer.
+    pub writes: u64,
+    /// Clean pages evicted to make room.
+    pub evictions: u64,
+}
+
+/// The DRAM data buffer with a write-back cache policy.
+#[derive(Debug)]
+pub struct DataBuffer {
+    capacity_pages: usize,
+    page_bytes: u32,
+    slots: HashMap<Lpn, Slot>,
+    /// LRU order of clean pages (dirty pages are never evicted — they are
+    /// pinned until flushed).
+    lru: VecDeque<Lpn>,
+    port: SerialResource,
+    port_bw: Bandwidth,
+    stats: BufferStats,
+}
+
+impl DataBuffer {
+    /// A buffer of `capacity_pages` pages of `page_bytes` each, behind a
+    /// DRAM port of `port_bw`.
+    pub fn new(capacity_pages: usize, page_bytes: u32, port_bw: Bandwidth) -> Self {
+        assert!(capacity_pages > 0);
+        DataBuffer {
+            capacity_pages,
+            page_bytes,
+            slots: HashMap::new(),
+            lru: VecDeque::new(),
+            port: SerialResource::new(),
+            port_bw,
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Page size.
+    pub fn page_bytes(&self) -> u32 {
+        self.page_bytes
+    }
+
+    /// Occupied pages.
+    pub fn occupancy(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of dirty (unflushed) pages.
+    pub fn dirty_count(&self) -> usize {
+        self.slots.values().filter(|s| s.dirty).count()
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Acquire the DRAM port for an arbitrary transfer of `bytes` (used by
+    /// the Villars DRAM-backed CMB, which shares this port).
+    pub fn port_access(&mut self, now: SimTime, bytes: u64) -> Grant {
+        self.port.acquire(now, self.port_bw.transfer_time(bytes))
+    }
+
+    /// Hold the DRAM port for an explicit duration. The CMB path runs at
+    /// its own (narrower, derated) rate while still occupying the shared
+    /// controller (paper §6: 64-bit CMB path on the shared DDR3 port).
+    pub fn port_hold(&mut self, now: SimTime, duration: simkit::SimDuration) -> Grant {
+        self.port.acquire(now, duration)
+    }
+
+    /// Utilization of the DRAM port over `[0, horizon]`.
+    pub fn port_utilization(&self, horizon: SimTime) -> f64 {
+        self.port.utilization(horizon)
+    }
+
+    /// Write a page into the buffer (dirty). Returns the port grant; the
+    /// write is visible at `grant.end`. Evicts clean LRU pages over
+    /// capacity; dirty pages never evict, so the buffer may exceed capacity
+    /// under flush backlog (the flash scheduler is then the back-pressure).
+    pub fn write(&mut self, now: SimTime, lpn: Lpn, data: Bytes) -> Grant {
+        let g = self.port_access(now, data.len() as u64);
+        self.touch_lru(lpn);
+        self.slots.insert(lpn, Slot { data, dirty: true });
+        self.stats.writes += 1;
+        self.evict_if_needed();
+        g
+    }
+
+    /// Look up a page. A hit pays a port access and refreshes LRU.
+    pub fn read(&mut self, now: SimTime, lpn: Lpn) -> Option<(Bytes, Grant)> {
+        if let Some(slot) = self.slots.get(&lpn) {
+            let data = slot.data.clone();
+            let g = self.port_access(now, data.len() as u64);
+            self.touch_lru(lpn);
+            self.stats.read_hits += 1;
+            Some((data, g))
+        } else {
+            self.stats.read_misses += 1;
+            None
+        }
+    }
+
+    /// Install a page fetched from flash as a clean cache entry.
+    pub fn fill(&mut self, now: SimTime, lpn: Lpn, data: Bytes) -> Grant {
+        let g = self.port_access(now, data.len() as u64);
+        self.touch_lru(lpn);
+        self.slots.insert(lpn, Slot { data, dirty: false });
+        self.evict_if_needed();
+        g
+    }
+
+    /// The dirty page set, oldest-written first (flush candidates).
+    pub fn dirty_pages(&self) -> Vec<Lpn> {
+        // LRU front is oldest; filter to dirty.
+        let mut out: Vec<Lpn> = self
+            .lru
+            .iter()
+            .filter(|l| self.slots.get(l).is_some_and(|s| s.dirty))
+            .copied()
+            .collect();
+        // Dirty pages not in LRU (shouldn't happen, but be safe).
+        for (lpn, s) in &self.slots {
+            if s.dirty && !out.contains(lpn) {
+                out.push(*lpn);
+            }
+        }
+        out
+    }
+
+    /// Fetch page content (no timing), e.g. for a flush's program data.
+    pub fn peek(&self, lpn: Lpn) -> Option<Bytes> {
+        self.slots.get(&lpn).map(|s| s.data.clone())
+    }
+
+    /// Mark a page clean once its flash program completed.
+    pub fn mark_clean(&mut self, lpn: Lpn) {
+        if let Some(s) = self.slots.get_mut(&lpn) {
+            s.dirty = false;
+        }
+        self.evict_if_needed();
+    }
+
+    /// Drop every entry (power loss: device DRAM is volatile).
+    pub fn crash(&mut self) {
+        self.slots.clear();
+        self.lru.clear();
+    }
+
+    fn touch_lru(&mut self, lpn: Lpn) {
+        if let Some(pos) = self.lru.iter().position(|l| *l == lpn) {
+            self.lru.remove(pos);
+        }
+        self.lru.push_back(lpn);
+    }
+
+    fn evict_if_needed(&mut self) {
+        while self.slots.len() > self.capacity_pages {
+            // Find the oldest clean page.
+            let victim = self
+                .lru
+                .iter()
+                .position(|l| self.slots.get(l).is_some_and(|s| !s.dirty));
+            match victim {
+                Some(pos) => {
+                    let lpn = self.lru.remove(pos).expect("position valid");
+                    self.slots.remove(&lpn);
+                    self.stats.evictions += 1;
+                }
+                None => break, // all dirty: allow overflow, flusher will drain
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buffer(cap: usize) -> DataBuffer {
+        DataBuffer::new(cap, 4096, Bandwidth::gbytes_per_sec(2.0))
+    }
+
+    fn page(b: u8) -> Bytes {
+        Bytes::from(vec![b; 4096])
+    }
+
+    #[test]
+    fn write_then_read_hits() {
+        let mut buf = buffer(4);
+        buf.write(SimTime::ZERO, 1, page(0xAA));
+        let (data, _g) = buf.read(SimTime::ZERO, 1).expect("hit");
+        assert_eq!(data[0], 0xAA);
+        assert_eq!(buf.stats().read_hits, 1);
+        assert!(buf.read(SimTime::ZERO, 2).is_none());
+        assert_eq!(buf.stats().read_misses, 1);
+    }
+
+    #[test]
+    fn port_serializes_accesses() {
+        let mut buf = buffer(4);
+        let g1 = buf.write(SimTime::ZERO, 1, page(1));
+        let g2 = buf.write(SimTime::ZERO, 2, page(2));
+        assert!(g2.start >= g1.end, "DRAM port is serial");
+        // 4096B at 2 GB/s = 2048ns each.
+        assert_eq!(g1.end.as_nanos(), 2048);
+        assert_eq!(g2.end.as_nanos(), 4096);
+    }
+
+    #[test]
+    fn dirty_pages_pin_until_clean() {
+        let mut buf = buffer(2);
+        buf.write(SimTime::ZERO, 1, page(1));
+        buf.write(SimTime::ZERO, 2, page(2));
+        buf.write(SimTime::ZERO, 3, page(3));
+        // Over capacity but all dirty: nothing evicted.
+        assert_eq!(buf.occupancy(), 3);
+        buf.mark_clean(1);
+        // Now the clean page can go.
+        assert_eq!(buf.occupancy(), 2);
+        assert!(buf.peek(1).is_none());
+        assert!(buf.peek(2).is_some());
+    }
+
+    #[test]
+    fn clean_fill_evicts_lru_first() {
+        let mut buf = buffer(2);
+        buf.fill(SimTime::ZERO, 1, page(1));
+        buf.fill(SimTime::ZERO, 2, page(2));
+        // Touch 1 so 2 becomes LRU.
+        buf.read(SimTime::ZERO, 1);
+        buf.fill(SimTime::ZERO, 3, page(3));
+        assert!(buf.peek(2).is_none(), "LRU page 2 evicted");
+        assert!(buf.peek(1).is_some());
+        assert_eq!(buf.stats().evictions, 1);
+    }
+
+    #[test]
+    fn dirty_list_is_oldest_first() {
+        let mut buf = buffer(8);
+        buf.write(SimTime::ZERO, 5, page(5));
+        buf.write(SimTime::ZERO, 6, page(6));
+        buf.write(SimTime::ZERO, 7, page(7));
+        assert_eq!(buf.dirty_pages(), vec![5, 6, 7]);
+        buf.mark_clean(6);
+        assert_eq!(buf.dirty_pages(), vec![5, 7]);
+        assert_eq!(buf.dirty_count(), 2);
+    }
+
+    #[test]
+    fn crash_clears_everything() {
+        let mut buf = buffer(4);
+        buf.write(SimTime::ZERO, 1, page(1));
+        buf.crash();
+        assert_eq!(buf.occupancy(), 0);
+        assert!(buf.read(SimTime::ZERO, 1).is_none());
+    }
+
+    #[test]
+    fn overwrite_replaces_content() {
+        let mut buf = buffer(4);
+        buf.write(SimTime::ZERO, 1, page(1));
+        buf.write(SimTime::ZERO, 1, page(9));
+        assert_eq!(buf.peek(1).unwrap()[0], 9);
+        assert_eq!(buf.occupancy(), 1);
+    }
+
+    #[test]
+    fn shared_port_contention_is_observable() {
+        let mut buf = buffer(64);
+        // Sustained "data buffering activity" then a CMB-style access: the
+        // CMB access queues behind it (the Fig. 9 DRAM derating mechanism).
+        for i in 0..8 {
+            buf.write(SimTime::ZERO, i, page(i as u8));
+        }
+        let g = buf.port_access(SimTime::ZERO, 4096);
+        assert!(g.start.as_nanos() >= 8 * 2048);
+    }
+}

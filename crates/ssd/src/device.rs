@@ -1,0 +1,862 @@
+//! The conventional SSD device.
+//!
+//! Ties together the three subsystems of paper Fig. 2 (bottom): the Host
+//! Interface Controller, the Firmware (FTL, data-buffer management,
+//! scheduling), and the Storage Controller (flash arrays). This device is
+//! also the *conventional side* of a Villars: the fast side's Destage module
+//! injects `Destage`-class writes directly into the storage controller via
+//! [`ConventionalSsd::submit_destage_write`], bypassing the host data path.
+
+use crate::buffer::DataBuffer;
+use crate::ftl::{AllocStream, Ftl, Lpn};
+use crate::hic::{Hic, HicConfig};
+use bytes::Bytes;
+use flash::{
+    ChannelScheduler, FlashArray, FlashError, FlashGeometry, FlashTiming, OpKind, OpRequest,
+    Ppa, Priority, ReliabilityConfig, SchedulingMode,
+};
+use nvme::{
+    AdminCommand, Command, CommandId, CommandKind, CompletionEntry, IoCommand, Namespace,
+    NvmeController, Status,
+};
+use pcie::{DmaConfig, LinkConfig};
+use simkit::{Bandwidth, EventQueue, SimTime};
+use std::collections::{HashMap, HashSet};
+
+/// Device-wide configuration.
+#[derive(Debug, Clone)]
+pub struct SsdConfig {
+    /// Flash shape.
+    pub geometry: FlashGeometry,
+    /// Flash timing.
+    pub timing: FlashTiming,
+    /// Flash reliability.
+    pub reliability: ReliabilityConfig,
+    /// Host PCIe link.
+    pub link: LinkConfig,
+    /// HIC timing.
+    pub hic: HicConfig,
+    /// DMA engine parameters.
+    pub dma: DmaConfig,
+    /// Data-buffer capacity in pages.
+    pub buffer_pages: usize,
+    /// Device DRAM port bandwidth (shared with a DRAM-backed CMB).
+    pub dram_bandwidth: Bandwidth,
+    /// Whether writes complete from the volatile cache (true for consumer
+    /// behaviour; an fsync/Flush is then required for durability).
+    pub write_cache: bool,
+    /// Free-block low-water mark that triggers GC.
+    pub gc_threshold: usize,
+    /// Initial channel-scheduler policy.
+    pub scheduling: SchedulingMode,
+    /// RNG seed for reliability sampling.
+    pub seed: u64,
+}
+
+impl Default for SsdConfig {
+    fn default() -> Self {
+        SsdConfig {
+            geometry: FlashGeometry::default(),
+            timing: FlashTiming::default(),
+            reliability: ReliabilityConfig::perfect(),
+            link: LinkConfig::villars_host(),
+            hic: HicConfig::default(),
+            dma: DmaConfig::default(),
+            buffer_pages: 2048,
+            dram_bandwidth: Bandwidth::bus(64, 250.0).scaled(2.0), // DDR3 ctrl: 4 GB/s
+            write_cache: true,
+            gc_threshold: 8,
+            scheduling: SchedulingMode::Neutral,
+            seed: 0x55D,
+        }
+    }
+}
+
+impl SsdConfig {
+    /// Small/fast configuration for unit tests.
+    pub fn small() -> Self {
+        SsdConfig {
+            geometry: FlashGeometry::tiny(),
+            timing: FlashTiming::fast(),
+            buffer_pages: 16,
+            gc_threshold: 2,
+            ..SsdConfig::default()
+        }
+    }
+}
+
+/// What an in-flight flash op is doing for the device.
+#[derive(Debug, Clone)]
+enum PendingOp {
+    /// Program for a host write page. `wait_cid` is set when the write
+    /// command completes only on durability (write cache disabled).
+    HostWrite { lpn: Lpn, data: Bytes, wait_cid: Option<CommandId> },
+    /// Read for a host read command page.
+    HostReadPage { cid: CommandId },
+    /// GC relocation write (timing only: content stays keyed by lpn).
+    GcWrite,
+    /// Fast-side destage program.
+    DestageWrite { token: u64, lpn: Lpn, data: Bytes },
+    /// Fast-side (or recovery) media read.
+    InternalRead { token: u64 },
+}
+
+#[derive(Debug)]
+struct ReadState {
+    remaining: usize,
+    ready_at: SimTime,
+    bytes: u64,
+    status: Status,
+}
+
+#[derive(Debug)]
+struct WriteState {
+    remaining: usize,
+    last_at: SimTime,
+    status: Status,
+}
+
+#[derive(Debug)]
+struct FlushState {
+    cid: CommandId,
+    waiting_on: HashSet<u64>,
+    last_at: SimTime,
+}
+
+#[derive(Debug, Clone)]
+enum SsdEvent {
+    /// A host command completion fires.
+    Complete { cid: CommandId, status: Status },
+    /// A flash operation finishes; its effects (media update, durability)
+    /// apply at this instant, not when the grant was computed.
+    Flash(flash::Completion),
+}
+
+/// The conventional SSD.
+pub struct ConventionalSsd {
+    config: SsdConfig,
+    ns: Namespace,
+    array: FlashArray,
+    sched: ChannelScheduler,
+    ftl: Ftl,
+    buffer: DataBuffer,
+    hic: Hic,
+    /// Durable content by logical page (what survives power loss).
+    media: HashMap<Lpn, Bytes>,
+    /// Host-staged write payloads awaiting the next write command.
+    staged: HashMap<Lpn, Bytes>,
+    pending: HashMap<u64, PendingOp>,
+    /// Program ops host-flush semantics wait on.
+    outstanding_host_programs: HashSet<u64>,
+    reads: HashMap<CommandId, ReadState>,
+    writes_waiting: HashMap<CommandId, WriteState>,
+    flushes: Vec<FlushState>,
+    next_op: u64,
+    next_token: u64,
+    /// Per-class monotonic arrival clamps (retries keep order legal).
+    last_arrival: HashMap<Priority, SimTime>,
+    /// Queued/in-flight program counts per block: GC must not collect a
+    /// block that is still being written.
+    inflight_programs: HashMap<flash::BlockAddr, u32>,
+    /// Program op id -> target block, to settle `inflight_programs`.
+    program_blocks: HashMap<u64, flash::BlockAddr>,
+    events: EventQueue<SsdEvent>,
+    out: Vec<(SimTime, CompletionEntry)>,
+    destage_done: Vec<(SimTime, u64)>,
+    internal_reads_done: Vec<(SimTime, u64)>,
+    /// Host-write page bytes whose programs have completed (served
+    /// conventional bandwidth, counted at completion time).
+    served_conventional_bytes: u64,
+    /// Destage page bytes whose programs have completed.
+    served_destage_bytes: u64,
+}
+
+impl std::fmt::Debug for ConventionalSsd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConventionalSsd")
+            .field("pending_ops", &self.pending.len())
+            .field("dirty_pages", &self.buffer.dirty_count())
+            .field("media_pages", &self.media.len())
+            .finish()
+    }
+}
+
+impl ConventionalSsd {
+    /// Build the device.
+    pub fn new(config: SsdConfig) -> Self {
+        let array =
+            FlashArray::new(config.geometry, config.timing, config.reliability, config.seed);
+        let ftl = Ftl::new(config.geometry, &array, config.gc_threshold);
+        let sched = ChannelScheduler::new(config.geometry.channels, config.scheduling);
+        let buffer = DataBuffer::new(
+            config.buffer_pages,
+            config.geometry.page_bytes,
+            config.dram_bandwidth,
+        );
+        let hic = Hic::new(config.hic, config.link, config.dma);
+        // Export 7/8 of raw capacity (over-provisioning for GC headroom).
+        let capacity = config.geometry.total_pages() * 7 / 8;
+        let ns = Namespace::new(1, config.geometry.page_bytes, capacity);
+        ConventionalSsd {
+            config,
+            ns,
+            array,
+            sched,
+            ftl,
+            buffer,
+            hic,
+            media: HashMap::new(),
+            staged: HashMap::new(),
+            pending: HashMap::new(),
+            outstanding_host_programs: HashSet::new(),
+            reads: HashMap::new(),
+            writes_waiting: HashMap::new(),
+            flushes: Vec::new(),
+            next_op: 0,
+            next_token: 0,
+            last_arrival: HashMap::new(),
+            inflight_programs: HashMap::new(),
+            program_blocks: HashMap::new(),
+            events: EventQueue::new(),
+            out: Vec::new(),
+            destage_done: Vec::new(),
+            internal_reads_done: Vec::new(),
+            served_conventional_bytes: 0,
+            served_destage_bytes: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SsdConfig {
+        &self.config
+    }
+
+    /// Change the channel-scheduler policy (an X-SSD vendor command).
+    pub fn set_scheduling_mode(&mut self, mode: SchedulingMode) {
+        self.sched.set_mode(mode);
+    }
+
+    /// Per-class scheduler statistics (counted at grant time).
+    pub fn class_stats(&self, class: Priority) -> flash::ClassStats {
+        self.sched.class_stats(class)
+    }
+
+    /// Page bytes whose flash programs have *completed* within advanced
+    /// time, per traffic class — the achieved-bandwidth observable behind
+    /// Fig. 12. (Grant-time stats over-count under backlog.)
+    pub fn served_bytes(&self, class: Priority) -> u64 {
+        match class {
+            Priority::Conventional => self.served_conventional_bytes,
+            Priority::Destage => self.served_destage_bytes,
+        }
+    }
+
+    /// FTL statistics.
+    pub fn ftl_stats(&self) -> crate::ftl::FtlStats {
+        self.ftl.stats()
+    }
+
+    /// Buffer statistics.
+    pub fn buffer_stats(&self) -> crate::buffer::BufferStats {
+        self.buffer.stats()
+    }
+
+    /// Host-link statistics.
+    pub fn link_stats(&self) -> simkit::LinkStats {
+        self.hic.link_stats()
+    }
+
+    /// Durable content of `lpn`, if any (media only — what a post-crash
+    /// read would find).
+    pub fn media_content(&self, lpn: Lpn) -> Option<Bytes> {
+        self.media.get(&lpn).cloned()
+    }
+
+    /// Current content of `lpn` as the host would read it (cache, then
+    /// media).
+    pub fn read_content(&self, lpn: Lpn) -> Option<Bytes> {
+        self.buffer.peek(lpn).or_else(|| self.media.get(&lpn).cloned())
+    }
+
+    /// Stage payload bytes for an upcoming host write to `lpn`. Writes
+    /// without staged data store zero-filled pages.
+    pub fn stage_write_data(&mut self, lpn: Lpn, data: Bytes) {
+        assert!(
+            data.len() <= self.config.geometry.page_bytes as usize,
+            "staged data exceeds page size"
+        );
+        self.staged.insert(lpn, data);
+    }
+
+    /// Access the DRAM data-buffer port (shared by a DRAM-backed CMB).
+    pub fn dram_access(&mut self, now: SimTime, bytes: u64) -> simkit::Grant {
+        self.buffer.port_access(now, bytes)
+    }
+
+    /// Hold the DRAM port for an explicit duration (the CMB path's derated
+    /// transfer time on the shared controller).
+    pub fn dram_hold(&mut self, now: SimTime, duration: simkit::SimDuration) -> simkit::Grant {
+        self.buffer.port_hold(now, duration)
+    }
+
+    /// Borrow the host PCIe link (shared by CMB MMIO traffic).
+    pub fn host_link_mut(&mut self) -> &mut pcie::PcieLink {
+        self.hic.link_mut()
+    }
+
+    /// When the host link wire next goes idle (store-issue pipelining).
+    pub fn host_link_busy_until(&self) -> SimTime {
+        self.hic.link_busy_until()
+    }
+
+    fn alloc_op(&mut self) -> u64 {
+        let id = self.next_op;
+        self.next_op += 1;
+        id
+    }
+
+    /// Submit a flash op keeping per-class arrivals monotonic.
+    fn submit_op(&mut self, mut arrival: SimTime, kind: OpKind, class: Priority, op: PendingOp) -> u64 {
+        let clamp = self.last_arrival.entry(class).or_insert(SimTime::ZERO);
+        arrival = arrival.max(*clamp);
+        *clamp = arrival;
+        let id = self.alloc_op();
+        if let OpKind::Program(p) = kind {
+            *self.inflight_programs.entry(p.block).or_insert(0) += 1;
+            self.program_blocks.insert(id, p.block);
+        }
+        self.pending.insert(id, op);
+        self.sched.submit(OpRequest { id, kind, arrival, class });
+        id
+    }
+
+    /// Settle the in-flight program accounting for a finished op.
+    fn settle_program_block(&mut self, id: u64) {
+        if let Some(block) = self.program_blocks.remove(&id) {
+            if let Some(n) = self.inflight_programs.get_mut(&block) {
+                *n -= 1;
+                if *n == 0 {
+                    self.inflight_programs.remove(&block);
+                }
+            }
+        }
+    }
+
+    /// Fast-side entry point: program one page of destage data. The data
+    /// path is CMB backing memory → flash, with no data-buffer copy (the
+    /// two-data-movement argument of paper §5.1).
+    pub fn submit_destage_write(&mut self, now: SimTime, lpn: Lpn, data: Bytes) -> u64 {
+        let token = self.next_token;
+        self.next_token += 1;
+        let ppa = self.allocate_or_gc(now, lpn, AllocStream::Destage);
+        self.submit_op(
+            now,
+            OpKind::Program(ppa),
+            Priority::Destage,
+            PendingOp::DestageWrite { token, lpn, data },
+        );
+        token
+    }
+
+    /// Fast-side/recovery entry point: read one page from media. Returns a
+    /// token; completion arrives via [`ConventionalSsd::drain_internal_reads`].
+    pub fn submit_internal_read(&mut self, now: SimTime, lpn: Lpn) -> Option<u64> {
+        let ppa = self.ftl.lookup(lpn)?;
+        let token = self.next_token;
+        self.next_token += 1;
+        self.submit_op(
+            now,
+            OpKind::Read(ppa),
+            Priority::Conventional,
+            PendingOp::InternalRead { token },
+        );
+        Some(token)
+    }
+
+    /// Take destage completions at or before `t`: `(time, token)`.
+    pub fn drain_destage_completions(&mut self, t: SimTime) -> Vec<(SimTime, u64)> {
+        let (ready, rest) = std::mem::take(&mut self.destage_done)
+            .into_iter()
+            .partition(|(at, _)| *at <= t);
+        self.destage_done = rest;
+        let mut ready: Vec<_> = ready;
+        ready.sort_by_key(|(at, _)| *at);
+        ready
+    }
+
+    /// Take internal-read completions at or before `t`.
+    pub fn drain_internal_reads(&mut self, t: SimTime) -> Vec<(SimTime, u64)> {
+        let (ready, rest) = std::mem::take(&mut self.internal_reads_done)
+            .into_iter()
+            .partition(|(at, _)| *at <= t);
+        self.internal_reads_done = rest;
+        let mut ready: Vec<_> = ready;
+        ready.sort_by_key(|(at, _)| *at);
+        ready
+    }
+
+    /// Allocate a physical page, running GC first if the pools are low.
+    /// Space reclamation is synchronous (the FTL must not run dry); the
+    /// *time* GC costs still flows through the die resources and the
+    /// scheduler, so foreground traffic feels the interference.
+    fn allocate_or_gc(&mut self, now: SimTime, lpn: Lpn, stream: AllocStream) -> Ppa {
+        if self.ftl.needs_gc() {
+            self.run_gc(now);
+        }
+        loop {
+            if let Some(ppa) = self.ftl.allocate(lpn, stream) {
+                return ppa;
+            }
+            if self.run_gc(now) {
+                continue;
+            }
+            // Every reclaimable victim still has in-flight programs: force
+            // the backlog through the arrays and settle it, freeing blocks
+            // for collection. (This is the firmware throttling the host
+            // under GC pressure; completion *times* are unchanged — grants
+            // are fully determined by arrivals and resource horizons.)
+            assert!(
+                self.force_settle_programs(),
+                "device out of space: GC could not reclaim"
+            );
+        }
+    }
+
+    /// Pump all queued flash work and apply every resulting completion
+    /// immediately (regardless of its timestamp). Host-facing completion
+    /// events keep their scheduled times. Returns true if anything settled.
+    fn force_settle_programs(&mut self) -> bool {
+        let completions = self.sched.pump(&mut self.array, SimTime::MAX);
+        for c in completions {
+            self.events.schedule(c.at, SsdEvent::Flash(c));
+        }
+        let mut settled = false;
+        let mut keep = Vec::new();
+        while let Some((at, ev)) = self.events.pop() {
+            match ev {
+                SsdEvent::Flash(c) => {
+                    self.handle_flash(c);
+                    settled = true;
+                }
+                other => keep.push((at, other)),
+            }
+        }
+        for (at, ev) in keep {
+            self.events.schedule(at, ev);
+        }
+        settled
+    }
+
+    /// Run one GC round. Returns false when nothing is reclaimable.
+    /// Victim selection is wear-aware: a block's P/E count (relative to the
+    /// device average) raises its collection cost, spreading erases.
+    fn run_gc(&mut self, now: SimTime) -> bool {
+        let inflight = &self.inflight_programs;
+        let array = &self.array;
+        let pages_per_block = self.config.geometry.pages_per_block;
+        let Some(plan) = self.ftl.plan_gc_weighted(
+            |b| inflight.contains_key(&b),
+            // One page of penalty per 4 P/E cycles: wear only outweighs
+            // reclaim efficiency when blocks diverge substantially.
+            |b| (array.pe_cycles(b) / 4).min(pages_per_block),
+        ) else {
+            return false;
+        };
+        // Relocation programs: async timing ops; content stays keyed by lpn
+        // in `media`, so a relocation is a no-op for content.
+        for (_lpn, _old, new) in &plan.moves {
+            self.submit_op(now, OpKind::Program(*new), Priority::Conventional, PendingOp::GcWrite);
+        }
+        // The erase applies its array state immediately (die time is still
+        // charged through the die's serial resource), so the block is safe
+        // to reuse the moment the FTL returns it to the free pool.
+        match self.array.erase(now, plan.victim) {
+            Ok(_) => self.ftl.block_erased(plan.victim),
+            Err(_) => self.ftl.retire_block(plan.victim),
+        }
+        true
+    }
+
+    fn page_bytes(&self) -> u64 {
+        self.config.geometry.page_bytes as u64
+    }
+
+    fn handle_io(&mut self, now: SimTime, cid: CommandId, io: IoCommand) {
+        let fetch = self.hic.fetch(now);
+        match io {
+            IoCommand::Write { lba, blocks } => {
+                if !self.ns.range_ok(lba, blocks) {
+                    self.events.schedule(
+                        fetch.end,
+                        SsdEvent::Complete { cid, status: Status::LbaOutOfRange },
+                    );
+                    return;
+                }
+                let bytes = self.ns.bytes_of(blocks);
+                let dma = self.hic.dma_in(fetch.end, bytes);
+                let mut last = dma.end;
+                let wait_cid = if self.config.write_cache { None } else { Some(cid) };
+                let mut programs = 0usize;
+                for i in 0..blocks as u64 {
+                    let lpn = lba + i;
+                    let data = self
+                        .staged
+                        .remove(&lpn)
+                        .unwrap_or_else(|| Bytes::from(vec![0u8; self.page_bytes() as usize]));
+                    let g = self.buffer.write(dma.end, lpn, data.clone());
+                    last = last.max(g.end);
+                    let ppa = self.allocate_or_gc(g.end, lpn, AllocStream::Host);
+                    let id = self.submit_op(
+                        g.end,
+                        OpKind::Program(ppa),
+                        Priority::Conventional,
+                        PendingOp::HostWrite { lpn, data, wait_cid },
+                    );
+                    self.outstanding_host_programs.insert(id);
+                    programs += 1;
+                }
+                if self.config.write_cache {
+                    let at = last + self.hic.completion_post();
+                    self.events.schedule(at, SsdEvent::Complete { cid, status: Status::Success });
+                } else {
+                    self.writes_waiting.insert(
+                        cid,
+                        WriteState { remaining: programs, last_at: last, status: Status::Success },
+                    );
+                }
+            }
+            IoCommand::Read { lba, blocks } => {
+                if !self.ns.range_ok(lba, blocks) {
+                    self.events.schedule(
+                        fetch.end,
+                        SsdEvent::Complete { cid, status: Status::LbaOutOfRange },
+                    );
+                    return;
+                }
+                let bytes = self.ns.bytes_of(blocks);
+                let mut remaining = 0usize;
+                let mut ready_at = fetch.end;
+                for i in 0..blocks as u64 {
+                    let lpn = lba + i;
+                    if let Some((_data, g)) = self.buffer.read(fetch.end, lpn) {
+                        ready_at = ready_at.max(g.end);
+                    } else if let Some(ppa) = self.ftl.lookup(lpn) {
+                        self.submit_op(
+                            fetch.end,
+                            OpKind::Read(ppa),
+                            Priority::Conventional,
+                            PendingOp::HostReadPage { cid },
+                        );
+                        remaining += 1;
+                    }
+                    // Never-written pages read as zeros instantly.
+                }
+                if remaining == 0 {
+                    let dma = self.hic.dma_out(ready_at, bytes);
+                    let at = dma.end + self.hic.completion_post();
+                    self.events.schedule(at, SsdEvent::Complete { cid, status: Status::Success });
+                } else {
+                    self.reads.insert(
+                        cid,
+                        ReadState { remaining, ready_at, bytes, status: Status::Success },
+                    );
+                }
+            }
+            IoCommand::Flush => {
+                if self.outstanding_host_programs.is_empty() {
+                    let at = fetch.end + self.hic.completion_post();
+                    self.events.schedule(at, SsdEvent::Complete { cid, status: Status::Success });
+                } else {
+                    self.flushes.push(FlushState {
+                        cid,
+                        waiting_on: self.outstanding_host_programs.clone(),
+                        last_at: fetch.end,
+                    });
+                }
+            }
+        }
+    }
+
+    fn handle_admin(&mut self, now: SimTime, cid: CommandId, cmd: AdminCommand) {
+        let fetch = self.hic.fetch(now);
+        let status = match cmd {
+            AdminCommand::Identify | AdminCommand::GetLogPage | AdminCommand::SetFeatures { .. } => {
+                Status::Success
+            }
+            // The base device knows no vendor commands; the Villars wrapper
+            // intercepts them before they reach here.
+            AdminCommand::Vendor(_) => Status::InvalidOpcode,
+        };
+        self.events
+            .schedule(fetch.end + self.hic.completion_post(), SsdEvent::Complete { cid, status });
+    }
+
+    fn handle_flash(&mut self, c: flash::Completion) {
+        self.settle_program_block(c.id);
+        let Some(op) = self.pending.remove(&c.id) else { return };
+        match op {
+            PendingOp::HostWrite { lpn, data, wait_cid } => match c.result {
+                Ok(_) => {
+                    self.served_conventional_bytes += self.config.geometry.page_bytes as u64;
+                    self.media.insert(lpn, data);
+                    self.buffer.mark_clean(lpn);
+                    self.settle_host_program(c.id, c.at);
+                    if let Some(cid) = wait_cid {
+                        self.settle_waiting_write(cid, c.at, Status::Success);
+                    }
+                }
+                Err(FlashError::ProgramFailed(b)) | Err(FlashError::BadBlock(b)) => {
+                    self.ftl.retire_block(b);
+                    let ppa = self.allocate_or_gc(c.at, lpn, AllocStream::Host);
+                    let new_id = self.submit_op(
+                        c.at,
+                        OpKind::Program(ppa),
+                        Priority::Conventional,
+                        PendingOp::HostWrite { lpn, data, wait_cid },
+                    );
+                    self.replace_outstanding(c.id, new_id);
+                }
+                Err(e) => panic!("unexpected host-write flash error: {e}"),
+            },
+            PendingOp::HostReadPage { cid } => {
+                if let Some(state) = self.reads.get_mut(&cid) {
+                    state.remaining -= 1;
+                    state.ready_at = state.ready_at.max(c.at);
+                    if c.result.is_err() {
+                        state.status = Status::MediaError;
+                    }
+                    if state.remaining == 0 {
+                        let state = self.reads.remove(&cid).expect("just seen");
+                        let dma = self.hic.dma_out(state.ready_at, state.bytes);
+                        let at = dma.end + self.hic.completion_post();
+                        self.events.schedule(at, SsdEvent::Complete { cid, status: state.status });
+                    }
+                }
+            }
+            PendingOp::GcWrite => {
+                // Timing-only relocation; tolerate a failed program (the
+                // mapping already points at the new page; a real device
+                // would re-relocate, which the next GC round effectively
+                // does).
+            }
+            PendingOp::DestageWrite { token, lpn, data } => match c.result {
+                Ok(_) => {
+                    self.served_destage_bytes += self.config.geometry.page_bytes as u64;
+                    self.media.insert(lpn, data);
+                    self.destage_done.push((c.at, token));
+                }
+                Err(FlashError::ProgramFailed(b)) | Err(FlashError::BadBlock(b)) => {
+                    self.ftl.retire_block(b);
+                    let ppa = self.allocate_or_gc(c.at, lpn, AllocStream::Destage);
+                    self.submit_op(
+                        c.at,
+                        OpKind::Program(ppa),
+                        Priority::Destage,
+                        PendingOp::DestageWrite { token, lpn, data },
+                    );
+                }
+                Err(e) => panic!("unexpected destage flash error: {e}"),
+            },
+            PendingOp::InternalRead { token } => {
+                self.internal_reads_done.push((c.at, token));
+            }
+        }
+    }
+
+    fn settle_waiting_write(&mut self, cid: CommandId, at: SimTime, status: Status) {
+        let finished = if let Some(w) = self.writes_waiting.get_mut(&cid) {
+            w.remaining -= 1;
+            w.last_at = w.last_at.max(at);
+            if !status.is_ok() {
+                w.status = status;
+            }
+            w.remaining == 0
+        } else {
+            false
+        };
+        if finished {
+            let w = self.writes_waiting.remove(&cid).expect("just seen");
+            let when = w.last_at + self.hic.completion_post();
+            self.events.schedule(when, SsdEvent::Complete { cid, status: w.status });
+        }
+    }
+
+    fn settle_host_program(&mut self, id: u64, at: SimTime) {
+        self.outstanding_host_programs.remove(&id);
+        // Flushes.
+        let mut i = 0;
+        while i < self.flushes.len() {
+            let f = &mut self.flushes[i];
+            f.waiting_on.remove(&id);
+            f.last_at = f.last_at.max(at);
+            if f.waiting_on.is_empty() {
+                let f = self.flushes.remove(i);
+                let when = f.last_at + self.hic.completion_post();
+                self.events
+                    .schedule(when, SsdEvent::Complete { cid: f.cid, status: Status::Success });
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn replace_outstanding(&mut self, old: u64, new: u64) {
+        if self.outstanding_host_programs.remove(&old) {
+            self.outstanding_host_programs.insert(new);
+        }
+        for f in &mut self.flushes {
+            if f.waiting_on.remove(&old) {
+                f.waiting_on.insert(new);
+            }
+        }
+    }
+
+    /// Power loss without fast-side rescue: volatile state is gone —
+    /// unflushed host writes, queued conventional work, pending commands.
+    /// Durable media and FTL state survive.
+    pub fn power_fail(&mut self, now: SimTime) {
+        self.advance_to(now);
+        self.buffer.crash();
+        self.sched.drop_all();
+        self.pending.clear();
+        self.inflight_programs.clear();
+        self.program_blocks.clear();
+        self.outstanding_host_programs.clear();
+        self.reads.clear();
+        self.writes_waiting.clear();
+        self.flushes.clear();
+        self.events = EventQueue::new();
+        self.out.clear();
+        self.staged.clear();
+    }
+
+    /// Power loss with supercapacitor rescue of the destage class: queued
+    /// and in-flight `Destage` writes complete on residual energy; all
+    /// host-side volatile state is lost. Returns the instant the rescue
+    /// finished.
+    pub fn power_fail_rescue_destage(&mut self, now: SimTime) -> SimTime {
+        self.advance_to(now);
+        // Drop conventional queued work; keep the destage queue.
+        self.sched.drop_class(Priority::Conventional);
+        // In-flight flash completions: destage ones finish on supercap power,
+        // everything else is torn and lost.
+        let mut rescued = Vec::new();
+        while let Some((_, ev)) = self.events.pop() {
+            if let SsdEvent::Flash(c) = ev {
+                if matches!(self.pending.get(&c.id), Some(PendingOp::DestageWrite { .. })) {
+                    rescued.push(c);
+                }
+            }
+        }
+        self.buffer.crash();
+        self.outstanding_host_programs.clear();
+        self.reads.clear();
+        self.writes_waiting.clear();
+        self.flushes.clear();
+        self.out.clear();
+        self.staged.clear();
+        self.pending.retain(|_, op| matches!(op, PendingOp::DestageWrite { .. }));
+        // Burn residual energy: finish in-flight destage ops, then run the
+        // destage queue dry.
+        let mut last = now;
+        for c in rescued {
+            last = last.max(c.at);
+            self.handle_flash(c);
+        }
+        loop {
+            let completions = self.sched.pump(&mut self.array, SimTime::MAX);
+            if completions.is_empty() && self.events.is_empty() {
+                break;
+            }
+            for c in completions {
+                last = last.max(c.at);
+                self.handle_flash(c);
+            }
+            while let Some((at, ev)) = self.events.pop() {
+                if let SsdEvent::Flash(c) = ev {
+                    last = last.max(at);
+                    self.handle_flash(c);
+                }
+            }
+        }
+        last
+    }
+}
+
+impl ConventionalSsd {
+    /// Earliest *device-internal* pending instant: scheduled events (flash
+    /// completions, command completions not yet fired) and queued flash
+    /// work — excluding completions already sitting in the outbound queue,
+    /// which only the host can consume. Event-loop steppers use this;
+    /// drivers use [`NvmeController::next_event_at`].
+    pub fn next_device_event(&self) -> Option<SimTime> {
+        let mut next = self.events.next_time();
+        if let Some(t) = self.sched.next_start_hint(&self.array) {
+            next = Some(next.map_or(t, |e: SimTime| e.min(t)));
+        }
+        // Undelivered fast-side completions are pending work for the upper
+        // layer (the destage module / recovery reader).
+        for t in self
+            .destage_done
+            .iter()
+            .chain(self.internal_reads_done.iter())
+            .map(|(at, _)| *at)
+        {
+            next = Some(next.map_or(t, |e: SimTime| e.min(t)));
+        }
+        next
+    }
+}
+
+impl NvmeController for ConventionalSsd {
+    fn submit(&mut self, now: SimTime, cmd: Command) {
+        match cmd.kind {
+            CommandKind::Io(io) => self.handle_io(now, cmd.cid, io),
+            CommandKind::Admin(a) => self.handle_admin(now, cmd.cid, a),
+        }
+    }
+
+    fn advance_to(&mut self, t: SimTime) {
+        loop {
+            let completions = self.sched.pump(&mut self.array, t);
+            let mut progressed = !completions.is_empty();
+            for c in completions {
+                // Effects apply at the op's completion instant, which may be
+                // beyond `t`; hold them as timed events.
+                self.events.schedule(c.at, SsdEvent::Flash(c));
+            }
+            while let Some((at, ev)) = self.events.pop_due(t) {
+                progressed = true;
+                match ev {
+                    SsdEvent::Complete { cid, status } => {
+                        self.out.push((at, CompletionEntry { cid, status, result: 0 }));
+                    }
+                    SsdEvent::Flash(c) => self.handle_flash(c),
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    fn drain_completions(&mut self, t: SimTime) -> Vec<(SimTime, CompletionEntry)> {
+        let (mut ready, rest): (Vec<_>, Vec<_>) =
+            std::mem::take(&mut self.out).into_iter().partition(|(at, _)| *at <= t);
+        self.out = rest;
+        ready.sort_by_key(|(at, _)| *at);
+        ready
+    }
+
+    fn next_event_at(&self) -> Option<SimTime> {
+        let mut events = self.next_device_event();
+        if let Some(t) = self.out.iter().map(|(at, _)| *at).min() {
+            events = Some(events.map_or(t, |e: SimTime| e.min(t)));
+        }
+        events
+    }
+
+    fn namespace(&self) -> Namespace {
+        self.ns
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based FTL invariants under randomized workloads:
+//! mapping uniqueness, capacity accounting, and GC state preservation.
+
+use flash::{FlashArray, FlashGeometry, FlashTiming, ReliabilityConfig};
+use proptest::prelude::*;
+use ssd::{AllocStream, Ftl};
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write (allocate a new version of) lpn % working-set.
+    Write(u64),
+    /// Trim lpn % working-set.
+    Trim(u64),
+    /// Run one GC round (plan + erase bookkeeping).
+    Gc,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0u64..64).prop_map(Op::Write),
+        1 => (0u64..64).prop_map(Op::Trim),
+        1 => Just(Op::Gc),
+    ]
+}
+
+fn fresh() -> (FlashGeometry, Ftl) {
+    let g = FlashGeometry::tiny();
+    let array = FlashArray::new(g, FlashTiming::fast(), ReliabilityConfig::perfect(), 99);
+    let ftl = Ftl::new(g, &array, 2);
+    (g, ftl)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn mapping_stays_unique_and_consistent(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        let (g, mut ftl) = fresh();
+        let mut model: HashMap<u64, ()> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Write(lpn) => {
+                    // Allocation may legitimately fail when space is
+                    // exhausted and nothing is reclaimable without erases;
+                    // run GC rounds until it succeeds or truly stuck.
+                    let mut tries = 0;
+                    loop {
+                        if ftl.allocate(lpn, AllocStream::Host).is_some() {
+                            model.insert(lpn, ());
+                            break;
+                        }
+                        match ftl.plan_gc() {
+                            Some(plan) => ftl.block_erased(plan.victim),
+                            None => break, // genuinely full of live data
+                        }
+                        tries += 1;
+                        prop_assert!(tries < 128, "GC loop runaway");
+                    }
+                }
+                Op::Trim(lpn) => {
+                    ftl.invalidate(lpn);
+                    model.remove(&lpn);
+                }
+                Op::Gc => {
+                    if let Some(plan) = ftl.plan_gc() {
+                        // Moves must rebind exactly the live lpns of the victim.
+                        for (lpn, old, new) in &plan.moves {
+                            prop_assert_ne!(old, new);
+                            prop_assert_eq!(ftl.lookup(*lpn), Some(*new));
+                        }
+                        ftl.block_erased(plan.victim);
+                    }
+                }
+            }
+            // Invariant 1: the mapped set equals the model's live set.
+            prop_assert_eq!(ftl.mapped_pages(), model.len());
+            for lpn in model.keys() {
+                prop_assert!(ftl.lookup(*lpn).is_some(), "live lpn {lpn} unmapped");
+            }
+            // Invariant 2: physical addresses are unique across live lpns.
+            let mut seen = HashSet::new();
+            for lpn in model.keys() {
+                let ppa = ftl.lookup(*lpn).expect("checked above");
+                prop_assert!(ppa.in_bounds(&g));
+                prop_assert!(seen.insert(ppa), "ppa {ppa:?} mapped twice");
+            }
+            // Invariant 3: free-block accounting bounded by geometry.
+            prop_assert!(ftl.free_block_count() <= g.total_blocks() as usize);
+        }
+    }
+
+    #[test]
+    fn write_amplification_grows_only_with_gc(overwrites in 1usize..300) {
+        let (_g, mut ftl) = fresh();
+        for i in 0..overwrites {
+            let lpn = (i % 8) as u64;
+            let mut tries = 0;
+            while ftl.allocate(lpn, AllocStream::Host).is_none() {
+                let plan = ftl.plan_gc().expect("overwritten blocks reclaimable");
+                ftl.block_erased(plan.victim);
+                tries += 1;
+                assert!(tries < 64);
+            }
+        }
+        let stats = ftl.stats();
+        // Overwriting a tiny working set produces (almost) empty victims:
+        // WA must stay close to 1.
+        prop_assert!(stats.write_amplification() < 1.5, "WA {}", stats.write_amplification());
+    }
+}
+
+#[test]
+fn wear_penalty_steers_victim_selection() {
+    use flash::{FlashTiming, ReliabilityConfig};
+    let g = FlashGeometry::tiny();
+    let array = FlashArray::new(g, FlashTiming::fast(), ReliabilityConfig::perfect(), 7);
+    let mut ftl = Ftl::new(g, &array, 2);
+    // Fill two full blocks' worth of distinct lpns, then overwrite all of
+    // them so several blocks are fully invalid (equal valid counts).
+    let per_block = g.pages_per_block as u64;
+    let dies = g.total_dies() as u64;
+    for lpn in 0..per_block * dies {
+        ftl.allocate(lpn, AllocStream::Host).unwrap();
+    }
+    for lpn in 0..per_block * dies {
+        ftl.allocate(lpn, AllocStream::Host).unwrap();
+    }
+    // Without wear, greedy picks some victim V. With a huge penalty on V,
+    // the planner must pick a different one.
+    let baseline = ftl.plan_gc_weighted(|_| false, |_| 0).expect("victims exist");
+    let avoided = baseline.victim;
+    let alternative = ftl
+        .plan_gc_weighted(|_| false, |b| if b == avoided { 1_000 } else { 0 })
+        .expect("other victims exist");
+    assert_ne!(alternative.victim, avoided, "penalty must steer selection");
+}

@@ -1,0 +1,138 @@
+//! Compact row codecs for the TPC-C schema.
+//!
+//! Rows are flat little-endian field sequences with fixed-width strings —
+//! realistic record sizes (what the log path sees) without a serialization
+//! dependency. Money is i64 cents.
+
+/// Field writer.
+#[derive(Debug, Default)]
+pub struct RowWriter {
+    buf: Vec<u8>,
+}
+
+impl RowWriter {
+    /// Writer with a capacity hint.
+    pub fn new(capacity: usize) -> Self {
+        RowWriter { buf: Vec::with_capacity(capacity) }
+    }
+
+    /// Append a u32.
+    pub fn u32(mut self, v: u32) -> Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a u64.
+    pub fn u64(mut self, v: u64) -> Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append an i64 (money in cents).
+    pub fn money(mut self, v: i64) -> Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a fixed-width string (truncated / zero-padded).
+    pub fn str(mut self, s: &str, width: usize) -> Self {
+        let bytes = s.as_bytes();
+        let take = bytes.len().min(width);
+        self.buf.extend_from_slice(&bytes[..take]);
+        self.buf.extend(std::iter::repeat_n(0u8, width - take));
+        self
+    }
+
+    /// Finish the row.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Field reader over a row image.
+#[derive(Debug)]
+pub struct RowReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RowReader<'a> {
+    /// Reader at the row start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        RowReader { buf, pos: 0 }
+    }
+
+    /// Read a u32.
+    pub fn u32(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().expect("4 bytes"));
+        self.pos += 4;
+        v
+    }
+
+    /// Read a u64.
+    pub fn u64(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().expect("8 bytes"));
+        self.pos += 8;
+        v
+    }
+
+    /// Read money (i64 cents).
+    pub fn money(&mut self) -> i64 {
+        let v = i64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().expect("8 bytes"));
+        self.pos += 8;
+        v
+    }
+
+    /// Read a fixed-width string (trailing zeros trimmed).
+    pub fn str(&mut self, width: usize) -> String {
+        let raw = &self.buf[self.pos..self.pos + width];
+        self.pos += width;
+        let end = raw.iter().position(|b| *b == 0).unwrap_or(width);
+        String::from_utf8_lossy(&raw[..end]).into_owned()
+    }
+
+    /// Skip `n` bytes.
+    pub fn skip(&mut self, n: usize) {
+        self.pos += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_fields() {
+        let row = RowWriter::new(64)
+            .u32(7)
+            .money(-1234)
+            .str("BAROUGHTABLE", 16)
+            .u64(99)
+            .finish();
+        let mut r = RowReader::new(&row);
+        assert_eq!(r.u32(), 7);
+        assert_eq!(r.money(), -1234);
+        assert_eq!(r.str(16), "BAROUGHTABLE");
+        assert_eq!(r.u64(), 99);
+    }
+
+    #[test]
+    fn strings_truncate_and_pad() {
+        let row = RowWriter::new(8).str("toolongvalue", 4).finish();
+        assert_eq!(row.len(), 4);
+        let mut r = RowReader::new(&row);
+        assert_eq!(r.str(4), "tool");
+        let padded = RowWriter::new(8).str("ab", 6).finish();
+        assert_eq!(padded.len(), 6);
+        let mut r2 = RowReader::new(&padded);
+        assert_eq!(r2.str(6), "ab");
+    }
+
+    #[test]
+    fn skip_moves_cursor() {
+        let row = RowWriter::new(16).u32(1).u32(2).u32(3).finish();
+        let mut r = RowReader::new(&row);
+        r.skip(4);
+        assert_eq!(r.u32(), 2);
+    }
+}

@@ -1,0 +1,146 @@
+//! TPC-C value generators: NURand, last names, random strings.
+//!
+//! Follows the TPC-C specification's generator definitions (rev. 5.11,
+//! clause 2.1.6 and 4.3.2) so key-access skew matches the benchmark the
+//! paper runs.
+
+use simkit::DetRng;
+
+/// The spec's non-uniform random function:
+/// `(((random(0,A) | random(x,y)) + C) % (y - x + 1)) + x`.
+pub fn nurand(rng: &mut DetRng, a: u64, c: u64, x: u64, y: u64) -> u64 {
+    let r1 = rng.uniform(0, a);
+    let r2 = rng.uniform(x, y);
+    (((r1 | r2) + c) % (y - x + 1)) + x
+}
+
+/// Per-run NURand C constants (the spec draws them once per database).
+#[derive(Debug, Clone, Copy)]
+pub struct NurandC {
+    /// C for customer last names (A = 255).
+    pub c_last: u64,
+    /// C for customer ids (A = 1023).
+    pub c_id: u64,
+    /// C for item ids (A = 8191).
+    pub ol_i_id: u64,
+}
+
+impl NurandC {
+    /// Draw the constants deterministically from `rng`.
+    pub fn draw(rng: &mut DetRng) -> Self {
+        NurandC {
+            c_last: rng.uniform(0, 255),
+            c_id: rng.uniform(0, 1023),
+            ol_i_id: rng.uniform(0, 8191),
+        }
+    }
+}
+
+/// Customer-id draw (1-based, over `customers` per district).
+pub fn customer_id(rng: &mut DetRng, c: &NurandC, customers: u32) -> u32 {
+    nurand(rng, 1023, c.c_id, 1, customers as u64) as u32
+}
+
+/// Item-id draw (1-based, over `items`).
+pub fn item_id(rng: &mut DetRng, c: &NurandC, items: u32) -> u32 {
+    nurand(rng, 8191, c.ol_i_id, 1, items as u64) as u32
+}
+
+/// The spec's last-name syllables.
+const SYLLABLES: [&str; 10] =
+    ["BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"];
+
+/// Compose a last name from a number in `[0, 999]`.
+pub fn last_name(num: u64) -> String {
+    let d1 = (num / 100) % 10;
+    let d2 = (num / 10) % 10;
+    let d3 = num % 10;
+    format!("{}{}{}", SYLLABLES[d1 as usize], SYLLABLES[d2 as usize], SYLLABLES[d3 as usize])
+}
+
+/// Last name for a *run-time* draw (NURand over [0, 999]).
+pub fn random_last_name(rng: &mut DetRng, c: &NurandC) -> String {
+    last_name(nurand(rng, 255, c.c_last, 0, 999))
+}
+
+/// Last name for the *loader* (customer `c_id`): the first 1000 customers
+/// get deterministic names, the rest NURand draws.
+pub fn loader_last_name(rng: &mut DetRng, c: &NurandC, c_id: u32) -> String {
+    if c_id <= 1000 {
+        last_name((c_id - 1) as u64)
+    } else {
+        random_last_name(rng, c)
+    }
+}
+
+/// A random alphanumeric string with length in `[lo, hi]`.
+pub fn astring(rng: &mut DetRng, lo: usize, hi: usize) -> String {
+    const CHARS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+    let len = rng.uniform(lo as u64, hi as u64) as usize;
+    (0..len).map(|_| CHARS[rng.uniform(0, CHARS.len() as u64 - 1) as usize] as char).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nurand_stays_in_range() {
+        let mut rng = DetRng::new(1);
+        for _ in 0..5000 {
+            let v = nurand(&mut rng, 1023, 7, 1, 3000);
+            assert!((1..=3000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn nurand_is_skewed() {
+        // NURand concentrates mass; the top-frequency value should be far
+        // above the uniform expectation.
+        let mut rng = DetRng::new(2);
+        let c = NurandC::draw(&mut rng);
+        let mut counts = vec![0u32; 3001];
+        let n = 30_000;
+        for _ in 0..n {
+            counts[customer_id(&mut rng, &c, 3000) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let uniform_expect = n / 3000;
+        assert!(max > uniform_expect * 3, "max {max} vs uniform {uniform_expect}");
+    }
+
+    #[test]
+    fn last_names_follow_syllable_digits() {
+        assert_eq!(last_name(0), "BARBARBAR");
+        assert_eq!(last_name(371), "PRICALLYOUGHT");
+        assert_eq!(last_name(999), "EINGEINGEING");
+    }
+
+    #[test]
+    fn loader_names_deterministic_for_first_1000() {
+        let mut rng = DetRng::new(3);
+        let c = NurandC::draw(&mut rng);
+        assert_eq!(loader_last_name(&mut rng, &c, 1), "BARBARBAR");
+        assert_eq!(loader_last_name(&mut rng, &c, 1000), "EINGEINGEING");
+    }
+
+    #[test]
+    fn astring_length_bounds() {
+        let mut rng = DetRng::new(4);
+        for _ in 0..200 {
+            let s = astring(&mut rng, 8, 16);
+            assert!((8..=16).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn constants_are_deterministic() {
+        let mut a = DetRng::new(9);
+        let mut b = DetRng::new(9);
+        let ca = NurandC::draw(&mut a);
+        let cb = NurandC::draw(&mut b);
+        assert_eq!(ca.c_last, cb.c_last);
+        assert_eq!(ca.c_id, cb.c_id);
+        assert_eq!(ca.ol_i_id, cb.ol_i_id);
+    }
+}

@@ -1,0 +1,27 @@
+//! # xssd-suite — the X-SSD reproduction, assembled
+//!
+//! A facade over the workspace crates so examples and integration tests can
+//! `use xssd_suite::…` one level deep:
+//!
+//! - [`sim`] — the discrete-event kernel;
+//! - [`pcie`], [`flash`], [`nvme`], [`ssd`] — the hardware substrates;
+//! - [`xssd`] — the paper's contribution: the Villars device, clusters,
+//!   and the `x_pwrite`/`x_fsync`/`x_pread` host API;
+//! - [`db`] — the main-memory database with pluggable log backends;
+//! - [`tpcc`] — the TPC-C workload.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use flash;
+pub use nvme;
+pub use pcie;
+pub use simkit as sim;
+pub use ssd;
+pub use tpcc;
+pub use xssd_core as xssd;
+
+/// The main-memory database substrate (re-exported under a shorter name).
+pub mod db {
+    pub use memdb::*;
+}
