@@ -6,9 +6,13 @@
 //! into the device buffer, buffer to flash); a Villars device does it in
 //! two (host to CMB, CMB to flash). This harness counts the host-side
 //! memory-bus bytes per logged byte and the host time consumed.
+//!
+//! The Villars row is derived from the device's telemetry snapshot (CMB
+//! intake and destage counters); `results/ablation_data_movements.json`
+//! carries both paths' snapshots.
 
-use simkit::{Bandwidth, SimTime};
-use xssd_bench::{header, row, section, Measurement};
+use simkit::{Bandwidth, MetricsRegistry, SimTime, Snapshot};
+use xssd_bench::{section, Measurement, Report};
 use xssd_core::{Cluster, VillarsConfig, XLogFile};
 
 struct Movements {
@@ -25,8 +29,9 @@ const MEM_BW_GBPS: f64 = 8.0;
 /// Host-managed path: the log bytes cross the host memory bus three times —
 /// (1) stored into PM, (2) read back for destaging, (3) pulled again by the
 /// device's DMA from host memory. The fourth movement of paper §5.1
-/// (device buffer → flash) is inside the device.
-fn host_managed(total: u64) -> Movements {
+/// (device buffer → flash) is inside the device. Analytic, so its snapshot
+/// holds only the `bench.*` model inputs/outputs.
+fn host_managed(total: u64) -> Snapshot {
     let mem_bw = Bandwidth::gbytes_per_sec(MEM_BW_GBPS);
     let host_bytes = 3 * total;
     let bus_time = mem_bw.transfer_time(host_bytes);
@@ -36,16 +41,18 @@ fn host_managed(total: u64) -> Movements {
     let e2e = mem_bw.transfer_time(total)
         + link.transfer_time(total)
         + Bandwidth::gbytes_per_sec(2.0).transfer_time(total);
-    Movements {
-        host_bus_bytes_per_logged: host_bytes as f64 / total as f64,
-        bus_us_per_mib: bus_time.as_micros_f64() / (total as f64 / (1 << 20) as f64),
-        e2e_us_per_mib: e2e.as_micros_f64() / (total as f64 / (1 << 20) as f64),
-    }
+    let mut reg = MetricsRegistry::new();
+    reg.counter("bench.logged_bytes", total);
+    reg.counter("bench.host_bus_bytes", host_bytes);
+    reg.counter("bench.host_bus_busy_ns", bus_time.as_nanos());
+    reg.counter("bench.e2e_ns", e2e.as_nanos());
+    reg.snapshot()
 }
 
 /// Villars path: the host memory bus sees each byte once (the source read
-/// feeding the MMIO store stream); destaging is device-internal.
-fn villars(total: u64) -> Movements {
+/// feeding the MMIO store stream); destaging is device-internal. The whole
+/// device stack is snapshotted after the run.
+fn villars(total: u64) -> Snapshot {
     let mut cl = Cluster::new();
     let dev = cl.add_device(VillarsConfig::villars_sram());
     let mut f = XLogFile::open(dev);
@@ -58,16 +65,29 @@ fn villars(total: u64) -> Movements {
     }
     now = f.x_fsync(&mut cl, now).expect("fsync");
     let mem_bw = Bandwidth::gbytes_per_sec(MEM_BW_GBPS);
-    let bus_time = mem_bw.transfer_time(total);
+    let mut reg = MetricsRegistry::new();
+    reg.collect("", &cl);
+    reg.counter("bench.logged_bytes", total);
+    // One host-bus crossing: the source read feeding the MMIO stores.
+    reg.counter("bench.host_bus_bytes", total);
+    reg.counter("bench.host_bus_busy_ns", mem_bw.transfer_time(total).as_nanos());
+    reg.counter("bench.e2e_ns", now.saturating_since(SimTime::ZERO).as_nanos());
+    reg.snapshot()
+}
+
+fn derive(snap: &Snapshot) -> Movements {
+    let total = snap.counter("bench.logged_bytes") as f64;
+    let mib = total / (1 << 20) as f64;
     Movements {
-        host_bus_bytes_per_logged: 1.0,
-        bus_us_per_mib: bus_time.as_micros_f64() / (total as f64 / (1 << 20) as f64),
-        e2e_us_per_mib: now.as_micros_f64() / (total as f64 / (1 << 20) as f64),
+        host_bus_bytes_per_logged: snap.counter("bench.host_bus_bytes") as f64 / total,
+        bus_us_per_mib: snap.counter("bench.host_bus_busy_ns") as f64 / 1e3 / mib,
+        e2e_us_per_mib: snap.counter("bench.e2e_ns") as f64 / 1e3 / mib,
     }
 }
 
 fn main() {
-    header(
+    let mut report = Report::new(
+        "ablation_data_movements",
         "Ablation: data movements",
         "Host memory-bus traffic per logged byte: host-managed PM vs. Villars",
         "paper §5.1: four movements vs. two; only host-side movements burn host bandwidth",
@@ -80,13 +100,14 @@ fn main() {
         "{:<24} {:>22} {:>16} {:>16}",
         "path", "host_bus_bytes/byte", "bus_us_per_MiB", "e2e_us_per_MiB"
     );
-    for (label, m, x) in [("host-managed-pm", &h, 0.0), ("villars", &v, 1.0)] {
-        row(
+    for (label, snap, x) in [("host-managed-pm", h, 0.0), ("villars", v, 1.0)] {
+        let m = derive(&snap);
+        report.row(
             &format!(
                 "{:<24} {:>22.1} {:>16.1} {:>16.1}",
                 label, m.host_bus_bytes_per_logged, m.bus_us_per_mib, m.e2e_us_per_mib
             ),
-            &Measurement::point(
+            Measurement::point(
                 "ablation_movements",
                 label,
                 x,
@@ -96,9 +117,11 @@ fn main() {
             )
             .with_extra(m.bus_us_per_mib),
         );
+        report.telemetry(label, snap);
     }
     println!();
     println!("expected: the Villars path touches each logged byte once on the host");
     println!("(3x less host memory-bus traffic), freeing bandwidth the paper argues");
     println!("contributes back to database performance.");
+    report.finish().expect("write results json");
 }

@@ -6,15 +6,14 @@
 //! against log read freshness (how long the tail takes to become readable
 //! on the conventional side). A slow trickle of sub-page appends makes the
 //! trade-off visible.
+//!
+//! The filler fraction is derived from the destage module's own telemetry
+//! (`core.destage.lane0.{full,partial}_pages`, `filler_bytes`); per-deadline
+//! snapshots land in `results/ablation_destage_deadline.json`.
 
-use simkit::{SimDuration, SimTime};
-use xssd_bench::{header, row, section, Measurement};
+use simkit::{MetricsRegistry, SimDuration, SimTime, Snapshot};
+use xssd_bench::{section, Measurement, Report};
 use xssd_core::{Cluster, DestageConfig, VillarsConfig, XLogFile};
-
-struct Outcome {
-    filler_fraction: f64,
-    read_freshness_us: f64,
-}
 
 fn device(max_latency: SimDuration) -> (Cluster, usize) {
     let mut config = VillarsConfig::villars_sram();
@@ -24,7 +23,7 @@ fn device(max_latency: SimDuration) -> (Cluster, usize) {
     (cl, dev)
 }
 
-fn run(max_latency: SimDuration) -> Outcome {
+fn run(max_latency: SimDuration) -> Snapshot {
     let record = vec![0x33u8; 512];
 
     // Run A — space efficiency: paced appends only (512 B every 100 µs);
@@ -38,63 +37,73 @@ fn run(max_latency: SimDuration) -> Outcome {
         cl.advance(now);
     }
     cl.advance(now + max_latency + SimDuration::from_millis(2));
-    let stats = cl.device(dev).destage_stats(0);
-    let total_pages = stats.full_pages + stats.partial_pages;
     let page_bytes = cl.device(dev).config().conventional.geometry.page_bytes as u64;
-    let filler_fraction = if total_pages == 0 {
-        0.0
-    } else {
-        stats.filler_bytes as f64 / (total_pages * page_bytes) as f64
-    };
 
     // Run B — freshness: a reader waits for each record to reach NAND (the
     // blocking read intentionally exposes the worst-case deadline wait).
-    let (mut cl, dev) = device(max_latency);
-    let mut f = XLogFile::open(dev);
+    let (mut cl_b, dev_b) = device(max_latency);
+    let mut f = XLogFile::open(dev_b);
     let mut now = SimTime::ZERO;
     let mut freshness = simkit::SampleSeries::new();
     for _ in 0..50 {
-        let written_at = f.x_pwrite(&mut cl, now, &record).expect("append");
-        let (readable_at, _bytes) = f.x_pread(&mut cl, written_at, record.len()).expect("tail");
+        let written_at = f.x_pwrite(&mut cl_b, now, &record).expect("append");
+        let (readable_at, _bytes) = f.x_pread(&mut cl_b, written_at, record.len()).expect("tail");
         freshness.record(readable_at.saturating_since(written_at).as_micros_f64());
         now = readable_at + SimDuration::from_micros(100);
     }
 
-    Outcome { filler_fraction, read_freshness_us: freshness.mean() }
+    // Snapshot run A's device stack (the space-efficiency run), tagged with
+    // run B's freshness outcome.
+    let mut reg = MetricsRegistry::new();
+    reg.collect("", &cl);
+    reg.counter("bench.page_bytes", page_bytes);
+    reg.gauge("bench.read_freshness_us", freshness.mean());
+    reg.snapshot()
+}
+
+/// (filler fraction, mean tail-read freshness µs) from the snapshot.
+fn derive(snap: &Snapshot) -> (f64, f64) {
+    let total_pages = snap.counter("core.destage.lane0.full_pages")
+        + snap.counter("core.destage.lane0.partial_pages");
+    let filler_fraction = if total_pages == 0 {
+        0.0
+    } else {
+        snap.counter("core.destage.lane0.filler_bytes") as f64
+            / (total_pages * snap.counter("bench.page_bytes")) as f64
+    };
+    (filler_fraction, snap.gauge("bench.read_freshness_us"))
 }
 
 fn main() {
-    header(
+    let mut report = Report::new(
+        "ablation_destage_deadline",
         "Ablation: destage latency threshold",
         "Filler waste vs. tail-read freshness for the destage deadline",
         "512 B appends every 100 us; deadline swept 50 us - 5 ms",
     );
     section("per-deadline outcome");
-    println!(
-        "{:<14} {:>16} {:>20}",
-        "deadline_us", "filler_frac", "read_freshness_us"
-    );
+    println!("{:<14} {:>16} {:>20}", "deadline_us", "filler_frac", "read_freshness_us");
     for deadline_us in [50u64, 200, 1000, 5000] {
-        let o = run(SimDuration::from_micros(deadline_us));
-        row(
-            &format!(
-                "{:<14} {:>16.3} {:>20.1}",
-                deadline_us, o.filler_fraction, o.read_freshness_us
-            ),
-            &Measurement::point(
+        let snap = run(SimDuration::from_micros(deadline_us));
+        let (filler_fraction, freshness_us) = derive(&snap);
+        report.row(
+            &format!("{:<14} {:>16.3} {:>20.1}", deadline_us, filler_fraction, freshness_us),
+            Measurement::point(
                 "ablation_deadline",
                 "destage-deadline",
                 deadline_us as f64,
                 "deadline_us",
-                o.filler_fraction,
+                filler_fraction,
                 "filler_fraction",
             )
-            .with_extra(o.read_freshness_us),
+            .with_extra(freshness_us),
         );
+        report.telemetry(format!("deadline{deadline_us}us"), snap);
     }
     println!();
     println!("expected: a short deadline destages eagerly — fresh tail reads but");
     println!("pages dominated by filler; a long deadline amortizes full pages at the");
     println!("cost of read staleness. The paper's 'meet a given latency threshold'");
     println!("knob, quantified.");
+    report.finish().expect("write results json");
 }

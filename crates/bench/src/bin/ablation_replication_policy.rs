@@ -5,12 +5,17 @@
 //! returns the primary counter; chain returns the last secondary's. This
 //! harness measures the visible-commit latency (`x_pwrite`+`x_fsync` of a
 //! 4 KiB group) under Eager / Lazy / Chain / Quorum with 1–3 secondaries.
+//!
+//! Each (policy, secondaries) run snapshots the whole cluster; the mean
+//! latency is read back out of the snapshot's `bench.commit_us` summary.
 
-use simkit::{SampleSeries, SimDuration, SimTime};
-use xssd_bench::{header, row, section, Measurement};
+use simkit::{
+    Histogram, MetricValue, MetricsRegistry, SampleSeries, SimDuration, SimTime, Snapshot,
+};
+use xssd_bench::{section, Measurement, Report};
 use xssd_core::{Cluster, ReplicationPolicy, VillarsConfig, XLogFile};
 
-fn run(policy: ReplicationPolicy, secondaries: usize) -> f64 {
+fn run(policy: ReplicationPolicy, secondaries: usize) -> Snapshot {
     let mut cfg = VillarsConfig::villars_sram();
     cfg.replication = policy;
     let mut cl = Cluster::new();
@@ -43,42 +48,57 @@ fn run(policy: ReplicationPolicy, secondaries: usize) -> f64 {
         lat.record(now.saturating_since(t0).as_micros_f64());
         now += SimDuration::from_micros(5);
     }
-    lat.mean()
+    let mut reg = MetricsRegistry::new();
+    reg.collect("", &cl);
+    reg.gauge("bench.mean_commit_us", lat.mean());
+    let mut hist = Histogram::new();
+    for &s in lat.samples() {
+        hist.record(s);
+    }
+    reg.scope("bench").latency("commit_us", &hist);
+    reg.snapshot()
+}
+
+fn mean_us(snap: &Snapshot) -> f64 {
+    match snap.get("bench.commit_us") {
+        Some(MetricValue::Latency { .. }) => snap.gauge("bench.mean_commit_us"),
+        _ => 0.0,
+    }
 }
 
 fn main() {
-    header(
+    let mut report = Report::new(
+        "ablation_replication_policy",
         "Ablation: replication policy",
         "Visible-commit latency of a 4 KiB group under different counter combinations",
         "Eager (min over all) / Lazy (local) / Chain (last secondary) / Quorum(2)",
     );
     section("mean x_pwrite+x_fsync latency (us)");
-    println!("{:<12} {:>14} {:>14} {:>14}", "policy", "1 secondary", "2 secondaries", "3 secondaries");
+    println!(
+        "{:<12} {:>14} {:>14} {:>14}",
+        "policy", "1 secondary", "2 secondaries", "3 secondaries"
+    );
     for (label, policy) in [
         ("eager", ReplicationPolicy::Eager),
         ("lazy", ReplicationPolicy::Lazy),
         ("chain", ReplicationPolicy::Chain),
         ("quorum2", ReplicationPolicy::Quorum(2)),
     ] {
-        let l1 = run(policy, 1);
-        let l2 = run(policy, 2);
-        let l3 = run(policy, 3);
-        row(
+        let snaps = [run(policy, 1), run(policy, 2), run(policy, 3)];
+        let [l1, l2, l3] = [mean_us(&snaps[0]), mean_us(&snaps[1]), mean_us(&snaps[2])];
+        report.row(
             &format!("{:<12} {:>14.2} {:>14.2} {:>14.2}", label, l1, l2, l3),
-            &Measurement::point(
-                "ablation_policy",
-                label,
-                1.0,
-                "secondaries",
-                l1,
-                "latency_us",
-            )
-            .with_extra(l3),
+            Measurement::point("ablation_policy", label, 1.0, "secondaries", l1, "latency_us")
+                .with_extra(l3),
         );
+        for (i, snap) in snaps.into_iter().enumerate() {
+            report.telemetry(format!("{label}.{}sec", i + 1), snap);
+        }
     }
     println!();
     println!("expected: lazy ~ local-only latency, independent of secondaries;");
     println!("eager grows with the slowest secondary (mirror flows serialize on the");
     println!("primary's NTB ports); quorum(2) sits between lazy and eager; chain");
     println!("tracks the tail of the chain.");
+    report.finish().expect("write results json");
 }

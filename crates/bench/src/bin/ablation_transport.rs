@@ -4,12 +4,15 @@
 //! visible-but-not-persistent hazard (an RDMA write can land in the remote
 //! CPU's cache via DDIO and need an extra flush round trip to be durable).
 //! This ablation quantifies both effects for log-chunk shipping.
+//!
+//! Per-chunk snapshots (NTB wire counters + the three measured latencies)
+//! go to `results/ablation_transport.json`; the table prints from them.
 
 use pcie::{NtbConfig, NtbPort, RdmaConfig, RdmaTransport, TranslationWindow};
-use simkit::SimTime;
-use xssd_bench::{header, row, section, Measurement};
+use simkit::{MetricsRegistry, SimTime, Snapshot};
+use xssd_bench::{section, Measurement, Report};
 
-fn ntb_one_way(chunk: u64) -> f64 {
+fn ntb_one_way(chunk: u64) -> (f64, NtbPort) {
     let mut port = NtbPort::new(NtbConfig::default(), pcie::HostId(1));
     port.add_window(TranslationWindow {
         local_base: 0,
@@ -20,7 +23,7 @@ fn ntb_one_way(chunk: u64) -> f64 {
     // Ship the chunk as 64-byte (WC-sized) TLPs.
     let tlps = chunk.div_ceil(64).max(1);
     let g = port.forward_burst(SimTime::ZERO, 0, 64, tlps).expect("mapped");
-    g.end.as_micros_f64()
+    (g.end.as_micros_f64(), port)
 }
 
 fn rdma_persistent(chunk: u64) -> f64 {
@@ -33,8 +36,21 @@ fn rdma_visible(chunk: u64) -> f64 {
     t.write_visible(SimTime::ZERO, chunk).end.as_micros_f64()
 }
 
+/// One chunk size, all three transports, one snapshot.
+fn run(chunk: u64) -> Snapshot {
+    let (ntb_us, port) = ntb_one_way(chunk);
+    let mut reg = MetricsRegistry::new();
+    reg.collect("pcie.ntb", &port);
+    reg.counter("bench.chunk_bytes", chunk);
+    reg.gauge("bench.ntb_us", ntb_us);
+    reg.gauge("bench.rdma_visible_us", rdma_visible(chunk));
+    reg.gauge("bench.rdma_persist_us", rdma_persistent(chunk));
+    reg.snapshot()
+}
+
 fn main() {
-    header(
+    let mut report = Report::new(
+        "ablation_transport",
         "Ablation: transport",
         "NTB vs. RDMA for shipping one log chunk (one-way, until remotely persistent)",
         "NTB: Dolphin-class daisy chain; RDMA: 100 Gb/s RoCE with DDIO persistence flush",
@@ -45,12 +61,13 @@ fn main() {
         "chunk_B", "ntb_us", "rdma_visible_us", "rdma_persist_us"
     );
     for chunk in [64u64, 256, 1024, 4096, 16384, 65536] {
-        let ntb = ntb_one_way(chunk);
-        let vis = rdma_visible(chunk);
-        let per = rdma_persistent(chunk);
-        row(
+        let snap = run(chunk);
+        let ntb = snap.gauge("bench.ntb_us");
+        let vis = snap.gauge("bench.rdma_visible_us");
+        let per = snap.gauge("bench.rdma_persist_us");
+        report.row(
             &format!("{:<12} {:>12.2} {:>16.2} {:>16.2}", chunk, ntb, vis, per),
-            &Measurement::point(
+            Measurement::point(
                 "ablation_transport",
                 "ntb",
                 chunk as f64,
@@ -60,9 +77,11 @@ fn main() {
             )
             .with_extra(per),
         );
+        report.telemetry(format!("chunk{chunk}B"), snap);
     }
     println!();
     println!("expected: NTB beats RDMA-persistent at every chunk size (no conversion,");
     println!("no flush round trip); the gap narrows for large chunks where wire time");
     println!("dominates fixed costs (RDMA's 100 Gb/s wire is faster than the NTB share).");
+    report.finish().expect("write results json");
 }

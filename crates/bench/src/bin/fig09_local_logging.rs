@@ -5,15 +5,19 @@
 //! §6.1). Five setups: No Log / Memory (NVDIMM) / NVMe (conventional side)
 //! / Villars-SRAM / Villars-DRAM, each swept over 1–8 workers running
 //! TPC-C with a 16 KiB group-commit threshold.
+//!
+//! Every printed number is derived from the telemetry [`Snapshot`] captured
+//! after each run — the same snapshot the `results/fig09_local_logging.json`
+//! file embeds — so the table and the export cannot drift apart.
 
 use memdb::{
-    run_workload, NoLog, NvmeLog, PmConfig, PmLog, RunnerConfig, WalConfig, WalManager,
-    XssdLog,
+    run_workload, Database, LogBackend, NoLog, NvmeLog, PmConfig, PmLog, RunnerConfig, WalConfig,
+    WalManager, XssdLog,
 };
-use simkit::{SimDuration, SimTime};
+use simkit::{MetricValue, MetricsRegistry, SimDuration, Snapshot};
 use ssd::{ConventionalSsd, SsdConfig};
-use tpcc::{setup, TpccConfig};
-use xssd_bench::{header, row, section, Measurement};
+use tpcc::{setup, TpccConfig, TpccWorkload};
+use xssd_bench::{section, Measurement, Report};
 use xssd_core::{Cluster, VillarsConfig};
 
 /// The five Fig. 9 logging setups.
@@ -48,11 +52,8 @@ fn log_ssd() -> ConventionalSsd {
 }
 
 fn villars_cluster(sram: bool) -> Cluster {
-    let mut config = if sram {
-        VillarsConfig::villars_sram()
-    } else {
-        VillarsConfig::villars_dram()
-    };
+    let mut config =
+        if sram { VillarsConfig::villars_sram() } else { VillarsConfig::villars_dram() };
     // Keep the CMB window at the paper's 32 KiB flow-control queue.
     config.cmb.intake_queue_bytes = 32 << 10;
     let mut cl = Cluster::new();
@@ -60,7 +61,31 @@ fn villars_cluster(sram: bool) -> Cluster {
     cl
 }
 
-fn run(setup_kind: Setup, workers: usize) -> (f64, f64, f64) {
+/// Run one (setup, workers) cell and collect the full cross-stack telemetry
+/// snapshot: DB-level run counters, WAL counters, the backend's device stack
+/// (PCIe / SSD / flash / core groups where the backend has one), and the
+/// TPC-C mix.
+fn run_one<B: LogBackend + simkit::Instrument>(
+    db: &mut Database,
+    workload: &mut TpccWorkload,
+    backend: B,
+    runner: RunnerConfig,
+    wal_cfg: WalConfig,
+) -> Snapshot {
+    let mut wal = WalManager::new(backend, wal_cfg);
+    let mut report = run_workload(db, &mut wal, runner, |db, rng, _| workload.execute(db, rng, 0));
+    let exact_p99 = report.latency_us.percentile(99.0);
+    let mut reg = MetricsRegistry::new();
+    reg.collect("", &report);
+    reg.collect("", &wal);
+    reg.collect("", &*workload);
+    // The bucketed `db.commit_latency_us` p99 is a power-of-two lower bound;
+    // keep the exact-sample value alongside it for the printed table.
+    reg.gauge("db.commit_latency_p99_us_exact", exact_p99);
+    reg.snapshot()
+}
+
+fn run(setup_kind: Setup, workers: usize) -> Snapshot {
     let (mut db, mut workload, _rng) = setup(TpccConfig::bench(), 0x716 + workers as u64);
     let runner = RunnerConfig {
         workers,
@@ -69,46 +94,52 @@ fn run(setup_kind: Setup, workers: usize) -> (f64, f64, f64) {
         ..RunnerConfig::default()
     };
     let wal_cfg = WalConfig::default(); // 16 KiB group threshold
-    let report = match setup_kind {
-        Setup::NoLog => {
-            let mut wal = WalManager::new(NoLog::new(), wal_cfg);
-            run_workload(&mut db, &mut wal, runner, |db, rng, _| workload.execute(db, rng, 0))
-        }
+    match setup_kind {
+        Setup::NoLog => run_one(&mut db, &mut workload, NoLog::new(), runner, wal_cfg),
         Setup::Memory => {
-            let mut wal = WalManager::new(PmLog::new(PmConfig::default()), wal_cfg);
-            run_workload(&mut db, &mut wal, runner, |db, rng, _| workload.execute(db, rng, 0))
+            run_one(&mut db, &mut workload, PmLog::new(PmConfig::default()), runner, wal_cfg)
         }
         Setup::Nvme => {
-            let mut wal = WalManager::new(NvmeLog::new(log_ssd(), 0, 8192), wal_cfg);
-            run_workload(&mut db, &mut wal, runner, |db, rng, _| workload.execute(db, rng, 0))
+            run_one(&mut db, &mut workload, NvmeLog::new(log_ssd(), 0, 8192), runner, wal_cfg)
         }
-        Setup::VillarsSram => {
-            let mut wal =
-                WalManager::new(XssdLog::new(villars_cluster(true), 0, "villars-sram"), wal_cfg);
-            run_workload(&mut db, &mut wal, runner, |db, rng, _| workload.execute(db, rng, 0))
-        }
-        Setup::VillarsDram => {
-            let mut wal =
-                WalManager::new(XssdLog::new(villars_cluster(false), 0, "villars-dram"), wal_cfg);
-            run_workload(&mut db, &mut wal, runner, |db, rng, _| workload.execute(db, rng, 0))
-        }
+        Setup::VillarsSram => run_one(
+            &mut db,
+            &mut workload,
+            XssdLog::new(villars_cluster(true), 0, "villars-sram"),
+            runner,
+            wal_cfg,
+        ),
+        Setup::VillarsDram => run_one(
+            &mut db,
+            &mut workload,
+            XssdLog::new(villars_cluster(false), 0, "villars-dram"),
+            runner,
+            wal_cfg,
+        ),
+    }
+}
+
+/// Derive the figure's three series values from a snapshot.
+fn derive(snap: &Snapshot) -> (f64, f64, f64) {
+    let commits = snap.counter("db.commits") as f64;
+    let elapsed_s = snap.counter("db.elapsed_ns") as f64 / 1e9;
+    let tps = if elapsed_s > 0.0 { commits / elapsed_s } else { 0.0 };
+    let mean_us = match snap.get("db.commit_latency_us") {
+        Some(MetricValue::Latency { mean_us, .. }) => *mean_us,
+        _ => 0.0,
     };
-    let tps = report.throughput_tps();
-    let mut latency = report.latency_us;
-    let mean = latency.mean();
-    let p99 = latency.percentile(99.0);
-    (tps, mean, p99)
+    let p99_us = snap.gauge("db.commit_latency_p99_us_exact");
+    (tps, mean_us, p99_us)
 }
 
 fn main() {
-    header(
+    let mut report = Report::new(
+        "fig09_local_logging",
         "Figure 9",
         "Local logging: latency & throughput vs. worker count",
         "TPC-C (bench scale), 16 KiB group commit, setups: no-log / NVDIMM / NVMe / Villars-SRAM / Villars-DRAM",
     );
-    let _ = SimTime::ZERO;
-    let setups =
-        [Setup::NoLog, Setup::Memory, Setup::Nvme, Setup::VillarsSram, Setup::VillarsDram];
+    let setups = [Setup::NoLog, Setup::Memory, Setup::Nvme, Setup::VillarsSram, Setup::VillarsDram];
     let workers = [1usize, 2, 4, 8];
     section("throughput (committed txn/s) and mean latency (us)");
     println!(
@@ -117,8 +148,9 @@ fn main() {
     );
     for s in setups {
         for w in workers {
-            let (tps, mean_us, p99_us) = run(s, w);
-            row(
+            let snap = run(s, w);
+            let (tps, mean_us, p99_us) = derive(&snap);
+            report.row(
                 &format!(
                     "{:<20} {:>8} {:>14.1} {:>14.1} {:>14.1}",
                     s.label(),
@@ -127,9 +159,10 @@ fn main() {
                     mean_us,
                     p99_us
                 ),
-                &Measurement::point("fig09", s.label(), w as f64, "workers", tps, "txn_per_sec")
+                Measurement::point("fig09", s.label(), w as f64, "workers", tps, "txn_per_sec")
                     .with_extra(mean_us),
             );
+            report.telemetry(format!("{}.w{}", s.label(), w), snap);
         }
     }
     println!();
@@ -138,4 +171,5 @@ fn main() {
     println!("  - latency decreases as workers increase (16 KiB group fills sooner)");
     println!("  - throughput: setups comparable at low worker counts; the NVMe path");
     println!("    saturates (queue depth 1 on the log) while the PM-class paths keep scaling");
+    report.finish().expect("write results json");
 }

@@ -5,15 +5,19 @@
 //! synthetic store stream pushes writes of 1–256 bytes through the fast
 //! side; throughput is normalized to the best observed value per backing
 //! class.
+//!
+//! Throughput is derived from the device's own telemetry — bytes landed in
+//! the CMB (`core.fast.bytes_in`) over the simulated elapsed time — and the
+//! per-run snapshots ship in `results/fig10_write_combining.json`.
 
 use pcie::MmioMode;
-use simkit::SimTime;
-use xssd_bench::{header, row, section, Measurement};
+use simkit::{MetricsRegistry, SimTime, Snapshot};
+use xssd_bench::{section, Measurement, Report};
 use xssd_core::{Cluster, VillarsConfig, XLogFile};
 
-/// Sustained fast-side throughput (MB/s) for `write_size` stores under
-/// `mode` against the given device config.
-fn throughput(config: VillarsConfig, write_size: usize, mode: MmioMode) -> f64 {
+/// Push `total` bytes of `write_size` stores under `mode` and snapshot the
+/// device stack, tagging the run's elapsed simulated time.
+fn run(config: VillarsConfig, write_size: usize, mode: MmioMode) -> Snapshot {
     let mut cl = Cluster::new();
     let dev = cl.add_device(config);
     let mut f = XLogFile::open_lane(dev, 0, mode);
@@ -26,41 +30,57 @@ fn throughput(config: VillarsConfig, write_size: usize, mode: MmioMode) -> f64 {
         now = f.x_pwrite(&mut cl, now, &data).expect("fast-side write");
     }
     now = f.x_fsync(&mut cl, now).expect("x_fsync");
-    (count * write_size) as f64 / now.as_secs_f64() / 1e6
+    let mut reg = MetricsRegistry::new();
+    reg.collect("", &cl);
+    reg.counter("bench.elapsed_ns", now.saturating_since(SimTime::ZERO).as_nanos());
+    reg.counter("bench.payload_bytes", (count * write_size) as u64);
+    reg.snapshot()
+}
+
+/// Sustained fast-side MB/s, read back out of the run's snapshot.
+fn derive_mbps(snap: &Snapshot) -> f64 {
+    let bytes = snap.counter("bench.payload_bytes") as f64;
+    let secs = snap.counter("bench.elapsed_ns") as f64 / 1e9;
+    if secs > 0.0 {
+        bytes / secs / 1e6
+    } else {
+        0.0
+    }
 }
 
 fn main() {
-    header(
+    let mut report = Report::new(
+        "fig10_write_combining",
         "Figure 10",
         "Write sizes under Write-Combining vs. Uncached, SRAM and DRAM backing",
         "synthetic store stream, 1-256 B writes, throughput normalized to the per-backing best",
     );
     let sizes = [1usize, 2, 4, 8, 16, 32, 64, 128, 256];
-    for (backing, cfg) in [
-        ("sram", VillarsConfig::villars_sram()),
-        ("dram", VillarsConfig::villars_dram()),
-    ] {
+    for (backing, cfg) in
+        [("sram", VillarsConfig::villars_sram()), ("dram", VillarsConfig::villars_dram())]
+    {
         section(&format!("{backing}-backed CMB"));
         // Collect raw throughputs first, then normalize to the best.
         let mut results = Vec::new();
         for &s in &sizes {
             for mode in [MmioMode::WriteCombining, MmioMode::Uncached] {
-                let t = throughput(cfg.clone(), s, mode);
-                results.push((s, mode, t));
+                let snap = run(cfg.clone(), s, mode);
+                let t = derive_mbps(&snap);
+                results.push((s, mode, t, snap));
             }
         }
-        let best = results.iter().map(|(_, _, t)| *t).fold(0.0, f64::max);
+        let best = results.iter().map(|(_, _, t, _)| *t).fold(0.0, f64::max);
         println!(
             "{:<8} {:>10} {:>6} {:>12} {:>12}",
             "backing", "write_B", "mode", "MB/s", "normalized"
         );
-        for (s, mode, t) in results {
+        for (s, mode, t, snap) in results {
             let mode_label = match mode {
                 MmioMode::WriteCombining => "wc",
                 MmioMode::Uncached => "uc",
             };
             let series = format!("{backing}-{mode_label}");
-            row(
+            report.row(
                 &format!(
                     "{:<8} {:>10} {:>6} {:>12.1} {:>12.3}",
                     backing,
@@ -69,9 +89,9 @@ fn main() {
                     t,
                     t / best
                 ),
-                &Measurement::point(
+                Measurement::point(
                     "fig10",
-                    series,
+                    series.clone(),
                     s as f64,
                     "write_bytes",
                     t / best,
@@ -79,6 +99,7 @@ fn main() {
                 )
                 .with_extra(t),
             );
+            report.telemetry(format!("{series}.{s}B"), snap);
         }
         println!();
     }
@@ -87,4 +108,5 @@ fn main() {
     println!("  - SRAM: maximum throughput only at 64 B (the WC buffer size)");
     println!("  - DRAM: plateau from ~16 B (the derated shared port becomes the");
     println!("    bottleneck before TLP efficiency does)");
+    report.finish().expect("write results json");
 }

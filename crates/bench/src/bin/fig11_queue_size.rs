@@ -5,14 +5,19 @@
 //! SRAM" (paper §6.3). The queue size determines how much the database can
 //! write before re-checking the credit counter: a queue smaller than the
 //! write adds credit-check round trips.
+//!
+//! Printed numbers come from each run's telemetry snapshot (latency summary
+//! plus `bench.*` volume counters); `results/fig11_queue_size.json` embeds
+//! the snapshots, including `core.fast.credit_reads` — the round trips the
+//! paper's queue-size effect is made of.
 
-use simkit::{SampleSeries, SimTime};
-use xssd_bench::{header, row, section, Measurement};
+use simkit::{Histogram, MetricsRegistry, SampleSeries, SimTime, Snapshot};
+use xssd_bench::{section, Measurement, Report};
 use xssd_core::{Cluster, VillarsConfig, XLogFile};
 
 /// Run `count` write+fsync cycles of `write_size` with an intake queue of
-/// `queue_size`. Returns (mean latency µs, throughput MB/s).
-fn run(queue_size: u64, write_size: usize, count: usize) -> (f64, f64) {
+/// `queue_size`, and snapshot the device stack afterwards.
+fn run(queue_size: u64, write_size: usize, count: usize) -> Snapshot {
     let mut config = VillarsConfig::villars_sram();
     config.cmb.intake_queue_bytes = queue_size;
     let mut cl = Cluster::new();
@@ -27,12 +32,31 @@ fn run(queue_size: u64, write_size: usize, count: usize) -> (f64, f64) {
         now = f.x_fsync(&mut cl, now).expect("fsync");
         lat.record(now.saturating_since(t0).as_micros_f64());
     }
-    let mbps = (count * write_size) as f64 / now.as_secs_f64() / 1e6;
-    (lat.mean(), mbps)
+    let mut reg = MetricsRegistry::new();
+    reg.collect("", &cl);
+    reg.counter("bench.elapsed_ns", now.saturating_since(SimTime::ZERO).as_nanos());
+    reg.counter("bench.payload_bytes", (count * write_size) as u64);
+    reg.gauge("bench.mean_commit_us", lat.mean());
+    let mut hist = Histogram::new();
+    for &s in lat.samples() {
+        hist.record(s);
+    }
+    reg.scope("bench").latency("commit_us", &hist);
+    reg.snapshot()
+}
+
+/// (mean latency µs, MB/s) derived from the snapshot.
+fn derive(snap: &Snapshot) -> (f64, f64) {
+    let lat_us = snap.gauge("bench.mean_commit_us");
+    let bytes = snap.counter("bench.payload_bytes") as f64;
+    let secs = snap.counter("bench.elapsed_ns") as f64 / 1e9;
+    let mbps = if secs > 0.0 { bytes / secs / 1e6 } else { 0.0 };
+    (lat_us, mbps)
 }
 
 fn main() {
-    header(
+    let mut report = Report::new(
+        "fig11_queue_size",
         "Figure 11",
         "Group-commit size vs. CMB intake-queue size (SRAM backing)",
         "x_pwrite+x_fsync cycles; queue sizes 1-32 KiB; write sizes 1-64 KiB",
@@ -40,25 +64,17 @@ fn main() {
     let queues = [1u64 << 10, 4 << 10, 16 << 10, 32 << 10];
     let writes = [1usize << 10, 4 << 10, 16 << 10, 32 << 10, 64 << 10];
     section("latency (us) and throughput (MB/s) per (queue, write) pair");
-    println!(
-        "{:<12} {:>12} {:>14} {:>14}",
-        "queue_KiB", "write_KiB", "latency_us", "MB/s"
-    );
+    println!("{:<12} {:>12} {:>14} {:>14}", "queue_KiB", "write_KiB", "latency_us", "MB/s");
     for &q in &queues {
         for &wsize in &writes {
-            let (lat_us, mbps) = run(q, wsize, 300);
+            let snap = run(q, wsize, 300);
+            let (lat_us, mbps) = derive(&snap);
             let series = format!("queue-{}KiB", q >> 10);
-            row(
-                &format!(
-                    "{:<12} {:>12} {:>14.2} {:>14.1}",
-                    q >> 10,
-                    wsize >> 10,
-                    lat_us,
-                    mbps
-                ),
-                &Measurement::point(
+            report.row(
+                &format!("{:<12} {:>12} {:>14.2} {:>14.1}", q >> 10, wsize >> 10, lat_us, mbps),
+                Measurement::point(
                     "fig11",
-                    series,
+                    series.clone(),
                     (wsize >> 10) as f64,
                     "group_commit_KiB",
                     lat_us,
@@ -66,6 +82,7 @@ fn main() {
                 )
                 .with_extra(mbps),
             );
+            report.telemetry(format!("{series}.write{}KiB", wsize >> 10), snap);
         }
         println!();
     }
@@ -73,4 +90,5 @@ fn main() {
     println!("  - latency dominated by the write size once queue >= write size");
     println!("  - queue < write size adds credit-check round trips (latency rises)");
     println!("  - the 32 KiB queue achieves the best throughput across all sizes");
+    report.finish().expect("write results json");
 }

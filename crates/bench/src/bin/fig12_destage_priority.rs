@@ -5,21 +5,19 @@
 //! scheduling both streams lose bandwidth once total demand exceeds the
 //! device; under *conventional priority* the conventional stream is
 //! protected and the fast stream absorbs the shortfall.
+//!
+//! The achieved per-class bandwidths are derived from the device telemetry
+//! (`ssd.served_conventional_bytes` / `ssd.served_destage_bytes`), and every
+//! run's full snapshot lands in `results/fig12_destage_priority.json`.
 
-use bytes::Bytes;
 use nvme::{Command, CommandKind, IoCommand, NvmeController};
-use simkit::{SimDuration, SimTime};
-use xssd_bench::{header, row, section, Measurement};
+use simkit::bytes::Bytes;
+use simkit::{MetricsRegistry, SimDuration, SimTime, Snapshot};
+use xssd_bench::{section, Measurement, Report};
 use xssd_core::{Cluster, VillarsConfig, XLogFile};
 
-struct Point {
-    fast_offered_pct: f64,
-    conv_achieved_mbps: f64,
-    fast_achieved_mbps: f64,
-}
-
-/// Drive both workloads for `duration`; returns achieved bandwidths.
-fn run(mode_code: u32, fast_fraction: f64, duration: SimDuration) -> Point {
+/// Drive both workloads for `duration`; snapshot the device stack after.
+fn run(mode_code: u32, fast_fraction: f64, duration: SimDuration) -> Snapshot {
     let mut config = VillarsConfig::villars_sram();
     // Unconstrained x8 host link so the flash arrays are the bottleneck.
     config.conventional.link = pcie::LinkConfig::cosmos_native();
@@ -56,7 +54,6 @@ fn run(mode_code: u32, fast_fraction: f64, duration: SimDuration) -> Point {
     let mut next_fast = start;
     let mut cid: u16 = 0;
     let mut conv_lba = 1 << 21; // away from the destage ring
-    let mut fast_written = 0u64;
 
     while next_conv < end || next_fast < end {
         if next_conv <= next_fast {
@@ -87,30 +84,34 @@ fn run(mode_code: u32, fast_fraction: f64, duration: SimDuration) -> Point {
                 continue;
             }
             let t = f.x_pwrite(&mut cl, next_fast, &fast_page).expect("fast write");
-            fast_written += page;
             // Offered pacing: never faster than the offered rate; if the
             // device back-pressured us past the slot, carry on from there.
             next_fast = (next_fast + fast_interval).max(t);
         }
     }
+    cl.advance(end);
+    let _ = cl.device_mut(dev).drain_completions(end);
     // Snapshot what the flash arrays actually SERVED within the window —
     // the achieved bandwidth per class, the Fig. 12 metric. (Offered bytes
     // beyond this sit queued behind the scheduler.)
-    let _ = fast_written;
-    cl.advance(end);
-    let _ = cl.device_mut(dev).drain_completions(end);
-    let elapsed = duration.as_secs_f64();
-    let conv_bytes = cl.device(dev).conventional().served_bytes(flash::Priority::Conventional);
-    let dest_bytes = cl.device(dev).conventional().served_bytes(flash::Priority::Destage);
-    Point {
-        fast_offered_pct: fast_fraction * 100.0,
-        conv_achieved_mbps: conv_bytes as f64 / elapsed / 1e6,
-        fast_achieved_mbps: dest_bytes as f64 / elapsed / 1e6,
-    }
+    let mut reg = MetricsRegistry::new();
+    reg.collect("", &cl);
+    reg.counter("bench.elapsed_ns", duration.as_nanos());
+    reg.gauge("bench.fast_offered_pct", fast_fraction * 100.0);
+    reg.snapshot()
+}
+
+/// (fast offered %, conventional MB/s, fast/destage MB/s) from a snapshot.
+fn derive(snap: &Snapshot) -> (f64, f64, f64) {
+    let elapsed = snap.counter("bench.elapsed_ns") as f64 / 1e9;
+    let conv_bytes = snap.counter("ssd.served_conventional_bytes") as f64;
+    let dest_bytes = snap.counter("ssd.served_destage_bytes") as f64;
+    (snap.gauge("bench.fast_offered_pct"), conv_bytes / elapsed / 1e6, dest_bytes / elapsed / 1e6)
 }
 
 fn main() {
-    header(
+    let mut report = Report::new(
+        "fig12_destage_priority",
         "Figure 12",
         "Opportunistic destaging: neutral vs. conventional priority",
         "conventional stream fixed at 50% of device bandwidth; fast stream swept 30-60%",
@@ -119,33 +120,30 @@ fn main() {
     // The paper shows neutral and conventional priority and notes the
     // destage-priority result is symmetric ("we obtained a similar result
     // when using destage priority"); all three run here.
-    for (mode_code, mode_label) in [
-        (0u32, "neutral"),
-        (2u32, "conventional-priority"),
-        (1u32, "destage-priority"),
-    ] {
+    for (mode_code, mode_label) in
+        [(0u32, "neutral"), (2u32, "conventional-priority"), (1u32, "destage-priority")]
+    {
         section(mode_label);
-        println!(
-            "{:<24} {:>12} {:>16} {:>16}",
-            "mode", "fast_off_%", "conv_MB/s", "fast_MB/s"
-        );
+        println!("{:<24} {:>12} {:>16} {:>16}", "mode", "fast_off_%", "conv_MB/s", "fast_MB/s");
         for fast_pct in [0.30, 0.40, 0.50, 0.60] {
-            let p = run(mode_code, fast_pct, duration);
-            row(
+            let snap = run(mode_code, fast_pct, duration);
+            let (offered_pct, conv_mbps, fast_mbps) = derive(&snap);
+            report.row(
                 &format!(
                     "{:<24} {:>12.0} {:>16.1} {:>16.1}",
-                    mode_label, p.fast_offered_pct, p.conv_achieved_mbps, p.fast_achieved_mbps
+                    mode_label, offered_pct, conv_mbps, fast_mbps
                 ),
-                &Measurement::point(
+                Measurement::point(
                     "fig12",
                     format!("{mode_label}-conventional"),
-                    p.fast_offered_pct,
+                    offered_pct,
                     "fast_offered_pct",
-                    p.conv_achieved_mbps,
+                    conv_mbps,
                     "conv_MBps",
                 )
-                .with_extra(p.fast_achieved_mbps),
+                .with_extra(fast_mbps),
             );
+            report.telemetry(format!("{mode_label}.fast{:.0}pct", fast_pct * 100.0), snap);
         }
         println!();
     }
@@ -154,4 +152,5 @@ fn main() {
     println!("    streams lose bandwidth");
     println!("  - conventional priority: the conventional stream holds its ~50%");
     println!("    target; the fast stream absorbs the entire shortfall");
+    report.finish().expect("write results json");
 }

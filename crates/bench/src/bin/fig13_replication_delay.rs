@@ -5,15 +5,19 @@
 //! CMB write on the primary until the primary's shadow counter confirms the
 //! write reached the secondary (candlesticks), plus the PCIe bandwidth the
 //! counter updates consume at each frequency.
+//!
+//! The bandwidth share is derived from the secondary's upstream-flow wire
+//! counters in the telemetry snapshot; both devices' full snapshots ship in
+//! `results/fig13_replication_delay.json`.
 
 use pcie::MmioMode;
-use simkit::{SampleSeries, SimDuration, SimTime};
-use xssd_bench::{header, row, section, Measurement};
+use simkit::{MetricsRegistry, SampleSeries, SimDuration, SimTime, Snapshot};
+use xssd_bench::{section, Measurement, Report};
 use xssd_core::{vendor, Cluster, VillarsConfig};
 
-/// One period setting: returns (latency candlestick µs, update-bandwidth %
-/// of the NTB link).
-fn run(period: SimDuration, writes: usize) -> (simkit::Candlestick, f64) {
+/// One period setting: returns the latency candlestick (exact samples) and
+/// the run's telemetry snapshot.
+fn run(period: SimDuration, writes: usize) -> (simkit::Candlestick, Snapshot) {
     let mut cl = Cluster::new();
     let p = cl.add_device(VillarsConfig::villars_sram());
     let s = cl.add_device(VillarsConfig::villars_sram());
@@ -49,28 +53,34 @@ fn run(period: SimDuration, writes: usize) -> (simkit::Candlestick, f64) {
             if shadow >= offset {
                 break;
             }
-            t = cl
-                .next_event_after(t)
-                .unwrap_or_else(|| t + SimDuration::from_micros(1));
+            t = cl.next_event_after(t).unwrap_or_else(|| t + SimDuration::from_micros(1));
         }
         lat.record(t.saturating_since(issue_at).as_micros_f64());
         now = t;
     }
-    // Bandwidth overhead: counter-update bytes on the secondary's upstream
-    // NTB flow vs. the link's capacity over the run.
-    let up = cl
-        .device(s)
-        .transport()
-        .upstream_stats()
-        .expect("secondary has an upstream flow");
-    let wire_bytes = (up.payload_bytes + up.overhead_bytes) as f64;
+    let mut reg = MetricsRegistry::new();
+    reg.collect("", &cl);
+    reg.counter("bench.elapsed_ns", now.saturating_since(SimTime::ZERO).as_nanos());
+    (lat.candlestick(), reg.snapshot())
+}
+
+/// Counter-update bandwidth share (%) of the secondary's upstream NTB flow,
+/// derived from the snapshot's wire counters. The secondary is `dev1`.
+fn derive_bw_pct(snap: &Snapshot) -> f64 {
+    let wire_bytes = (snap.counter("dev1.core.transport.upstream.payload_bytes")
+        + snap.counter("dev1.core.transport.upstream.overhead_bytes")) as f64;
+    let secs = snap.counter("bench.elapsed_ns") as f64 / 1e9;
     let link_bps = pcie::NtbConfig::default().link.bandwidth().as_gbytes_per_sec() * 1e9;
-    let pct = wire_bytes / (link_bps * now.as_secs_f64()) * 100.0;
-    (lat.candlestick(), pct)
+    if secs > 0.0 {
+        wire_bytes / (link_bps * secs) * 100.0
+    } else {
+        0.0
+    }
 }
 
 fn main() {
-    header(
+    let mut report = Report::new(
+        "fig13_replication_delay",
         "Figure 13",
         "Shadow-counter refresh latency and bandwidth vs. update frequency",
         "primary/secondary Villars pair over NTB; 64 B CMB writes; period 0.4-1.6 us",
@@ -82,13 +92,14 @@ fn main() {
     );
     for period_us in [0.4f64, 0.8, 1.2, 1.6] {
         let period = SimDuration::from_micros_f64(period_us);
-        let (c, bw_pct) = run(period, 400);
-        row(
+        let (c, snap) = run(period, 400);
+        let bw_pct = derive_bw_pct(&snap);
+        report.row(
             &format!(
                 "{:<12.1} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>10.2}",
                 period_us, c.min, c.p25, c.p50, c.p75, c.max, bw_pct
             ),
-            &Measurement::point(
+            Measurement::point(
                 "fig13",
                 "shadow-refresh",
                 period_us,
@@ -99,6 +110,7 @@ fn main() {
             .with_extra(bw_pct)
             .with_candle(c),
         );
+        report.telemetry(format!("period{period_us}us"), snap);
     }
     println!();
     println!("expected shape (paper §6.5):");
@@ -107,4 +119,5 @@ fn main() {
     println!("    waits up to a full cycle for the next counter update");
     println!("  - bandwidth share of counter updates scales ~1/period (paper: 2.35%");
     println!("    at 0.4 us)");
+    report.finish().expect("write results json");
 }

@@ -74,14 +74,7 @@ impl XLogFile {
     /// reboot, or taking over a recycled multi-tenant lane): writes and tail
     /// reads continue from there.
     pub fn open_lane_at(dev: DeviceIndex, lane: usize, mode: MmioMode, offset: u64) -> Self {
-        XLogFile {
-            dev,
-            lane,
-            mode,
-            written: offset,
-            credit_seen: offset,
-            read_cursor: offset,
-        }
+        XLogFile { dev, lane, mode, written: offset, credit_seen: offset, read_cursor: offset }
     }
 
     /// Bytes appended so far.
@@ -260,14 +253,8 @@ impl XAllocator {
         within: u64,
         data: &[u8],
     ) -> Result<SimTime, XApiError> {
-        assert!(
-            within + data.len() as u64 <= region.len,
-            "write exceeds the allocated region"
-        );
-        assert!(
-            self.outstanding.contains(&region),
-            "region already freed or never allocated"
-        );
+        assert!(within + data.len() as u64 <= region.len, "write exceeds the allocated region");
+        assert!(self.outstanding.contains(&region), "region already freed or never allocated");
         let (issued_at, _arrived_at) = cl.fast_write(
             self.dev,
             now,
@@ -381,10 +368,7 @@ mod tests {
         // fsync must cover mirror + drain + shadow-update round trip: well
         // above the local-only latency.
         let fsync_cost = t2.saturating_since(t1);
-        assert!(
-            fsync_cost.as_micros_f64() > 1.0,
-            "replicated fsync too fast: {fsync_cost}"
-        );
+        assert!(fsync_cost.as_micros_f64() > 1.0, "replicated fsync too fast: {fsync_cost}");
         // And the secondary really holds the bytes.
         let sec = cl.device_mut(1).local_credit(t2, 0);
         assert_eq!(sec, 2000);

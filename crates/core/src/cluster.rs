@@ -9,7 +9,9 @@ use crate::cmb::CmbError;
 use crate::config::VillarsConfig;
 use crate::device::{vendor, CrashReport, VillarsDevice};
 use crate::transport::{DeviceIndex, Outbound};
-use nvme::{AdminCommand, Command, CommandKind, CompletionEntry, NvmeController, Status, VendorCommand};
+use nvme::{
+    AdminCommand, Command, CommandKind, CompletionEntry, NvmeController, Status, VendorCommand,
+};
 use pcie::MmioMode;
 use simkit::{EventQueue, SimDuration, SimTime};
 
@@ -327,6 +329,21 @@ impl Cluster {
     }
 }
 
+impl simkit::Instrument for Cluster {
+    /// A single-device cluster reports at the scope root (the common case:
+    /// paths stay `pcie.*`/`ssd.*`/`flash.*`/`core.*`); multi-device
+    /// clusters prefix each device with `dev<i>`.
+    fn instrument(&self, out: &mut simkit::Scope<'_>) {
+        if self.devices.len() == 1 {
+            self.devices[0].instrument(out);
+        } else {
+            for (i, dev) in self.devices.iter().enumerate() {
+                out.collect(&format!("dev{i}"), dev);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,8 +373,7 @@ mod tests {
     fn unknown_vendor_opcode_rejected() {
         let mut cl = Cluster::new();
         cl.add_device(VillarsConfig::small());
-        let (_t, e) =
-            cl.vendor_blocking(0, SimTime::ZERO, VendorCommand::new(0xFF, [0; 6]));
+        let (_t, e) = cl.vendor_blocking(0, SimTime::ZERO, VendorCommand::new(0xFF, [0; 6]));
         assert_eq!(e.status, Status::InvalidOpcode);
     }
 
@@ -400,9 +416,8 @@ mod tests {
     fn standalone_device_needs_no_cluster_routing() {
         let mut cl = Cluster::new();
         cl.add_device(VillarsConfig::small());
-        let (_, t) = cl
-            .fast_write(0, SimTime::ZERO, 0, 0, &[9u8; 64], MmioMode::WriteCombining)
-            .unwrap();
+        let (_, t) =
+            cl.fast_write(0, SimTime::ZERO, 0, 0, &[9u8; 64], MmioMode::WriteCombining).unwrap();
         cl.advance(t + SimDuration::from_micros(10));
         let (_t, c) = cl.read_credit(0, t + SimDuration::from_micros(10), 0);
         assert_eq!(c, 64);

@@ -9,7 +9,6 @@
 //! so destaging, replication, and crash recovery are verifiable end to end.
 
 use crate::config::CmbConfig;
-use serde::Serialize;
 use simkit::{Grant, SimTime};
 use std::collections::BTreeMap;
 
@@ -71,7 +70,7 @@ impl std::fmt::Display for CmbError {
 impl std::error::Error for CmbError {}
 
 /// Observable CMB statistics.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct CmbStats {
     /// Total bytes ingested into the ring.
     pub bytes_in: u64,
@@ -223,10 +222,7 @@ impl CmbModule {
         let credit_now = self.credit_at(arrival);
         let inflight = (self.tail - credit_now) + data.len() as u64;
         if inflight > self.config.intake_queue_bytes {
-            return Err(CmbError::QueueOverrun {
-                inflight,
-                queue: self.config.intake_queue_bytes,
-            });
+            return Err(CmbError::QueueOverrun { inflight, queue: self.config.intake_queue_bytes });
         }
         // Ring capacity: the write must not overrun undestaged data.
         if offset + data.len() as u64 - self.head > self.config.size {
@@ -325,6 +321,27 @@ impl CmbModule {
     pub fn reset(&mut self) {
         self.reset_to(0);
     }
+
+    /// The credit counter as settled so far, without advancing drains (a
+    /// read-only view for telemetry; [`CmbModule::credit_at`] is the
+    /// authoritative time-advancing read).
+    pub fn credit_settled(&self) -> u64 {
+        self.credit
+    }
+}
+
+impl simkit::Instrument for CmbModule {
+    fn instrument(&self, out: &mut simkit::Scope<'_>) {
+        out.counter("bytes_in", self.stats.bytes_in);
+        out.counter("chunks", self.stats.chunks);
+        out.counter("held_chunks", self.stats.held_chunks);
+        out.gauge("queue_high_water", self.stats.queue_high_water as f64);
+        // Monotonic ring offsets: counters, so a window diff gives the
+        // bytes that moved through each stage during the window.
+        out.counter("tail_offset", self.tail);
+        out.counter("credit_offset", self.credit);
+        out.counter("head_offset", self.head);
+    }
 }
 
 #[cfg(test)]
@@ -333,11 +350,7 @@ mod tests {
     use simkit::{Bandwidth, SerialResource, SimDuration};
 
     fn cfg(queue: u64, size: u64) -> CmbConfig {
-        CmbConfig {
-            intake_queue_bytes: queue,
-            size,
-            ..CmbConfig::sram()
-        }
+        CmbConfig { intake_queue_bytes: queue, size, ..CmbConfig::sram() }
     }
 
     /// A 1 GB/s dedicated backing port for tests.

@@ -2,12 +2,11 @@
 
 use nvme::{BackingClass, CmbDescriptor};
 use pcie::NtbConfig;
-use serde::{Deserialize, Serialize};
 use simkit::{Bandwidth, SimDuration};
 use ssd::SsdConfig;
 
 /// Configuration of the fast side's CMB module (paper §4.1).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CmbConfig {
     /// Backing memory class and exposed size.
     pub backing: BackingClass,
@@ -67,7 +66,7 @@ impl CmbConfig {
 }
 
 /// Configuration of the Destage module (paper §4.3).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct DestageConfig {
     /// First LBA of the destage ring on the conventional side.
     pub ring_base_lba: u64,
@@ -90,7 +89,7 @@ impl Default for DestageConfig {
 }
 
 /// Shadow-counter / replication transport configuration (paper §4.2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransportConfig {
     /// How often a secondary forwards its credit counter to the primary
     /// (Fig. 13 sweeps 0.4–1.6 µs).
@@ -115,7 +114,7 @@ impl Default for TransportConfig {
 
 /// How the device combines shadow counters when the database reads the
 /// credit counter (paper §4.2, "other replication schemes").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReplicationPolicy {
     /// Eager primary-secondary: report the *most delayed* counter across
     /// local + all secondaries (a log entry counts once persisted
@@ -165,11 +164,7 @@ impl VillarsConfig {
     pub fn small() -> Self {
         VillarsConfig {
             conventional: SsdConfig::small(),
-            cmb: CmbConfig {
-                size: 64 << 10,
-                intake_queue_bytes: 4 << 10,
-                ..CmbConfig::sram()
-            },
+            cmb: CmbConfig { size: 64 << 10, intake_queue_bytes: 4 << 10, ..CmbConfig::sram() },
             destage: DestageConfig {
                 ring_base_lba: 0,
                 ring_lbas: 64,

@@ -9,14 +9,13 @@
 
 use crate::cmb::CmbModule;
 use crate::config::DestageConfig;
-use bytes::Bytes;
-use serde::Serialize;
+use simkit::bytes::Bytes;
 use simkit::SimTime;
 use ssd::ConventionalSsd;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// One destaged (or in-flight) span of the log.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Segment {
     /// First monotonic log offset covered.
     pub log_from: u64,
@@ -27,7 +26,7 @@ pub struct Segment {
 }
 
 /// Destage statistics.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct DestageStats {
     /// Full pages destaged.
     pub full_pages: u64,
@@ -174,11 +173,7 @@ impl DestageModule {
         let mut content = cmb.content(self.scheduled, data_bytes as usize);
         content.resize((data_bytes + filler) as usize, 0);
         let lba = self.next_lba();
-        let seg = Segment {
-            log_from: self.scheduled,
-            log_to: self.scheduled + data_bytes,
-            lba,
-        };
+        let seg = Segment { log_from: self.scheduled, log_to: self.scheduled + data_bytes, lba };
         // A reused LBA slot invalidates the old segment there.
         self.evict_slot(lba);
         let token = conv.submit_destage_write(now, lba, Bytes::from(content));
@@ -212,10 +207,7 @@ impl DestageModule {
     /// The persisted segment containing monotonic log offset `off`, if it is
     /// still on the ring.
     pub fn segment_for(&self, off: u64) -> Option<Segment> {
-        self.readable
-            .iter()
-            .find(|s| off >= s.log_from && off < s.log_to)
-            .copied()
+        self.readable.iter().find(|s| off >= s.log_from && off < s.log_to).copied()
     }
 
     /// Oldest readable log offset (ring may have overwritten earlier data).
@@ -275,6 +267,21 @@ impl DestageModule {
     }
 }
 
+impl simkit::Instrument for DestageModule {
+    fn instrument(&self, out: &mut simkit::Scope<'_>) {
+        out.counter("full_pages", self.stats.full_pages);
+        out.counter("partial_pages", self.stats.partial_pages);
+        out.counter("filler_bytes", self.stats.filler_bytes);
+        // A partial destage happens exactly when the latency deadline fires
+        // before a page fills: partial_pages IS the deadline-miss count.
+        out.counter("deadline_misses", self.stats.partial_pages);
+        out.counter("scheduled_offset", self.scheduled);
+        out.counter("persisted_offset", self.persisted);
+        out.counter("pages_written", self.pages_written);
+        out.gauge("inflight_segments", self.inflight.len() as f64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,9 +324,7 @@ mod tests {
 
         fn write(&mut self, now: SimTime, off: u64, data: &[u8]) {
             let (port, bw) = (&mut self.port, self.bw);
-            self.cmb
-                .ingest(now, off, data, |t, b| port.acquire(t, bw.transfer_time(b)))
-                .unwrap();
+            self.cmb.ingest(now, off, data, |t, b| port.acquire(t, bw.transfer_time(b))).unwrap();
         }
 
         fn run_to(&mut self, t: SimTime) {
@@ -330,7 +335,9 @@ mod tests {
             let mut stuck_at: Option<SimTime> = None;
             loop {
                 let mut next = self.conv.next_device_event();
-                for c in [self.cmb.next_pending(), self.destage.next_deadline()].into_iter().flatten() {
+                for c in
+                    [self.cmb.next_pending(), self.destage.next_deadline()].into_iter().flatten()
+                {
                     next = Some(next.map_or(c, |n: SimTime| n.min(c)));
                 }
                 let step = match next {
@@ -427,9 +434,12 @@ mod tests {
         rig.write(SimTime::ZERO, 0, &[0x77; 100]);
         let frontier = rig.cmb.crash_drain();
         assert_eq!(frontier, 100);
-        let durable =
-            rig.destage
-                .crash_destage(SimTime::from_micros(10), frontier, &mut rig.cmb, &mut rig.conv);
+        let durable = rig.destage.crash_destage(
+            SimTime::from_micros(10),
+            frontier,
+            &mut rig.cmb,
+            &mut rig.conv,
+        );
         assert_eq!(durable, 100);
         let seg = rig.destage.segment_for(0).unwrap();
         let media = rig.conv.media_content(seg.lba).unwrap();

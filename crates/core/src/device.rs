@@ -10,8 +10,8 @@ use crate::config::VillarsConfig;
 use crate::destage::DestageModule;
 use crate::transport::{DeviceIndex, Outbound, Role, TransportModule, TransportStatus};
 use nvme::{
-    AdminCommand, BackingClass, Command, CommandKind, CompletionEntry, Namespace,
-    NvmeController, Status, VendorCommand,
+    AdminCommand, BackingClass, Command, CommandKind, CompletionEntry, Namespace, NvmeController,
+    Status, VendorCommand,
 };
 use pcie::{MmioMode, StoreIssueModel};
 use simkit::{Bandwidth, Grant, SerialResource, SimDuration, SimTime};
@@ -53,8 +53,7 @@ pub struct FastWrite {
 }
 
 /// What the crash-destage protocol salvaged (paper §4.1).
-#[derive(Debug, Clone, Serialize)]
-#[derive(PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CrashReport {
     /// Per lane: the monotonic log offset made durable on the conventional
     /// side.
@@ -62,8 +61,6 @@ pub struct CrashReport {
     /// Per lane: bytes abandoned beyond a reordering gap.
     pub lost_beyond_gap: Vec<u64>,
 }
-
-use serde::Serialize;
 
 /// One fast-side lane: its own CMB ring, credit counter, and destage ring
 /// slice (paper §7.1's multi-writer extension; lane 0 is the classic
@@ -88,6 +85,10 @@ pub struct VillarsDevice {
     vendor_out: Vec<(SimTime, CompletionEntry)>,
     /// Total bytes accepted via the fast interface.
     fast_bytes_in: u64,
+    /// TLPs issued by fast-side writes (one per WC-flush payload).
+    fast_tlps: u64,
+    /// Control-interface credit-counter reads (MMIO round trips).
+    credit_reads: u64,
 }
 
 impl std::fmt::Debug for VillarsDevice {
@@ -136,6 +137,8 @@ impl VillarsDevice {
             backing_bw,
             vendor_out: Vec::new(),
             fast_bytes_in: 0,
+            fast_tlps: 0,
+            credit_reads: 0,
         }
     }
 
@@ -233,6 +236,7 @@ impl VillarsDevice {
         let conv = &mut self.conventional;
         let bw = self.backing_bw;
         let lane_ref = &mut self.lanes[lane];
+        let mut tlps = 0u64;
         for p in payloads {
             let chunk = &data[cursor..cursor + p as usize];
             let grant = conv.host_link_mut().send_write_burst(now, p, 1);
@@ -241,28 +245,31 @@ impl VillarsDevice {
                 Self::backing_acquire(sram_port, conv, bw, t, b)
             })?;
             cursor += p as usize;
+            tlps += 1;
         }
         self.fast_bytes_in += data.len() as u64;
+        self.fast_tlps += tlps;
         let issued_at = self.conventional.host_link_busy_until();
         // Mirror the chunk to secondaries (lane 0 carries replication).
-        let outbound = if lane == 0 {
-            self.transport.mirror(arrived, offset, data)
-        } else {
-            Vec::new()
-        };
+        let outbound =
+            if lane == 0 { self.transport.mirror(arrived, offset, data) } else { Vec::new() };
         Ok(FastWrite { issued_at, arrived_at: arrived, outbound })
     }
 
     /// Deliver a mirrored chunk from the primary into this (secondary)
     /// device's CMB intake.
-    pub fn receive_mirror(&mut self, at: SimTime, offset: u64, data: &[u8]) -> Result<(), CmbError> {
+    pub fn receive_mirror(
+        &mut self,
+        at: SimTime,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), CmbError> {
         let sram_port = &mut self.sram_port;
         let conv = &mut self.conventional;
         let bw = self.backing_bw;
         let lane = &mut self.lanes[0];
-        lane.cmb.ingest(at, offset, data, |t, b| {
-            Self::backing_acquire(sram_port, conv, bw, t, b)
-        })?;
+        lane.cmb
+            .ingest(at, offset, data, |t, b| Self::backing_acquire(sram_port, conv, bw, t, b))?;
         self.fast_bytes_in += data.len() as u64;
         Ok(())
     }
@@ -271,6 +278,7 @@ impl VillarsDevice {
     /// round trip on the host link, returning the policy-combined value
     /// (paper §4.2). Returns `(completion instant, counter)`.
     pub fn read_credit(&mut self, now: SimTime, lane: usize) -> (SimTime, u64) {
+        self.credit_reads += 1;
         let g = self.conventional.host_link_mut().read_round_trip(now, 0, 8);
         let local = self.lanes[lane].cmb.credit_at(g.end);
         let value = if lane == 0 {
@@ -531,6 +539,32 @@ impl VillarsDevice {
     /// Whether this device currently acts as a primary.
     pub fn is_primary(&self) -> bool {
         matches!(self.transport.role(), Role::Primary { .. })
+    }
+}
+
+impl simkit::Instrument for VillarsDevice {
+    /// Reports the conventional side's cross-stack groups plus the fast
+    /// side under `core.*` — the full PCIe-to-flash view of one device.
+    fn instrument(&self, out: &mut simkit::Scope<'_>) {
+        self.conventional.instrument(out);
+        for (i, lane) in self.lanes.iter().enumerate() {
+            out.collect(&format!("core.cmb.lane{i}"), &lane.cmb);
+            out.collect(&format!("core.destage.lane{i}"), &lane.destage);
+        }
+        out.collect("core.transport", &self.transport);
+        let mut fast = out.scope("core.fast");
+        fast.counter("bytes_in", self.fast_bytes_in);
+        fast.counter("tlps", self.fast_tlps);
+        fast.counter("credit_reads", self.credit_reads);
+        if let Some(port) = &self.sram_port {
+            fast.collect("sram_port", port);
+        }
+        // Replication lag: bytes the slowest secondary still trails the
+        // primary's settled credit frontier by (primary, lane 0).
+        if let Some(min_shadow) = self.transport.min_shadow() {
+            let local = self.lanes[0].cmb.credit_settled();
+            fast.gauge("replication_lag_bytes", local.saturating_sub(min_shadow) as f64);
+        }
     }
 }
 

@@ -36,6 +36,6 @@ pub use cluster::Cluster;
 pub use cmb::{CmbError, CmbModule, CmbStats};
 pub use config::{CmbConfig, DestageConfig, ReplicationPolicy, TransportConfig, VillarsConfig};
 pub use destage::{DestageModule, DestageStats, Segment};
-pub use tenancy::{TenancyError, TenantId, TenantManager, TenantUsage};
 pub use device::{vendor, CrashReport, FastWrite, VillarsDevice};
+pub use tenancy::{TenancyError, TenantId, TenantManager, TenantUsage};
 pub use transport::{DeviceIndex, Outbound, Role, TransportModule, TransportStatus};

@@ -11,12 +11,11 @@
 use crate::api::{XApiError, XLogFile};
 use crate::cluster::Cluster;
 use crate::transport::DeviceIndex;
-use serde::Serialize;
 use simkit::SimTime;
 use std::collections::HashMap;
 
 /// An opaque tenant identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TenantId(pub u32);
 
 /// Errors from tenancy operations.
@@ -49,7 +48,7 @@ impl From<XApiError> for TenancyError {
 }
 
 /// Per-tenant usage accounting.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct TenantUsage {
     /// Bytes appended by the tenant.
     pub bytes_written: u64,

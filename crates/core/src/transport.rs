@@ -9,7 +9,6 @@
 
 use crate::config::{ReplicationPolicy, TransportConfig};
 use pcie::{HostId, NtbConfig, NtbPort, Tlp, TranslationWindow};
-use serde::Serialize;
 use simkit::{SimDuration, SimTime};
 use std::collections::HashMap;
 
@@ -36,7 +35,7 @@ pub enum Role {
 
 /// Health of the transport path (paper §7.1: a status register the host
 /// checks when it suspects the credit counter is stale).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TransportStatus {
     /// Replication flows healthy.
     Ok,
@@ -74,7 +73,7 @@ pub enum Outbound {
 }
 
 /// Transport statistics.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct TransportStats {
     /// Data bytes mirrored out (primary).
     pub mirrored_bytes: u64,
@@ -232,17 +231,10 @@ impl TransportModule {
             // Forward as 64-byte (WC-sized) TLP bursts.
             let tlps = (data.len() as u64).div_ceil(pcie::WC_BUFFER_BYTES).max(1);
             let payload = (data.len() as u64 / tlps).max(1) as u32;
-            let grant = port
-                .forward_burst(now, addr, payload, tlps)
-                .expect("mirror window mapped");
+            let grant = port.forward_burst(now, addr, payload, tlps).expect("mirror window mapped");
             self.stats.mirrored_bytes += data.len() as u64;
             self.stats.mirror_messages += 1;
-            out.push(Outbound::Mirror {
-                dst,
-                offset,
-                data: data.to_vec(),
-                deliver_at: grant.end,
-            });
+            out.push(Outbound::Mirror { dst, offset, data: data.to_vec(), deliver_at: grant.end });
         }
         out
     }
@@ -264,11 +256,10 @@ impl TransportModule {
         // recent window.
         const MAX_CATCHUP: u64 = 10_000;
         let period = self.config.shadow_update_period;
-        let behind = now.saturating_since(self.next_update_at).as_nanos()
-            / period.as_nanos().max(1);
+        let behind =
+            now.saturating_since(self.next_update_at).as_nanos() / period.as_nanos().max(1);
         if behind > MAX_CATCHUP {
-            self.next_update_at =
-                self.next_update_at + period.saturating_mul(behind - MAX_CATCHUP);
+            self.next_update_at += period.saturating_mul(behind - MAX_CATCHUP);
         }
         let mut out = Vec::new();
         while self.next_update_at <= now {
@@ -345,6 +336,32 @@ impl TransportModule {
     pub fn upstream_stats(&self) -> Option<simkit::LinkStats> {
         self.upstream.as_ref().map(|p| p.stats())
     }
+
+    /// The slowest secondary's shadow counter (primary only): the offset up
+    /// to which *every* secondary has acknowledged the mirrored stream.
+    pub fn min_shadow(&self) -> Option<u64> {
+        match &self.role {
+            Role::Primary { secondaries } if !secondaries.is_empty() => {
+                Some(secondaries.iter().filter_map(|s| self.shadow_of(*s)).min().unwrap_or(0))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl simkit::Instrument for TransportModule {
+    fn instrument(&self, out: &mut simkit::Scope<'_>) {
+        out.counter("mirrored_bytes", self.stats.mirrored_bytes);
+        out.counter("mirror_messages", self.stats.mirror_messages);
+        out.counter("shadow_updates_sent", self.stats.shadow_updates_sent);
+        out.counter("shadow_updates_applied", self.stats.shadow_updates_applied);
+        for (dst, flow) in &self.flows {
+            out.collect(&format!("flow{dst}"), flow);
+        }
+        if let Some(up) = &self.upstream {
+            out.collect("upstream", up);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -393,9 +410,7 @@ mod tests {
         });
         t.set_secondary(0, NtbConfig::default(), SimTime::ZERO);
         // Credit grows 100 bytes per microsecond.
-        let updates = t.take_shadow_updates(SimTime::from_micros(5), 1, |at| {
-            at.as_nanos() / 10
-        });
+        let updates = t.take_shadow_updates(SimTime::from_micros(5), 1, |at| at.as_nanos() / 10);
         assert_eq!(updates.len(), 5);
         match updates[0] {
             Outbound::Shadow { dst, src, value, deliver_at } => {

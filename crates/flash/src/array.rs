@@ -244,10 +244,7 @@ impl FlashArray {
             return Err(FlashError::Uncorrectable(ppa));
         }
         self.stats.corrected_bits += errors as u64;
-        Ok(OpOutcome {
-            grant: Grant { start: die.start, end: bus.end },
-            corrected_bits: errors,
-        })
+        Ok(OpOutcome { grant: Grant { start: die.start, end: bus.end }, corrected_bits: errors })
     }
 
     /// Erase a block: resets the program pointer and consumes one P/E cycle.
@@ -296,17 +293,30 @@ impl FlashArray {
     }
 }
 
+impl simkit::Instrument for FlashArray {
+    fn instrument(&self, out: &mut simkit::Scope<'_>) {
+        out.counter("programs", self.stats.programs);
+        out.counter("reads", self.stats.reads);
+        out.counter("erases", self.stats.erases);
+        out.counter("program_failures", self.stats.program_failures);
+        out.counter("uncorrectable_reads", self.stats.uncorrectable_reads);
+        out.counter("corrected_bits", self.stats.corrected_bits);
+        // Aggregate die occupancy (tPROG/tR/tBERS residency) plus
+        // per-channel bus serialization time.
+        let die_busy: u64 = self.dies.iter().map(|d| d.busy_time().as_nanos()).sum();
+        out.counter("die_busy_ns", die_busy);
+        for (ch, bus) in self.buses.iter().enumerate() {
+            out.collect(&format!("bus{ch}"), bus);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn array() -> FlashArray {
-        FlashArray::new(
-            FlashGeometry::tiny(),
-            FlashTiming::fast(),
-            ReliabilityConfig::perfect(),
-            7,
-        )
+        FlashArray::new(FlashGeometry::tiny(), FlashTiming::fast(), ReliabilityConfig::perfect(), 7)
     }
 
     #[test]

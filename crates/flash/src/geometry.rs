@@ -5,10 +5,8 @@
 //! dies holding blocks of pages. The page is the program unit, the block the
 //! erase unit.
 
-use serde::{Deserialize, Serialize};
-
 /// Static shape of the flash subsystem.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlashGeometry {
     /// Independent channels (buses).
     pub channels: u32,
@@ -80,7 +78,7 @@ impl FlashGeometry {
 }
 
 /// Identifies one die: `(channel, way)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DieAddr {
     /// Channel index.
     pub channel: u32,
@@ -89,7 +87,7 @@ pub struct DieAddr {
 }
 
 /// Identifies one erase block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BlockAddr {
     /// Owning die.
     pub die: DieAddr,
@@ -98,7 +96,7 @@ pub struct BlockAddr {
 }
 
 /// Physical Page Address: the unit the FTL maps logical pages onto.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Ppa {
     /// Owning block.
     pub block: BlockAddr,
@@ -126,8 +124,7 @@ impl Ppa {
     pub fn flatten(&self, g: &FlashGeometry) -> u64 {
         let die_index =
             self.block.die.channel as u64 * g.dies_per_channel as u64 + self.block.die.die as u64;
-        (die_index * g.blocks_per_die as u64 + self.block.block as u64)
-            * g.pages_per_block as u64
+        (die_index * g.blocks_per_die as u64 + self.block.block as u64) * g.pages_per_block as u64
             + self.page as u64
     }
 
@@ -154,7 +151,6 @@ impl Ppa {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn default_geometry_capacity() {
@@ -203,13 +199,15 @@ mod tests {
         assert!(seen.iter().all(|s| *s));
     }
 
-    proptest! {
-        #[test]
-        fn prop_flatten_round_trips(idx in 0u64..FlashGeometry::default().total_pages()) {
-            let g = FlashGeometry::default();
+    #[test]
+    fn random_flatten_round_trips() {
+        let g = FlashGeometry::default();
+        let mut rng = simkit::DetRng::new(0x0F1A_77E4);
+        for _ in 0..512 {
+            let idx = rng.uniform(0, g.total_pages());
             let ppa = Ppa::unflatten(idx, &g);
-            prop_assert!(ppa.in_bounds(&g));
-            prop_assert_eq!(ppa.flatten(&g), idx);
+            assert!(ppa.in_bounds(&g));
+            assert_eq!(ppa.flatten(&g), idx);
         }
     }
 }

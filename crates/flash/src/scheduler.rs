@@ -10,12 +10,11 @@
 
 use crate::array::{FlashArray, FlashError, OpOutcome};
 use crate::geometry::{BlockAddr, Ppa};
-use serde::{Deserialize, Serialize};
 use simkit::SimTime;
 use std::collections::VecDeque;
 
 /// Traffic class of a request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Priority {
     /// Regular block-interface traffic (data-buffer flushes, user writes).
     Conventional,
@@ -24,7 +23,7 @@ pub enum Priority {
 }
 
 /// Scheduling policy (paper §4.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedulingMode {
     /// "That of a traditional device": divide opportunities by arrival order.
     Neutral,
@@ -105,11 +104,10 @@ impl ChannelQueues {
             Priority::Destage => &mut self.destage,
         }
     }
-
 }
 
 /// Per-class service accounting (drives the Fig. 12 bandwidth series).
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ClassStats {
     /// Completed operations.
     pub ops: u64,
@@ -180,10 +178,7 @@ impl ChannelScheduler {
 
     /// Number of queued requests across all channels.
     pub fn pending(&self) -> usize {
-        self.channels
-            .iter()
-            .map(|c| c.conventional.len() + c.destage.len())
-            .sum()
+        self.channels.iter().map(|c| c.conventional.len() + c.destage.len()).sum()
     }
 
     /// Service accounting for one class.
@@ -203,9 +198,7 @@ impl ChannelScheduler {
         let mut best: Option<SimTime> = None;
         for (ch, q) in self.channels.iter().enumerate() {
             for queue in [&q.conventional, &q.destage] {
-                if let Some((_, start)) =
-                    Self::best_in_window(queue, array, ch as u32, window)
-                {
+                if let Some((_, start)) = Self::best_in_window(queue, array, ch as u32, window) {
                     best = Some(best.map_or(start, |b: SimTime| b.min(start)));
                 }
             }
@@ -230,12 +223,8 @@ impl ChannelScheduler {
         let window = (4 * array.geometry().dies_per_channel as usize).max(8);
         for ch in 0..self.channels.len() {
             loop {
-                let conv = Self::best_in_window(
-                    &self.channels[ch].conventional,
-                    array,
-                    ch as u32,
-                    window,
-                );
+                let conv =
+                    Self::best_in_window(&self.channels[ch].conventional, array, ch as u32, window);
                 let dest =
                     Self::best_in_window(&self.channels[ch].destage, array, ch as u32, window);
                 let pick = match (conv, dest) {
@@ -243,9 +232,7 @@ impl ChannelScheduler {
                     (Some(c), None) => (Priority::Conventional, c),
                     (None, Some(d)) => (Priority::Destage, d),
                     (Some(c), Some(d)) => match self.mode.preferred() {
-                        Some(Priority::Conventional) if c.1 <= d.1 => {
-                            (Priority::Conventional, c)
-                        }
+                        Some(Priority::Conventional) if c.1 <= d.1 => (Priority::Conventional, c),
                         Some(Priority::Conventional) => (Priority::Destage, d),
                         Some(Priority::Destage) if d.1 <= c.1 => (Priority::Destage, d),
                         Some(Priority::Destage) => (Priority::Conventional, c),
@@ -268,10 +255,8 @@ impl ChannelScheduler {
                 if start > until {
                     break;
                 }
-                let req = self.channels[ch]
-                    .queue(class)
-                    .remove(idx)
-                    .expect("candidate index valid");
+                let req =
+                    self.channels[ch].queue(class).remove(idx).expect("candidate index valid");
                 let result = match req.kind {
                     OpKind::Program(p) => array.program(start, p),
                     OpKind::Read(p) => array.read(start, p),
@@ -337,6 +322,16 @@ impl ChannelScheduler {
     }
 }
 
+impl simkit::Instrument for ChannelScheduler {
+    fn instrument(&self, out: &mut simkit::Scope<'_>) {
+        out.counter("conventional.ops", self.conventional_stats.ops);
+        out.counter("conventional.bytes", self.conventional_stats.bytes);
+        out.counter("destage.ops", self.destage_stats.ops);
+        out.counter("destage.bytes", self.destage_stats.bytes);
+        out.gauge("pending_ops", self.pending() as f64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,12 +340,7 @@ mod tests {
     use simkit::SimDuration;
 
     fn array() -> FlashArray {
-        FlashArray::new(
-            FlashGeometry::tiny(),
-            FlashTiming::fast(),
-            ReliabilityConfig::perfect(),
-            1,
-        )
+        FlashArray::new(FlashGeometry::tiny(), FlashTiming::fast(), ReliabilityConfig::perfect(), 1)
     }
 
     /// Program requests striped across the dies of channel 0.

@@ -1,6 +1,5 @@
 //! NAND operation timing and reliability parameters.
 
-use serde::{Deserialize, Serialize};
 use simkit::{Bandwidth, SimDuration};
 
 /// Latency/bandwidth constants for the flash arrays.
@@ -9,7 +8,7 @@ use simkit::{Bandwidth, SimDuration};
 /// 8 ways and 16 KiB pages, `t_prog = 500 µs` yields ≈32 MB/s per die and
 /// ≈2 GB/s aggregate program bandwidth — the envelope the paper quotes for
 /// the platform ("sized to accommodate a maximum of 2 GB/s", §6.3).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlashTiming {
     /// Page program time (cell array busy).
     pub t_prog: SimDuration,
@@ -59,16 +58,15 @@ impl FlashTiming {
     pub fn program_bandwidth_gbps(&self, g: &crate::geometry::FlashGeometry) -> f64 {
         let per_die = g.page_bytes as f64 / self.t_prog.as_secs_f64() / 1e9;
         let die_bound = per_die * g.total_dies() as f64;
-        let per_channel_bus = g.page_bytes as f64
-            / self.page_transfer(g.page_bytes).as_secs_f64()
-            / 1e9;
+        let per_channel_bus =
+            g.page_bytes as f64 / self.page_transfer(g.page_bytes).as_secs_f64() / 1e9;
         let bus_bound = per_channel_bus * g.channels as f64;
         die_bound.min(bus_bound)
     }
 }
 
 /// Reliability model parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReliabilityConfig {
     /// Fraction of blocks marked bad at manufacture.
     pub initial_bad_block_rate: f64,

@@ -103,8 +103,7 @@ impl LogBackend for PmLog {
     fn append(&mut self, now: SimTime, data: &[u8]) -> SimTime {
         let len = data.len() as u64;
         let lines = len.div_ceil(64);
-        let cost = self.config.bandwidth.transfer_time(len)
-            + self.config.flush_per_line * lines;
+        let cost = self.config.bandwidth.transfer_time(len) + self.config.flush_per_line * lines;
         let g = self.dimm.acquire(now, cost);
         self.bytes += len;
         self.pending_done = self.pending_done.max(g.end);
@@ -251,9 +250,7 @@ impl XssdLog {
 
 impl LogBackend for XssdLog {
     fn append(&mut self, now: SimTime, data: &[u8]) -> SimTime {
-        self.file
-            .x_pwrite(&mut self.cluster, now, data)
-            .expect("fast-side append failed")
+        self.file.x_pwrite(&mut self.cluster, now, data).expect("fast-side append failed")
     }
 
     fn sync(&mut self, now: SimTime) -> SimTime {
@@ -266,6 +263,37 @@ impl LogBackend for XssdLog {
 
     fn name(&self) -> &'static str {
         self.label
+    }
+}
+
+impl simkit::Instrument for NoLog {
+    fn instrument(&self, out: &mut simkit::Scope<'_>) {
+        out.counter("db.log.bytes_appended", self.bytes);
+    }
+}
+
+impl simkit::Instrument for PmLog {
+    fn instrument(&self, out: &mut simkit::Scope<'_>) {
+        out.counter("db.log.bytes_appended", self.bytes);
+        out.counter("db.log.dimm_busy_ns", self.dimm.busy_time().as_nanos());
+        out.counter("db.log.dimm_stores", self.dimm.request_count());
+    }
+}
+
+impl simkit::Instrument for NvmeLog {
+    /// Reports the whole device stack under the wrapped SSD, plus the
+    /// host-side NVMe command count under `nvme.driver`.
+    fn instrument(&self, out: &mut simkit::Scope<'_>) {
+        out.counter("db.log.bytes_appended", self.bytes);
+        out.counter("nvme.driver.commands", self.driver.commands_issued());
+        self.driver.controller().instrument(out);
+    }
+}
+
+impl simkit::Instrument for XssdLog {
+    fn instrument(&self, out: &mut simkit::Scope<'_>) {
+        out.counter("db.log.bytes_appended", self.file.written());
+        self.cluster.instrument(out);
     }
 }
 

@@ -14,7 +14,6 @@
 
 use crate::log::fnv1a;
 use crate::storage::Database;
-use serde::Serialize;
 use simkit::SimTime;
 use xssd_core::{Cluster, DeviceIndex};
 
@@ -44,7 +43,7 @@ impl std::error::Error for SnapshotError {}
 const SNAP_MAGIC: &[u8; 8] = b"XSSDSNAP";
 
 /// Metadata describing one checkpoint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CheckpointMeta {
     /// Monotonically increasing checkpoint generation.
     pub generation: u64,
@@ -138,10 +137,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<(CheckpointMeta, Database), Snaps
             db.install_row(tid, key, val);
         }
     }
-    Ok((
-        CheckpointMeta { generation, log_offset, bytes: total as u64 },
-        db,
-    ))
+    Ok((CheckpointMeta { generation, log_offset, bytes: total as u64 }, db))
 }
 
 /// Ping-pong checkpoint storage on a Villars conventional side.
@@ -194,18 +190,11 @@ impl Checkpointer {
         for (i, chunk) in image.chunks(page).enumerate() {
             cl.device_mut(self.dev)
                 .conventional_mut()
-                .stage_write_data(base + i as u64, bytes::Bytes::copy_from_slice(chunk));
+                .stage_write_data(base + i as u64, simkit::bytes::Bytes::copy_from_slice(chunk));
         }
         let t = cl.block_write_blocking(self.dev, now, base, blocks_needed as u32);
         let t = cl.block_flush_blocking(self.dev, t);
-        (
-            t,
-            CheckpointMeta {
-                generation: self.generation,
-                log_offset,
-                bytes: image.len() as u64,
-            },
-        )
+        (t, CheckpointMeta { generation: self.generation, log_offset, bytes: image.len() as u64 })
     }
 
     /// Load the newest valid checkpoint from either slot, driving the
@@ -363,8 +352,7 @@ mod tests {
         let (t1, _) = ck.checkpoint(&mut cl, SimTime::ZERO, &db, 42);
         cl.power_fail(dev, t1);
         cl.reboot_device(dev);
-        let (_t, meta, restored) =
-            ck.restore(&mut cl, t1).expect("flushed checkpoint survives");
+        let (_t, meta, restored) = ck.restore(&mut cl, t1).expect("flushed checkpoint survives");
         assert_eq!(meta.log_offset, 42);
         assert_eq!(restored.fingerprint(), db.fingerprint());
     }

@@ -5,13 +5,11 @@
 //! Villars device's crash semantics should never produce one (paper §4.1),
 //! the database verifies rather than trusts.
 
-use serde::{Deserialize, Serialize};
-
 /// Table identifier within the catalog.
 pub type TableId = u16;
 
 /// What a record does.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LogOp {
     /// Insert a new row.
     Insert,
@@ -46,7 +44,7 @@ impl LogOp {
 }
 
 /// One WAL record.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogRecord {
     /// Owning transaction.
     pub txn_id: u64,
@@ -170,7 +168,6 @@ pub fn fnv1a(data: &[u8]) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn sample() -> LogRecord {
         LogRecord {
@@ -243,30 +240,38 @@ mod tests {
         assert_eq!(decode_one(&buf), Err(DecodeError::BadOp(99)));
     }
 
-    proptest! {
-        #[test]
-        fn prop_round_trip(
-            txn_id in any::<u64>(),
-            table in any::<u16>(),
-            key in proptest::collection::vec(any::<u8>(), 0..64),
-            value in proptest::collection::vec(any::<u8>(), 0..512),
-        ) {
-            let rec = LogRecord { txn_id, op: LogOp::Insert, table, key, value };
+    #[test]
+    fn random_round_trips() {
+        // Seeded random codec round-trips (replayable by seed).
+        for seed in 0..64u64 {
+            let mut rng = simkit::DetRng::new(0x0106_0000 + seed);
+            let key: Vec<u8> = (0..rng.uniform(0, 64)).map(|_| rng.uniform(0, 256) as u8).collect();
+            let value: Vec<u8> =
+                (0..rng.uniform(0, 512)).map(|_| rng.uniform(0, 256) as u8).collect();
+            let rec = LogRecord {
+                txn_id: rng.next_u64(),
+                op: LogOp::Insert,
+                table: rng.uniform(0, u16::MAX as u64 + 1) as u16,
+                key,
+                value,
+            };
             let (dec, used) = decode_one(&rec.encode()).unwrap();
-            prop_assert_eq!(&dec, &rec);
-            prop_assert_eq!(used, rec.encoded_len());
+            assert_eq!(dec, rec, "seed {seed}");
+            assert_eq!(used, rec.encoded_len(), "seed {seed}");
         }
+    }
 
-        #[test]
-        fn prop_stream_concatenation(
-            n in 1usize..20,
-            seed in any::<u64>(),
-        ) {
+    #[test]
+    fn random_stream_concatenation() {
+        for seed in 0..32u64 {
+            let mut rng = simkit::DetRng::new(0x0057_2EA0 + seed);
+            let n = rng.uniform(1, 20) as usize;
+            let base = rng.next_u64();
             let mut buf = Vec::new();
             let mut expect = Vec::new();
             for i in 0..n {
                 let rec = LogRecord {
-                    txn_id: seed.wrapping_add(i as u64),
+                    txn_id: base.wrapping_add(i as u64),
                     op: if i % 2 == 0 { LogOp::Insert } else { LogOp::Update },
                     table: (i % 7) as u16,
                     key: vec![i as u8; i % 16],
@@ -276,8 +281,8 @@ mod tests {
                 expect.push(rec);
             }
             let (recs, used) = decode_stream(&buf);
-            prop_assert_eq!(recs, expect);
-            prop_assert_eq!(used, buf.len());
+            assert_eq!(recs, expect, "seed {seed}");
+            assert_eq!(used, buf.len(), "seed {seed}");
         }
     }
 }

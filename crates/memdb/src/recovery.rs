@@ -10,11 +10,10 @@
 
 use crate::log::{decode_stream, LogOp, LogRecord};
 use crate::storage::Database;
-use serde::Serialize;
 use std::collections::HashSet;
 
 /// What a recovery pass found and applied.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RecoveryReport {
     /// Records decoded from the durable log stream.
     pub records_scanned: usize,
@@ -33,11 +32,8 @@ pub struct RecoveryReport {
 /// in log order.
 pub fn recover(db: &mut Database, log_stream: &[u8]) -> RecoveryReport {
     let (records, bytes_consumed) = decode_stream(log_stream);
-    let committed: HashSet<u64> = records
-        .iter()
-        .filter(|r| r.op == LogOp::Commit)
-        .map(|r| r.txn_id)
-        .collect();
+    let committed: HashSet<u64> =
+        records.iter().filter(|r| r.op == LogOp::Commit).map(|r| r.txn_id).collect();
     let mut dropped = 0usize;
     for rec in &records {
         if rec.op == LogOp::Commit {

@@ -139,12 +139,7 @@ mod tests {
         let mut now = t0;
         for i in 0..20u32 {
             let mut ctx = primary.begin();
-            primary.insert(
-                &mut ctx,
-                tab,
-                crate::storage::keys::composite(&[i]),
-                vec![i as u8; 64],
-            );
+            primary.insert(&mut ctx, tab, crate::storage::keys::composite(&[i]), vec![i as u8; 64]);
             let recs = primary.commit(ctx).unwrap();
             let bytes = encode_txn(&recs);
             now = file.x_pwrite(&mut cluster, now, &bytes).unwrap();

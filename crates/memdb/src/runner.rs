@@ -10,7 +10,7 @@
 use crate::backend::LogBackend;
 use crate::log::LogRecord;
 use crate::storage::{Database, TxnError};
-use crate::wal::{WalManager, FlushReport};
+use crate::wal::{FlushReport, WalManager};
 use simkit::{DetRng, SampleSeries, SimDuration, SimTime};
 
 /// Runner configuration.
@@ -79,6 +79,22 @@ impl RunReport {
     }
 }
 
+impl simkit::Instrument for RunReport {
+    fn instrument(&self, out: &mut simkit::Scope<'_>) {
+        let mut db = out.scope("db");
+        db.counter("commits", self.committed);
+        db.counter("aborts", self.aborted);
+        db.counter("log_bytes", self.log_bytes);
+        db.counter("flushes", self.flushes);
+        db.counter("elapsed_ns", self.elapsed.as_nanos());
+        let mut hist = simkit::Histogram::new();
+        for &s in self.latency_us.samples() {
+            hist.record(s);
+        }
+        db.latency("commit_latency_us", &hist);
+    }
+}
+
 /// One transaction produced by the workload: its WAL records (already
 /// applied to the database) or an abort.
 pub type TxnOutcome = Result<Vec<LogRecord>, TxnError>;
@@ -98,8 +114,7 @@ where
 {
     assert!(cfg.workers >= 1);
     let mut rng = DetRng::new(cfg.seed);
-    let mut worker_rngs: Vec<DetRng> =
-        (0..cfg.workers).map(|i| rng.fork(i as u64)).collect();
+    let mut worker_rngs: Vec<DetRng> = (0..cfg.workers).map(|i| rng.fork(i as u64)).collect();
     let mut available: Vec<SimTime> = vec![SimTime::ZERO; cfg.workers];
     // Transactions whose batch has not yet synced: (start, lsn).
     let mut waiting: Vec<(SimTime, crate::wal::Lsn)> = Vec::new();
@@ -111,8 +126,8 @@ where
     let mut horizon = SimTime::ZERO;
 
     let resolve = |report: &FlushReport,
-                       waiting: &mut Vec<(SimTime, crate::wal::Lsn)>,
-                       latency: &mut SampleSeries| {
+                   waiting: &mut Vec<(SimTime, crate::wal::Lsn)>,
+                   latency: &mut SampleSeries| {
         waiting.retain(|(start, lsn)| {
             if *lsn <= report.durable_upto {
                 latency.record(report.at.saturating_since(*start).as_micros_f64());
@@ -125,11 +140,8 @@ where
 
     loop {
         // Pick the earliest-free worker.
-        let (w, &t0) = available
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, t)| **t)
-            .expect("at least one worker");
+        let (w, &t0) =
+            available.iter().enumerate().min_by_key(|(_, t)| **t).expect("at least one worker");
         if t0 >= end {
             break;
         }
@@ -144,9 +156,8 @@ where
         }
         // Execute one transaction.
         let jitter = 1.0 + cfg.cpu_jitter * (worker_rngs[w].unit() * 2.0 - 1.0);
-        let cpu = SimDuration::from_nanos(
-            (cfg.cpu_per_txn.as_nanos() as f64 * jitter).round() as u64,
-        );
+        let cpu =
+            SimDuration::from_nanos((cfg.cpu_per_txn.as_nanos() as f64 * jitter).round() as u64);
         let t1 = t0 + cpu;
         horizon = horizon.max(t1);
         match txn_fn(db, &mut worker_rngs[w], w) {

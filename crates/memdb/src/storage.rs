@@ -204,10 +204,8 @@ impl Database {
         to: &[u8],
     ) -> Option<(Key, Row)> {
         let t = self.tables.get(table as usize)?;
-        let (k, v) = t
-            .rows
-            .range::<[u8], _>((Bound::Included(from), Bound::Excluded(to)))
-            .next_back()?;
+        let (k, v) =
+            t.rows.range::<[u8], _>((Bound::Included(from), Bound::Excluded(to))).next_back()?;
         ctx.reads.push((table, k.clone(), Some(v.version)));
         Some((k.clone(), v.row.clone()))
     }
@@ -233,10 +231,7 @@ impl Database {
     pub fn commit(&mut self, ctx: TxnCtx) -> Result<Vec<LogRecord>, TxnError> {
         // Validation: every read version unchanged.
         for (table, key, version) in &ctx.reads {
-            let t = self
-                .tables
-                .get(*table as usize)
-                .ok_or(TxnError::NoSuchTable(*table))?;
+            let t = self.tables.get(*table as usize).ok_or(TxnError::NoSuchTable(*table))?;
             let current = t.rows.get(key).map(|s| s.version);
             if current != *version {
                 self.aborts += 1;
@@ -246,10 +241,7 @@ impl Database {
         // Pre-check writes for structural errors (atomicity: reject before
         // applying anything).
         for (table, w) in &ctx.writes {
-            let t = self
-                .tables
-                .get(*table as usize)
-                .ok_or(TxnError::NoSuchTable(*table))?;
+            let t = self.tables.get(*table as usize).ok_or(TxnError::NoSuchTable(*table))?;
             match w {
                 PendingWrite::Insert(k, _) => {
                     if t.rows.contains_key(k) {
@@ -324,9 +316,10 @@ impl Database {
                 while self.tables.len() <= table {
                     self.create_table(&format!("recovered_{}", self.tables.len()));
                 }
-                self.tables[table]
-                    .rows
-                    .insert(rec.key.clone(), Versioned { row: rec.value.clone(), version: rec.txn_id });
+                self.tables[table].rows.insert(
+                    rec.key.clone(),
+                    Versioned { row: rec.value.clone(), version: rec.txn_id },
+                );
             }
             LogOp::Delete => {
                 if let Some(t) = self.tables.get_mut(rec.table as usize) {
@@ -356,10 +349,7 @@ impl Database {
 
     /// Install a row directly (checkpoint restore); bypasses transactions.
     pub fn install_row(&mut self, table: TableId, key: Key, row: Row) {
-        let t = self
-            .tables
-            .get_mut(table as usize)
-            .expect("install_row into missing table");
+        let t = self.tables.get_mut(table as usize).expect("install_row into missing table");
         t.rows.insert(key, Versioned { row, version: 0 });
     }
 

@@ -36,10 +36,7 @@ pub struct WalConfig {
 
 impl Default for WalConfig {
     fn default() -> Self {
-        WalConfig {
-            group_threshold: 16 << 10,
-            group_timeout: SimDuration::from_millis(5),
-        }
+        WalConfig { group_threshold: 16 << 10, group_timeout: SimDuration::from_millis(5) }
     }
 }
 
@@ -162,6 +159,15 @@ impl<B: LogBackend> WalManager<B> {
     /// horizon for stalled workers).
     pub fn log_writer_free(&self) -> SimTime {
         self.log_writer_free
+    }
+}
+
+impl<B: LogBackend + simkit::Instrument> simkit::Instrument for WalManager<B> {
+    fn instrument(&self, out: &mut simkit::Scope<'_>) {
+        out.counter("db.wal.flushes", self.flushes);
+        out.counter("db.wal.bytes_enqueued", self.enqueued);
+        out.gauge("db.wal.pending_bytes", self.pending.len() as f64);
+        self.backend.instrument(out);
     }
 }
 

@@ -5,8 +5,6 @@
 //! configuration, scheduling mode — travels as *vendor-specific* admin
 //! commands (§4.2), which the standard reserves opcode space for.
 
-use serde::{Deserialize, Serialize};
-
 /// Command identifier, unique within a submission queue.
 pub type CommandId = u16;
 
@@ -14,7 +12,7 @@ pub type CommandId = u16;
 pub type Lba = u64;
 
 /// An I/O-queue command.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IoCommand {
     /// Read `blocks` logical blocks starting at `lba`.
     Read {
@@ -36,7 +34,7 @@ pub enum IoCommand {
 
 /// A vendor-specific command: an opcode in the vendor range plus the six
 /// command dwords (CDW10–CDW15) the standard hands through untouched.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VendorCommand {
     /// Vendor opcode (the standard reserves 0xC0–0xFF).
     pub opcode: u8,
@@ -54,7 +52,7 @@ impl VendorCommand {
 }
 
 /// An admin-queue command.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdminCommand {
     /// Identify controller/namespace.
     Identify,
@@ -72,7 +70,7 @@ pub enum AdminCommand {
 }
 
 /// Any command, as it sits in a submission queue entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CommandKind {
     /// I/O queue command.
     Io(IoCommand),
@@ -81,7 +79,7 @@ pub enum CommandKind {
 }
 
 /// A submission-queue entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Command {
     /// Command identifier echoed in the completion.
     pub cid: CommandId,
@@ -90,7 +88,7 @@ pub struct Command {
 }
 
 /// NVMe status codes (the subset the models produce).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Status {
     /// Command completed successfully.
     Success,
@@ -116,7 +114,7 @@ impl Status {
 }
 
 /// A completion-queue entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompletionEntry {
     /// Echo of the command id.
     pub cid: CommandId,

@@ -9,7 +9,6 @@
 
 use crate::command::{Command, CommandKind, CompletionEntry, Status};
 use crate::namespace::Namespace;
-use serde::{Deserialize, Serialize};
 use simkit::{SimDuration, SimTime};
 
 /// The device side of the NVMe contract.
@@ -33,7 +32,7 @@ pub trait NvmeController {
 }
 
 /// Host-side costs of the conventional syscall data path.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HostCosts {
     /// One kernel entry/exit + block-layer traversal (pwrite/pread/fsync).
     pub syscall: SimDuration,
@@ -43,10 +42,7 @@ pub struct HostCosts {
 
 impl Default for HostCosts {
     fn default() -> Self {
-        HostCosts {
-            syscall: SimDuration::from_micros(2),
-            interrupt: SimDuration::from_micros(1),
-        }
+        HostCosts { syscall: SimDuration::from_micros(2), interrupt: SimDuration::from_micros(1) }
     }
 }
 
@@ -65,6 +61,7 @@ pub struct NvmeDriver<C: NvmeController> {
     controller: C,
     costs: HostCosts,
     next_cid: u16,
+    commands: u64,
 }
 
 impl<C: NvmeController> NvmeDriver<C> {
@@ -75,7 +72,12 @@ impl<C: NvmeController> NvmeDriver<C> {
 
     /// Wrap a controller with explicit host costs.
     pub fn with_costs(controller: C, costs: HostCosts) -> Self {
-        NvmeDriver { controller, costs, next_cid: 0 }
+        NvmeDriver { controller, costs, next_cid: 0, commands: 0 }
+    }
+
+    /// Commands issued through this driver so far.
+    pub fn commands_issued(&self) -> u64 {
+        self.commands
     }
 
     /// Access the wrapped controller.
@@ -103,6 +105,7 @@ impl<C: NvmeController> NvmeDriver<C> {
     /// Models: syscall entry, command processing, interrupt, return.
     pub fn execute_blocking(&mut self, now: SimTime, kind: CommandKind) -> IoResult {
         let cid = self.alloc_cid();
+        self.commands += 1;
         let submit_at = now + self.costs.syscall;
         self.controller.submit(submit_at, Command { cid, kind });
         // Wait for this command's completion, jumping the clock along the
@@ -137,15 +140,19 @@ impl<C: NvmeController> NvmeDriver<C> {
 
     /// Blocking read of `blocks` logical blocks at `lba`.
     pub fn read_blocking(&mut self, now: SimTime, lba: u64, blocks: u32) -> IoResult {
-        self.execute_blocking(
-            now,
-            CommandKind::Io(crate::command::IoCommand::Read { lba, blocks }),
-        )
+        self.execute_blocking(now, CommandKind::Io(crate::command::IoCommand::Read { lba, blocks }))
     }
 
     /// Blocking flush of the device write cache.
     pub fn flush_blocking(&mut self, now: SimTime) -> IoResult {
         self.execute_blocking(now, CommandKind::Io(crate::command::IoCommand::Flush))
+    }
+}
+
+impl<C: NvmeController + simkit::Instrument> simkit::Instrument for NvmeDriver<C> {
+    fn instrument(&self, out: &mut simkit::Scope<'_>) {
+        out.counter("commands", self.commands);
+        self.controller.instrument(out);
     }
 }
 
@@ -337,6 +344,18 @@ impl<C: NvmeController> QueuedDriver<C> {
     pub fn next_event_at(&self) -> Option<SimTime> {
         self.controller.next_event_at()
     }
+
+    /// The queue pair backing this driver (doorbell/occupancy telemetry).
+    pub fn queue_pair(&self) -> &crate::queue::QueuePair {
+        &self.qp
+    }
+}
+
+impl<C: NvmeController> simkit::Instrument for QueuedDriver<C> {
+    fn instrument(&self, out: &mut simkit::Scope<'_>) {
+        self.qp.instrument(out);
+        out.gauge("inflight", self.inflight.len() as f64);
+    }
 }
 
 #[cfg(test)]
@@ -352,11 +371,8 @@ mod queued_tests {
         let mut cids = Vec::new();
         for i in 0..4 {
             cids.push(
-                drv.submit(
-                    SimTime::ZERO,
-                    CommandKind::Io(IoCommand::Write { lba: i, blocks: 1 }),
-                )
-                .unwrap(),
+                drv.submit(SimTime::ZERO, CommandKind::Io(IoCommand::Write { lba: i, blocks: 1 }))
+                    .unwrap(),
             );
         }
         assert_eq!(drv.inflight(), 4);
@@ -387,8 +403,7 @@ mod queued_tests {
         let mut drv = QueuedDriver::new(FixedDelay::new(10), 1);
         let mut now = SimTime::ZERO;
         for i in 0..3 {
-            drv.submit(now, CommandKind::Io(IoCommand::Write { lba: i, blocks: 1 }))
-                .unwrap();
+            drv.submit(now, CommandKind::Io(IoCommand::Write { lba: i, blocks: 1 })).unwrap();
             now = drv.next_event_at().unwrap();
             drv.poll(now);
             assert!(drv.reap().is_some());

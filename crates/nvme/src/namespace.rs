@@ -1,10 +1,9 @@
 //! Namespaces: the block-address view of the device.
 
 use crate::command::Lba;
-use serde::{Deserialize, Serialize};
 
 /// A contiguous logical-block address space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Namespace {
     /// Namespace identifier (1-based per the standard).
     pub nsid: u32,
@@ -29,9 +28,7 @@ impl Namespace {
 
     /// Whether the range `[lba, lba+blocks)` is inside the namespace.
     pub fn range_ok(&self, lba: Lba, blocks: u32) -> bool {
-        blocks > 0
-            && lba < self.capacity_lbas
-            && blocks as u64 <= self.capacity_lbas - lba
+        blocks > 0 && lba < self.capacity_lbas && blocks as u64 <= self.capacity_lbas - lba
     }
 
     /// Bytes covered by `blocks` logical blocks.

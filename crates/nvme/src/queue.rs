@@ -7,7 +7,6 @@
 //! posts completions back.
 
 use crate::command::{Command, CompletionEntry};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Errors from ring operations.
@@ -28,7 +27,7 @@ impl std::fmt::Display for QueueError {
 impl std::error::Error for QueueError {}
 
 /// Identifies a queue pair (admin queue is 0).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QueueId(pub u16);
 
 impl QueueId {
@@ -165,6 +164,28 @@ impl QueuePair {
         // simple, correct definition: submitted minus reaped is maintained
         // by the driver; the pair exposes ring occupancies.
         self.sq.occupancy() as u64 + self.cq.occupancy() as u64
+    }
+}
+
+impl simkit::Instrument for SubmissionQueue {
+    fn instrument(&self, out: &mut simkit::Scope<'_>) {
+        out.counter("doorbell_writes", self.doorbell);
+        out.counter("fetched", self.fetched);
+        out.gauge("occupancy", self.ring.len() as f64);
+    }
+}
+
+impl simkit::Instrument for CompletionQueue {
+    fn instrument(&self, out: &mut simkit::Scope<'_>) {
+        out.gauge("occupancy", self.ring.len() as f64);
+    }
+}
+
+impl simkit::Instrument for QueuePair {
+    fn instrument(&self, out: &mut simkit::Scope<'_>) {
+        out.collect("sq", &self.sq);
+        out.collect("cq", &self.cq);
+        out.gauge("ring_occupancy", self.inflight() as f64);
     }
 }
 

@@ -5,11 +5,9 @@
 //! PMR as functionally equivalent" — the descriptor carries a persistence
 //! flag instead of duplicating the machinery.
 
-use serde::{Deserialize, Serialize};
-
 /// What memory technology backs the exposed region (paper §4.1 evaluates
 /// SRAM and DRAM; Z-NAND/Optane are mentioned as drop-ins).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BackingClass {
     /// FPGA BlockRAM: 128-bit @ 250 MHz = 4 GB/s, small (128 KiB).
     Sram,
@@ -19,7 +17,7 @@ pub enum BackingClass {
 }
 
 /// Descriptor of an exposed controller memory region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CmbDescriptor {
     /// Region size in bytes.
     pub size: u64,

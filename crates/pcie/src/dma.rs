@@ -7,11 +7,10 @@
 
 use crate::link::PcieLink;
 use crate::tlp::MaxPayloadSize;
-use serde::{Deserialize, Serialize};
 use simkit::{Grant, SimDuration, SimTime};
 
 /// DMA engine parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DmaConfig {
     /// Largest payload per TLP.
     pub mps: MaxPayloadSize,
@@ -26,7 +25,7 @@ impl Default for DmaConfig {
 }
 
 /// Direction of a DMA transfer, from the device's point of view.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DmaDirection {
     /// Host memory -> device (an NVMe write command's data phase).
     HostToDevice,
@@ -91,6 +90,13 @@ impl DmaEngine {
     /// Total bytes moved.
     pub fn bytes_moved(&self) -> u64 {
         self.bytes
+    }
+}
+
+impl simkit::Instrument for DmaEngine {
+    fn instrument(&self, out: &mut simkit::Scope<'_>) {
+        out.counter("transfers", self.transfers);
+        out.counter("bytes", self.bytes);
     }
 }
 

@@ -65,11 +65,6 @@ mod crate_tests {
         let mut rdma = RdmaTransport::new(RdmaConfig::default());
         let rdma_grant = rdma.write_persistent(SimTime::ZERO, 64);
 
-        assert!(
-            ntb_grant.end < rdma_grant.end,
-            "NTB {} vs RDMA {}",
-            ntb_grant.end,
-            rdma_grant.end
-        );
+        assert!(ntb_grant.end < rdma_grant.end, "NTB {} vs RDMA {}", ntb_grant.end, rdma_grant.end);
     }
 }

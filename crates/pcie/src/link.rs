@@ -6,11 +6,10 @@
 //! generation/lane-width arithmetic and a [`PcieLink`] that serializes TLPs.
 
 use crate::tlp::{Tlp, TlpOverhead};
-use serde::{Deserialize, Serialize};
 use simkit::{Bandwidth, Grant, Link, LinkStats, SimDuration, SimTime};
 
 /// PCIe protocol generation; determines per-lane raw rate and line encoding.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Generation {
     /// 2.5 GT/s, 8b/10b encoding.
     Gen1,
@@ -28,8 +27,8 @@ impl Generation {
     /// Effective (post-encoding) bandwidth per lane, decimal GB/s.
     pub fn gbytes_per_sec_per_lane(self) -> f64 {
         match self {
-            Generation::Gen1 => 2.5 / 10.0,       // 0.25 GB/s
-            Generation::Gen2 => 5.0 / 10.0,       // 0.5 GB/s
+            Generation::Gen1 => 2.5 / 10.0, // 0.25 GB/s
+            Generation::Gen2 => 5.0 / 10.0, // 0.5 GB/s
             Generation::Gen3 => 8.0 * (128.0 / 130.0) / 8.0,
             Generation::Gen4 => 16.0 * (128.0 / 130.0) / 8.0,
             Generation::Gen5 => 32.0 * (128.0 / 130.0) / 8.0,
@@ -38,7 +37,7 @@ impl Generation {
 }
 
 /// Number of lanes (×1 .. ×16).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LaneWidth(pub u8);
 
 impl LaneWidth {
@@ -53,7 +52,7 @@ impl LaneWidth {
 }
 
 /// Static description of a link.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkConfig {
     /// Protocol generation.
     pub generation: Generation,
@@ -159,6 +158,14 @@ impl PcieLink {
     /// Wire utilization over `[0, horizon]`.
     pub fn utilization(&self, horizon: SimTime) -> f64 {
         self.wire.utilization(horizon)
+    }
+}
+
+impl simkit::Instrument for PcieLink {
+    fn instrument(&self, out: &mut simkit::Scope<'_>) {
+        // TLP payload/overhead/message counters plus wire occupancy, from
+        // the inner serializing link.
+        self.wire.instrument(out);
     }
 }
 

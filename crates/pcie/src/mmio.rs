@@ -6,14 +6,13 @@
 //! fabric's address map so TLPs can be routed to the owning device region.
 
 use crate::tlp::BusAddr;
-use serde::{Deserialize, Serialize};
 
 /// Identifies a device function on the fabric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DeviceId(pub u16);
 
 /// What an address window maps to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RegionKind {
     /// NVMe register file (doorbells, controller config).
     NvmeRegisters,
@@ -26,7 +25,7 @@ pub enum RegionKind {
 }
 
 /// One mapped window of the bus address space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Region {
     /// Owning device.
     pub device: DeviceId,
@@ -126,10 +125,7 @@ impl AddressMap {
 
     /// Route an address to its owning window.
     pub fn route(&self, addr: BusAddr) -> Result<&Region, MmioError> {
-        self.regions
-            .iter()
-            .find(|r| r.contains(addr))
-            .ok_or(MmioError::Unmapped(addr))
+        self.regions.iter().find(|r| r.contains(addr)).ok_or(MmioError::Unmapped(addr))
     }
 
     /// All windows owned by `device`.

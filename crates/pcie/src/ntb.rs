@@ -10,16 +10,15 @@
 
 use crate::link::{LinkConfig, PcieLink};
 use crate::tlp::{BusAddr, Tlp};
-use serde::{Deserialize, Serialize};
 use simkit::{Grant, LinkStats, SimDuration, SimTime};
 
 /// Identifies a host/fabric connected by NTB.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HostId(pub u16);
 
 /// One address-translation window: `[local_base, local_base+len)` on the
 /// local fabric forwards to `[remote_base, ...)` on `remote_host`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TranslationWindow {
     /// Window base on the local fabric.
     pub local_base: BusAddr,
@@ -44,7 +43,7 @@ impl TranslationWindow {
 }
 
 /// Timing characteristics of the NTB adapter pair.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NtbConfig {
     /// The inter-host cable/link (defaults to ×8 Gen3-class, the Dolphin
     /// PXH830's envelope).
@@ -126,11 +125,8 @@ impl NtbPort {
         let remote_addr = self.translate(tlp.addr)?;
         let g = self.wire.send(now, &Tlp { addr: remote_addr, ..*tlp });
         self.forwarded_tlps += 1;
-        let extra = self
-            .config
-            .link
-            .bandwidth()
-            .transfer_time(self.config.translation_overhead_bytes);
+        let extra =
+            self.config.link.bandwidth().transfer_time(self.config.translation_overhead_bytes);
         let arrive = g.end + self.config.hop_latency + extra;
         Some((Tlp { addr: remote_addr, ..*tlp }, Grant { start: g.start, end: arrive }))
     }
@@ -168,6 +164,13 @@ impl NtbPort {
     /// The configured hop latency (exposed for experiment reporting).
     pub fn hop_latency(&self) -> SimDuration {
         self.config.hop_latency
+    }
+}
+
+impl simkit::Instrument for NtbPort {
+    fn instrument(&self, out: &mut simkit::Scope<'_>) {
+        out.counter("forwarded_tlps", self.forwarded_tlps);
+        self.wire.instrument(out);
     }
 }
 

@@ -8,12 +8,11 @@
 //! highlights: an RDMA write is *visible* when it lands in the remote cache,
 //! but *persistent* only after an explicit flush round-trip.
 
-use serde::{Deserialize, Serialize};
 use simkit::{Bandwidth, Grant, Link, SimDuration, SimTime};
 
 /// RDMA NIC/network parameters, defaulting to a 100 Gb/s RoCE ConnectX-5
 /// class card (the paper's testbed NIC).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RdmaConfig {
     /// Network bandwidth (100 Gb/s = 12.5 GB/s raw).
     pub bandwidth_gbps: f64,
@@ -75,8 +74,7 @@ impl RdmaTransport {
         }
         // Flush = tiny read verb out + completion back: two one-way trips.
         let flush_out = self.wire.transmit(vis.end, 0);
-        let done =
-            flush_out.end + self.config.one_way_latency + self.config.one_way_latency;
+        let done = flush_out.end + self.config.one_way_latency + self.config.one_way_latency;
         Grant { start: vis.start, end: done }
     }
 

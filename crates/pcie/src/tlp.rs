@@ -6,13 +6,11 @@
 //! overhead regardless of payload, which is exactly the mechanism behind the
 //! write-combining results (paper Fig. 10).
 
-use serde::{Deserialize, Serialize};
-
 /// Physical/bus address inside a PCIe fabric.
 pub type BusAddr = u64;
 
 /// The TLP types the models exchange.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TlpKind {
     /// Posted memory write (MMIO store, DMA write). No completion returned.
     MemWrite,
@@ -25,7 +23,7 @@ pub enum TlpKind {
 }
 
 /// A transaction-layer packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Tlp {
     /// Packet type.
     pub kind: TlpKind,
@@ -71,7 +69,7 @@ impl Tlp {
 /// Per-TLP fixed costs. Defaults follow the PCIe spec for a 3-DW header
 /// plus physical/data-link framing: 12 B header + 4 B ECRC-less framing +
 /// 8 B DLLP/sequence ≈ 24 B per packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TlpOverhead {
     /// Transaction-layer header bytes.
     pub header_bytes: u64,
@@ -94,7 +92,7 @@ impl TlpOverhead {
 
 /// Maximum payload a single memory-write TLP may carry. 256 B is the common
 /// server default; large transfers split into `ceil(len / mps)` packets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MaxPayloadSize(pub u32);
 
 impl Default for MaxPayloadSize {

@@ -7,11 +7,9 @@
 //! this module reproduces the *mechanism*: the TLP payload sizes each mode
 //! emits for a given application write size.
 
-use serde::{Deserialize, Serialize};
-
 /// How an MMIO region is mapped by the host (paper references Intel SDM
 /// ch. 11 memory cache control).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MmioMode {
     /// Write-Combining: stores are merged in 64-byte CPU buffers and flushed
     /// as one TLP per full (or explicitly flushed partial) buffer.
@@ -27,7 +25,7 @@ pub const WC_BUFFER_BYTES: u64 = 64;
 pub const UC_STORE_BYTES: u64 = 8;
 
 /// Model of the CPU store-issue path for one MMIO mapping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreIssueModel {
     /// The mapping mode.
     pub mode: MmioMode,
@@ -124,10 +122,7 @@ mod tests {
         let wc = StoreIssueModel::wc();
         let uc = StoreIssueModel::uc();
         for len in [1u64, 2, 4, 8, 16, 32, 64, 128, 256] {
-            assert!(
-                wc.efficiency(len, 24) >= uc.efficiency(len, 24),
-                "WC < UC at len={len}"
-            );
+            assert!(wc.efficiency(len, 24) >= uc.efficiency(len, 24), "WC < UC at len={len}");
         }
     }
 

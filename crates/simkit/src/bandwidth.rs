@@ -5,11 +5,10 @@
 //! are quoted in (GB/s, MB/s, bytes per clock at a given frequency).
 
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A data rate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Bandwidth {
     ns_per_byte: f64,
 }

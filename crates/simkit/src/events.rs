@@ -35,10 +35,7 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -88,11 +85,7 @@ impl<E> EventQueue<E> {
     /// earliest live entry without compacting cancelled ones (O(n), for
     /// `&self` contexts like a device's `next_event_at`).
     pub fn next_time(&self) -> Option<SimTime> {
-        self.heap
-            .iter()
-            .filter(|e| self.live.contains(&e.id))
-            .map(|e| e.at)
-            .min()
+        self.heap.iter().filter(|e| self.live.contains(&e.id)).map(|e| e.at).min()
     }
 
     /// Pop the next event regardless of time.

@@ -8,7 +8,10 @@
 //!   [`BankedResource`], [`Link`]) where interference *emerges* from queueing;
 //! - [`bandwidth`] — rate arithmetic in the units hardware specs use;
 //! - [`stats`] — exact sample series, candlesticks, throughput meters;
-//! - [`rng`] — explicitly seeded randomness for replayable workloads.
+//! - [`rng`] — explicitly seeded randomness for replayable workloads;
+//! - [`bytes`] — cheaply cloneable immutable payload buffers;
+//! - [`telemetry`] — the cross-stack metrics registry every device model
+//!   reports into, with snapshot/diff phase measurement and JSON export.
 //!
 //! Design note: there is intentionally no global scheduler or actor runtime.
 //! Each device owns its own calendar and exposes `advance_to(t)`; a
@@ -19,17 +22,21 @@
 #![warn(missing_docs)]
 
 pub mod bandwidth;
+pub mod bytes;
 pub mod events;
 pub mod resource;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 pub use bandwidth::Bandwidth;
+pub use bytes::Bytes;
 pub use events::{EventId, EventQueue};
 pub use resource::{BankedResource, Grant, Link, LinkStats, SerialResource};
 pub use rng::DetRng;
 pub use stats::{Candlestick, Histogram, OnlineStats, SampleSeries, SeriesPoint, ThroughputMeter};
+pub use telemetry::{Instrument, MetricValue, MetricsRegistry, Scope, Snapshot};
 pub use time::{SimDuration, SimTime};
 
 #[cfg(test)]

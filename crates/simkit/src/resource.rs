@@ -9,7 +9,6 @@
 
 use crate::bandwidth::Bandwidth;
 use crate::time::{SimDuration, SimTime};
-use serde::Serialize;
 
 /// The service window granted to a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,7 +149,7 @@ impl BankedResource {
 }
 
 /// Cumulative transfer statistics for a [`Link`].
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct LinkStats {
     /// Payload bytes carried.
     pub payload_bytes: u64,
@@ -219,7 +218,12 @@ impl Link {
 
     /// Transmit with extra per-message overhead bytes on top of the link's
     /// fixed overhead (e.g. an NTB-translation prefix).
-    pub fn transmit_with_overhead(&mut self, now: SimTime, payload: u64, extra_overhead: u64) -> Grant {
+    pub fn transmit_with_overhead(
+        &mut self,
+        now: SimTime,
+        payload: u64,
+        extra_overhead: u64,
+    ) -> Grant {
         let wire_bytes = payload + self.per_message_overhead_bytes + extra_overhead;
         let service = self.bandwidth.transfer_time(wire_bytes);
         self.stats.payload_bytes += payload;
@@ -236,6 +240,12 @@ impl Link {
     /// Cumulative transfer statistics.
     pub fn stats(&self) -> LinkStats {
         self.stats
+    }
+
+    /// Total time the wire has been occupied (cumulative serialization
+    /// time; divide by any horizon for utilization).
+    pub fn busy_time(&self) -> SimDuration {
+        self.wire.busy_time()
     }
 
     /// Fraction of `[0, horizon]` the wire was busy.

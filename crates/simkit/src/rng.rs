@@ -3,49 +3,91 @@
 //! Every stochastic choice in the workspace draws from a [`DetRng`] seeded
 //! explicitly, so any experiment or failing test can be replayed bit-for-bit.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 /// A small, fast, explicitly seeded RNG.
+///
+/// The core is xoshiro256++ (Blackman & Vigna) with SplitMix64 seed
+/// expansion — self-contained so the workspace carries no external RNG
+/// dependency, and bit-for-bit reproducible across platforms.
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     /// Seeded construction; equal seeds produce equal streams.
     pub fn new(seed: u64) -> Self {
-        DetRng { inner: SmallRng::seed_from_u64(seed) }
+        let mut s = seed;
+        DetRng {
+            state: [splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s)],
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        let out =
+            self.state[0].wrapping_add(self.state[3]).rotate_left(23).wrapping_add(self.state[0]);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        out
     }
 
     /// Derive an independent child stream, e.g. one per worker thread, so
     /// adding a consumer does not perturb the others' draws.
     pub fn fork(&mut self, salt: u64) -> DetRng {
-        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         DetRng::new(s)
     }
 
     /// Uniform integer in `[lo, hi]` (inclusive). Panics if `lo > hi`.
     pub fn uniform(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "uniform bounds inverted: [{lo}, {hi}]");
-        self.inner.gen_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next();
+        }
+        // Debiased modular reduction: reject draws from the tail that would
+        // over-weight low residues.
+        let n = span + 1;
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next();
+            if v < zone {
+                return lo + v % n;
+            }
+        }
     }
 
     /// Uniform integer in `[lo, hi]` as i64.
     pub fn uniform_i64(&mut self, lo: i64, hi: i64) -> i64 {
         assert!(lo <= hi, "uniform bounds inverted: [{lo}, {hi}]");
-        self.inner.gen_range(lo..=hi)
+        let span = (hi as i128 - lo as i128) as u64;
+        if span == u64::MAX {
+            return self.next() as i64;
+        }
+        (lo as i128 + self.uniform(0, span) as i128) as i64
     }
 
-    /// Uniform float in `[0, 1)`.
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw with probability `p`.
     pub fn chance(&mut self, p: f64) -> bool {
         debug_assert!((0.0..=1.0).contains(&p));
-        self.inner.gen::<f64>() < p
+        self.unit() < p
     }
 
     /// Pick a uniformly random element of a non-empty slice.
@@ -65,7 +107,7 @@ impl DetRng {
 
     /// A raw 64-bit draw.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        self.next()
     }
 }
 

@@ -6,10 +6,9 @@
 //! no sketches, no reservoir sampling, fully reproducible.
 
 use crate::time::{SimDuration, SimTime};
-use serde::Serialize;
 
 /// Online mean/variance accumulator (Welford's algorithm).
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,
@@ -82,7 +81,7 @@ impl OnlineStats {
 }
 
 /// Five-number summary used for candlestick plots (paper Fig. 13).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Candlestick {
     /// Smallest sample.
     pub min: f64,
@@ -184,7 +183,7 @@ impl SampleSeries {
 }
 
 /// Events-and-bytes throughput accounting over a simulated window.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ThroughputMeter {
     events: u64,
     bytes: u64,
@@ -241,7 +240,7 @@ impl ThroughputMeter {
 /// `i` counts samples in `[2^i, 2^(i+1))` of the base unit. Cheap to
 /// record, compact to print, adequate when the exact-sample
 /// [`SampleSeries`] would grow too large.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
@@ -326,14 +325,13 @@ impl Histogram {
 
 /// A labelled series point for figure output: `(x, value)` plus an optional
 /// candlestick. This is the row format the figure harnesses print.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SeriesPoint {
     /// X-axis value (worker count, write size, period in µs, ...).
     pub x: f64,
     /// Primary Y value (mean latency, throughput, ...).
     pub y: f64,
     /// Optional distribution summary.
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub candle: Option<Candlestick>,
 }
 

@@ -1,0 +1,204 @@
+//! A small, dependency-free JSON document builder.
+//!
+//! The workspace runs in hermetic environments with no crates.io access, so
+//! metric export carries its own writer instead of `serde_json`. Only
+//! *emission* is provided — nothing in the simulation parses JSON. Output is
+//! deterministic: object fields print in insertion order (the telemetry
+//! registry inserts in sorted path order), floats use Rust's shortest
+//! round-trip formatting, and non-finite floats emit `null` (JSON has no
+//! NaN/Infinity).
+
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer, printed exactly (no float rounding).
+    U64(u64),
+    /// A signed integer, printed exactly.
+    I64(i64),
+    /// A double; non-finite values print as `null`.
+    F64(f64),
+    /// A string, escaped per RFC 8259.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Json>),
+    /// An object; fields print in the order given.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience string constructor.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience object constructor from `(&str, Json)` pairs.
+    pub fn object<'a>(fields: impl IntoIterator<Item = (&'a str, Json)>) -> Json {
+        Json::Object(fields.into_iter().map(|(k, v)| (String::from(k), v)).collect())
+    }
+
+    /// Compact rendering (no whitespace).
+    #[allow(clippy::inherent_to_string_shadow_display)]
+    pub fn to_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => write_f64(out, *v),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                    items[i].write(out, indent, d);
+                });
+            }
+            Json::Object(fields) => {
+                write_seq(out, indent, depth, '{', '}', fields.len(), |out, i, d| {
+                    let (k, v) = &fields[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, d);
+                });
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string())
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * (depth + 1)));
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+    out.push(close);
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // Rust's shortest round-trip Display; force a fractional marker so the
+    // value stays typed as a float when read back by strict parsers.
+    let s = format!("{v}");
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::U64(u64::MAX).to_string(), "18446744073709551615");
+        assert_eq!(Json::I64(-42).to_string(), "-42");
+        assert_eq!(Json::F64(1.5).to_string(), "1.5");
+        assert_eq!(Json::F64(3.0).to_string(), "3.0");
+        assert_eq!(Json::F64(f64::NAN).to_string(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(Json::str("a\"b\\c\nd").to_string(), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(Json::str("\u{1}").to_string(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn containers() {
+        let j = Json::object([
+            ("xs", Json::Array(vec![Json::U64(1), Json::U64(2)])),
+            ("empty", Json::Array(vec![])),
+        ]);
+        assert_eq!(j.to_string(), "{\"xs\":[1,2],\"empty\":[]}");
+    }
+
+    #[test]
+    fn pretty_indents() {
+        let j = Json::object([("a", Json::U64(1))]);
+        assert_eq!(j.pretty(), "{\n  \"a\": 1\n}");
+    }
+
+    #[test]
+    fn field_order_preserved() {
+        let j = Json::object([("z", Json::U64(1)), ("a", Json::U64(2))]);
+        assert_eq!(j.to_string(), "{\"z\":1,\"a\":2}");
+    }
+}

@@ -6,8 +6,7 @@
 //! same pool (paper §6), so the port resource is exposed for sharing — that
 //! sharing is what derates the DRAM-backed fast side in Fig. 9/10.
 
-use bytes::Bytes;
-use serde::Serialize;
+use simkit::bytes::Bytes;
 use simkit::{Bandwidth, Grant, SerialResource, SimTime};
 use std::collections::{HashMap, VecDeque};
 
@@ -22,7 +21,7 @@ struct Slot {
 }
 
 /// Buffer statistics.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct BufferStats {
     /// Read hits served from DRAM.
     pub read_hits: u64,
@@ -185,10 +184,7 @@ impl DataBuffer {
     fn evict_if_needed(&mut self) {
         while self.slots.len() > self.capacity_pages {
             // Find the oldest clean page.
-            let victim = self
-                .lru
-                .iter()
-                .position(|l| self.slots.get(l).is_some_and(|s| !s.dirty));
+            let victim = self.lru.iter().position(|l| self.slots.get(l).is_some_and(|s| !s.dirty));
             match victim {
                 Some(pos) => {
                     let lpn = self.lru.remove(pos).expect("position valid");
@@ -198,6 +194,23 @@ impl DataBuffer {
                 None => break, // all dirty: allow overflow, flusher will drain
             }
         }
+    }
+}
+
+impl simkit::Instrument for DataBuffer {
+    fn instrument(&self, out: &mut simkit::Scope<'_>) {
+        out.counter("read_hits", self.stats.read_hits);
+        out.counter("read_misses", self.stats.read_misses);
+        out.counter("writes", self.stats.writes);
+        out.counter("evictions", self.stats.evictions);
+        let lookups = self.stats.read_hits + self.stats.read_misses;
+        if lookups > 0 {
+            out.gauge("hit_rate_pct", 100.0 * self.stats.read_hits as f64 / lookups as f64);
+        }
+        out.gauge("occupancy_pages", self.slots.len() as f64);
+        out.gauge("dirty_pages", self.dirty_count() as f64);
+        out.counter("port_busy_ns", self.port.busy_time().as_nanos());
+        out.counter("port_requests", self.port.request_count());
     }
 }
 

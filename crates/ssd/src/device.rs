@@ -10,16 +10,16 @@
 use crate::buffer::DataBuffer;
 use crate::ftl::{AllocStream, Ftl, Lpn};
 use crate::hic::{Hic, HicConfig};
-use bytes::Bytes;
 use flash::{
-    ChannelScheduler, FlashArray, FlashError, FlashGeometry, FlashTiming, OpKind, OpRequest,
-    Ppa, Priority, ReliabilityConfig, SchedulingMode,
+    ChannelScheduler, FlashArray, FlashError, FlashGeometry, FlashTiming, OpKind, OpRequest, Ppa,
+    Priority, ReliabilityConfig, SchedulingMode,
 };
 use nvme::{
     AdminCommand, Command, CommandId, CommandKind, CompletionEntry, IoCommand, Namespace,
     NvmeController, Status,
 };
 use pcie::{DmaConfig, LinkConfig};
+use simkit::bytes::Bytes;
 use simkit::{Bandwidth, EventQueue, SimTime};
 use std::collections::{HashMap, HashSet};
 
@@ -188,11 +188,8 @@ impl ConventionalSsd {
             FlashArray::new(config.geometry, config.timing, config.reliability, config.seed);
         let ftl = Ftl::new(config.geometry, &array, config.gc_threshold);
         let sched = ChannelScheduler::new(config.geometry.channels, config.scheduling);
-        let buffer = DataBuffer::new(
-            config.buffer_pages,
-            config.geometry.page_bytes,
-            config.dram_bandwidth,
-        );
+        let buffer =
+            DataBuffer::new(config.buffer_pages, config.geometry.page_bytes, config.dram_bandwidth);
         let hic = Hic::new(config.hic, config.link, config.dma);
         // Export 7/8 of raw capacity (over-provisioning for GC headroom).
         let capacity = config.geometry.total_pages() * 7 / 8;
@@ -316,7 +313,13 @@ impl ConventionalSsd {
     }
 
     /// Submit a flash op keeping per-class arrivals monotonic.
-    fn submit_op(&mut self, mut arrival: SimTime, kind: OpKind, class: Priority, op: PendingOp) -> u64 {
+    fn submit_op(
+        &mut self,
+        mut arrival: SimTime,
+        kind: OpKind,
+        class: Priority,
+        op: PendingOp,
+    ) -> u64 {
         let clamp = self.last_arrival.entry(class).or_insert(SimTime::ZERO);
         arrival = arrival.max(*clamp);
         *clamp = arrival;
@@ -375,9 +378,8 @@ impl ConventionalSsd {
 
     /// Take destage completions at or before `t`: `(time, token)`.
     pub fn drain_destage_completions(&mut self, t: SimTime) -> Vec<(SimTime, u64)> {
-        let (ready, rest) = std::mem::take(&mut self.destage_done)
-            .into_iter()
-            .partition(|(at, _)| *at <= t);
+        let (ready, rest) =
+            std::mem::take(&mut self.destage_done).into_iter().partition(|(at, _)| *at <= t);
         self.destage_done = rest;
         let mut ready: Vec<_> = ready;
         ready.sort_by_key(|(at, _)| *at);
@@ -386,9 +388,8 @@ impl ConventionalSsd {
 
     /// Take internal-read completions at or before `t`.
     pub fn drain_internal_reads(&mut self, t: SimTime) -> Vec<(SimTime, u64)> {
-        let (ready, rest) = std::mem::take(&mut self.internal_reads_done)
-            .into_iter()
-            .partition(|(at, _)| *at <= t);
+        let (ready, rest) =
+            std::mem::take(&mut self.internal_reads_done).into_iter().partition(|(at, _)| *at <= t);
         self.internal_reads_done = rest;
         let mut ready: Vec<_> = ready;
         ready.sort_by_key(|(at, _)| *at);
@@ -415,10 +416,7 @@ impl ConventionalSsd {
             // for collection. (This is the firmware throttling the host
             // under GC pressure; completion *times* are unchanged — grants
             // are fully determined by arrivals and resource horizons.)
-            assert!(
-                self.force_settle_programs(),
-                "device out of space: GC could not reclaim"
-            );
+            assert!(self.force_settle_programs(), "device out of space: GC could not reclaim");
         }
     }
 
@@ -580,9 +578,9 @@ impl ConventionalSsd {
     fn handle_admin(&mut self, now: SimTime, cid: CommandId, cmd: AdminCommand) {
         let fetch = self.hic.fetch(now);
         let status = match cmd {
-            AdminCommand::Identify | AdminCommand::GetLogPage | AdminCommand::SetFeatures { .. } => {
-                Status::Success
-            }
+            AdminCommand::Identify
+            | AdminCommand::GetLogPage
+            | AdminCommand::SetFeatures { .. } => Status::Success,
             // The base device knows no vendor commands; the Villars wrapper
             // intercepts them before they reach here.
             AdminCommand::Vendor(_) => Status::InvalidOpcode,
@@ -796,15 +794,33 @@ impl ConventionalSsd {
         }
         // Undelivered fast-side completions are pending work for the upper
         // layer (the destage module / recovery reader).
-        for t in self
-            .destage_done
-            .iter()
-            .chain(self.internal_reads_done.iter())
-            .map(|(at, _)| *at)
+        for t in self.destage_done.iter().chain(self.internal_reads_done.iter()).map(|(at, _)| *at)
         {
             next = Some(next.map_or(t, |e: SimTime| e.min(t)));
         }
         next
+    }
+}
+
+impl simkit::Instrument for ConventionalSsd {
+    /// Reports the whole device stack under crate-qualified groups
+    /// (`pcie.*`, `ssd.*`, `flash.*`), so collecting at the registry root
+    /// yields the cross-stack paths of the naming convention.
+    fn instrument(&self, out: &mut simkit::Scope<'_>) {
+        out.collect("pcie.host_link", self.hic.link());
+        out.collect("pcie.host_dma", self.hic.dma());
+        out.collect("ssd.hic", &self.hic);
+        out.collect("ssd.buffer", &self.buffer);
+        out.collect("ssd.ftl", &self.ftl);
+        {
+            let mut ssd = out.scope("ssd");
+            ssd.counter("served_conventional_bytes", self.served_conventional_bytes);
+            ssd.counter("served_destage_bytes", self.served_destage_bytes);
+            ssd.gauge("media_pages", self.media.len() as f64);
+            ssd.gauge("pending_ops", self.pending.len() as f64);
+        }
+        out.collect("flash.array", &self.array);
+        out.collect("flash.sched", &self.sched);
     }
 }
 

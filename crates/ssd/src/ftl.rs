@@ -7,7 +7,6 @@
 //! accounting, and greedy garbage collection.
 
 use flash::{BlockAddr, DieAddr, FlashArray, FlashGeometry, Ppa};
-use serde::Serialize;
 use std::collections::{HashMap, VecDeque};
 
 /// Logical page number (namespace LBA when LBA size == flash page size).
@@ -18,7 +17,7 @@ pub type Lpn = u64;
 /// NAND requires in-order programming per block, and the channel scheduler
 /// only guarantees order within a traffic class. (This is also a small
 /// multi-stream separation win, cf. multi-streamed SSDs in paper §8.1.)
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AllocStream {
     /// Host writes through the data buffer.
     Host,
@@ -52,7 +51,7 @@ struct BlockInfo {
 }
 
 /// What garbage collection decided to do.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct GcPlan {
     /// The victim block to erase once its live pages move.
     pub victim: BlockAddr,
@@ -61,7 +60,7 @@ pub struct GcPlan {
 }
 
 /// FTL statistics (write amplification observability).
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct FtlStats {
     /// Host-initiated page allocations.
     pub host_writes: u64,
@@ -69,6 +68,10 @@ pub struct FtlStats {
     pub gc_writes: u64,
     /// Blocks erased by GC.
     pub gc_erases: u64,
+    /// Mapping-table lookups (lpn -> ppa translations).
+    pub map_reads: u64,
+    /// Mapping-table mutations (binds, rebinds, trims).
+    pub map_updates: u64,
 }
 
 impl FtlStats {
@@ -101,6 +104,8 @@ pub struct Ftl {
     /// Free blocks (total) below which GC should run.
     gc_threshold: usize,
     stats: FtlStats,
+    /// Lookup count; interior-mutable because [`Ftl::lookup`] takes `&self`.
+    map_reads: std::cell::Cell<u64>,
 }
 
 impl Ftl {
@@ -130,6 +135,7 @@ impl Ftl {
             next_die: 0,
             gc_threshold,
             stats: FtlStats::default(),
+            map_reads: std::cell::Cell::new(0),
         }
     }
 
@@ -150,6 +156,7 @@ impl Ftl {
 
     /// Current mapping of `lpn`, if any.
     pub fn lookup(&self, lpn: Lpn) -> Option<Ppa> {
+        self.map_reads.set(self.map_reads.get() + 1);
         self.map.get(&lpn).copied()
     }
 
@@ -165,7 +172,7 @@ impl Ftl {
 
     /// FTL statistics.
     pub fn stats(&self) -> FtlStats {
-        self.stats
+        FtlStats { map_reads: self.map_reads.get(), ..self.stats }
     }
 
     /// Number of live logical pages.
@@ -220,6 +227,7 @@ impl Ftl {
 
     /// Bind `lpn` to `ppa`, releasing any previous physical page.
     fn install(&mut self, lpn: Lpn, ppa: Ppa) {
+        self.stats.map_updates += 1;
         if let Some(old) = self.map.insert(lpn, ppa) {
             let oi = self.block_index(old.block);
             debug_assert!(self.blocks[oi].valid > 0);
@@ -233,6 +241,7 @@ impl Ftl {
 
     /// Explicitly invalidate `lpn` (trim).
     pub fn invalidate(&mut self, lpn: Lpn) {
+        self.stats.map_updates += 1;
         if let Some(old) = self.map.remove(&lpn) {
             let oi = self.block_index(old.block);
             self.blocks[oi].valid = self.blocks[oi].valid.saturating_sub(1);
@@ -334,6 +343,20 @@ impl Ftl {
     }
 }
 
+impl simkit::Instrument for Ftl {
+    fn instrument(&self, out: &mut simkit::Scope<'_>) {
+        let stats = self.stats();
+        out.counter("host_writes", stats.host_writes);
+        out.counter("gc_writes", stats.gc_writes);
+        out.counter("gc_erases", stats.gc_erases);
+        out.counter("map_reads", stats.map_reads);
+        out.counter("map_updates", stats.map_updates);
+        out.gauge("write_amplification", stats.write_amplification());
+        out.gauge("mapped_pages", self.map.len() as f64);
+        out.gauge("free_blocks", self.free_block_count() as f64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,8 +376,7 @@ mod tests {
         let p1 = ftl.allocate(1, AllocStream::Host).unwrap();
         let p2 = ftl.allocate(2, AllocStream::Host).unwrap();
         let p3 = ftl.allocate(3, AllocStream::Host).unwrap();
-        let dies: std::collections::HashSet<_> =
-            [p0, p1, p2, p3].iter().map(|p| p.die()).collect();
+        let dies: std::collections::HashSet<_> = [p0, p1, p2, p3].iter().map(|p| p.die()).collect();
         assert_eq!(dies.len(), 4, "four dies in tiny geometry, all used");
         assert_eq!(ftl.lookup(0), Some(p0));
     }

@@ -7,11 +7,10 @@
 //! Villars device) shares the same link.
 
 use pcie::{DmaConfig, DmaDirection, DmaEngine, LinkConfig, PcieLink};
-use serde::{Deserialize, Serialize};
 use simkit::{Grant, SerialResource, SimDuration, SimTime};
 
 /// HIC timing parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HicConfig {
     /// Doorbell-to-decoded command fetch cost (includes the SQ-entry read
     /// over PCIe).
@@ -89,6 +88,25 @@ impl Hic {
     pub fn dma_bytes(&self) -> u64 {
         self.dma.bytes_moved()
     }
+
+    /// Borrow the host link read-only (telemetry).
+    pub fn link(&self) -> &PcieLink {
+        &self.link
+    }
+
+    /// Borrow the DMA engine read-only (telemetry).
+    pub fn dma(&self) -> &DmaEngine {
+        &self.dma
+    }
+}
+
+impl simkit::Instrument for Hic {
+    fn instrument(&self, out: &mut simkit::Scope<'_>) {
+        out.counter("fetch_busy_ns", self.fetch_engine.busy_time().as_nanos());
+        out.counter("fetches", self.fetch_engine.request_count());
+        out.counter("dma_transfers", self.dma.transfer_count());
+        out.counter("dma_bytes", self.dma.bytes_moved());
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +143,8 @@ mod tests {
         let mmio = h.link_mut().send_write_burst(SimTime::ZERO, 64, 1);
         assert!(mmio.end > SimTime::ZERO);
         // Total wire time reflects both.
-        assert!(h.link_mut().busy_until() >= dma.end - pcie::LinkConfig::villars_host().propagation);
+        assert!(
+            h.link_mut().busy_until() >= dma.end - pcie::LinkConfig::villars_host().propagation
+        );
     }
 }

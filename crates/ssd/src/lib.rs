@@ -26,8 +26,8 @@ pub use hic::{Hic, HicConfig};
 #[cfg(test)]
 mod crate_tests {
     use super::*;
-    use bytes::Bytes;
     use nvme::{NvmeController, NvmeDriver, Status};
+    use simkit::bytes::Bytes;
     use simkit::SimTime;
 
     fn driver() -> NvmeDriver<ConventionalSsd> {
@@ -52,11 +52,7 @@ mod crate_tests {
         let mut drv = driver();
         let w = drv.write_blocking(SimTime::ZERO, 0, 1);
         // Write-cache ack: syscall + fetch + DMA + buffer, well under tPROG.
-        assert!(
-            w.completed_at.as_micros_f64() < 50.0,
-            "cached ack took {}",
-            w.completed_at
-        );
+        assert!(w.completed_at.as_micros_f64() < 50.0, "cached ack took {}", w.completed_at);
         let f = drv.flush_blocking(w.completed_at);
         assert!(f.status.is_ok());
         // Flush waits for the 50us (fast-timing) program.
@@ -155,9 +151,7 @@ mod crate_tests {
         let mut ssd = ConventionalSsd::new(SsdConfig::small());
         ssd.submit_destage_write(SimTime::ZERO, 50, Bytes::from(vec![1u8; 4096]));
         ssd.advance_to(SimTime::from_millis(1));
-        let token = ssd
-            .submit_internal_read(SimTime::from_millis(1), 50)
-            .expect("page mapped");
+        let token = ssd.submit_internal_read(SimTime::from_millis(1), 50).expect("page mapped");
         ssd.advance_to(SimTime::from_millis(2));
         let done = ssd.drain_internal_reads(SimTime::from_millis(2));
         assert_eq!(done.len(), 1);

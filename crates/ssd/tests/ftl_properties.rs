@@ -1,8 +1,9 @@
-//! Property-based FTL invariants under randomized workloads:
-//! mapping uniqueness, capacity accounting, and GC state preservation.
+//! Randomized FTL invariant tests: mapping uniqueness, capacity accounting,
+//! and GC state preservation under workloads drawn from [`DetRng`] across
+//! many fixed seeds (replayable by seed, no external framework).
 
 use flash::{FlashArray, FlashGeometry, FlashTiming, ReliabilityConfig};
-use proptest::prelude::*;
+use simkit::DetRng;
 use ssd::{AllocStream, Ftl};
 use std::collections::{HashMap, HashSet};
 
@@ -16,12 +17,15 @@ enum Op {
     Gc,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        6 => (0u64..64).prop_map(Op::Write),
-        1 => (0u64..64).prop_map(Op::Trim),
-        1 => Just(Op::Gc),
-    ]
+fn random_ops(rng: &mut DetRng) -> Vec<Op> {
+    let len = rng.uniform(1, 400) as usize;
+    (0..len)
+        .map(|_| match rng.uniform(0, 8) {
+            0..=5 => Op::Write(rng.uniform(0, 64)),
+            6 => Op::Trim(rng.uniform(0, 64)),
+            _ => Op::Gc,
+        })
+        .collect()
 }
 
 fn fresh() -> (FlashGeometry, Ftl) {
@@ -31,11 +35,11 @@ fn fresh() -> (FlashGeometry, Ftl) {
     (g, ftl)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn mapping_stays_unique_and_consistent(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+#[test]
+fn mapping_stays_unique_and_consistent() {
+    for seed in 0..64u64 {
+        let mut rng = DetRng::new(0xF71_0000 + seed);
+        let ops = random_ops(&mut rng);
         let (g, mut ftl) = fresh();
         let mut model: HashMap<u64, ()> = HashMap::new();
         for op in ops {
@@ -55,7 +59,7 @@ proptest! {
                             None => break, // genuinely full of live data
                         }
                         tries += 1;
-                        prop_assert!(tries < 128, "GC loop runaway");
+                        assert!(tries < 128, "seed {seed}: GC loop runaway");
                     }
                 }
                 Op::Trim(lpn) => {
@@ -66,32 +70,36 @@ proptest! {
                     if let Some(plan) = ftl.plan_gc() {
                         // Moves must rebind exactly the live lpns of the victim.
                         for (lpn, old, new) in &plan.moves {
-                            prop_assert_ne!(old, new);
-                            prop_assert_eq!(ftl.lookup(*lpn), Some(*new));
+                            assert_ne!(old, new, "seed {seed}");
+                            assert_eq!(ftl.lookup(*lpn), Some(*new), "seed {seed}");
                         }
                         ftl.block_erased(plan.victim);
                     }
                 }
             }
             // Invariant 1: the mapped set equals the model's live set.
-            prop_assert_eq!(ftl.mapped_pages(), model.len());
+            assert_eq!(ftl.mapped_pages(), model.len(), "seed {seed}");
             for lpn in model.keys() {
-                prop_assert!(ftl.lookup(*lpn).is_some(), "live lpn {lpn} unmapped");
+                assert!(ftl.lookup(*lpn).is_some(), "seed {seed}: live lpn {lpn} unmapped");
             }
             // Invariant 2: physical addresses are unique across live lpns.
             let mut seen = HashSet::new();
             for lpn in model.keys() {
                 let ppa = ftl.lookup(*lpn).expect("checked above");
-                prop_assert!(ppa.in_bounds(&g));
-                prop_assert!(seen.insert(ppa), "ppa {ppa:?} mapped twice");
+                assert!(ppa.in_bounds(&g), "seed {seed}");
+                assert!(seen.insert(ppa), "seed {seed}: ppa {ppa:?} mapped twice");
             }
             // Invariant 3: free-block accounting bounded by geometry.
-            prop_assert!(ftl.free_block_count() <= g.total_blocks() as usize);
+            assert!(ftl.free_block_count() <= g.total_blocks() as usize, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn write_amplification_grows_only_with_gc(overwrites in 1usize..300) {
+#[test]
+fn write_amplification_grows_only_with_gc() {
+    for seed in 0..16u64 {
+        let mut rng = DetRng::new(0x3A_0000 + seed);
+        let overwrites = rng.uniform(1, 300) as usize;
         let (_g, mut ftl) = fresh();
         for i in 0..overwrites {
             let lpn = (i % 8) as u64;
@@ -106,7 +114,11 @@ proptest! {
         let stats = ftl.stats();
         // Overwriting a tiny working set produces (almost) empty victims:
         // WA must stay close to 1.
-        prop_assert!(stats.write_amplification() < 1.5, "WA {}", stats.write_amplification());
+        assert!(
+            stats.write_amplification() < 1.5,
+            "seed {seed}: WA {}",
+            stats.write_amplification()
+        );
     }
 }
 

@@ -103,12 +103,7 @@ mod tests {
 
     #[test]
     fn round_trip_mixed_fields() {
-        let row = RowWriter::new(64)
-            .u32(7)
-            .money(-1234)
-            .str("BAROUGHTABLE", 16)
-            .u64(99)
-            .finish();
+        let row = RowWriter::new(64).u32(7).money(-1234).str("BAROUGHTABLE", 16).u64(99).finish();
         let mut r = RowReader::new(&row);
         assert_eq!(r.u32(), 7);
         assert_eq!(r.money(), -1234);

@@ -3,12 +3,11 @@
 use crate::codec::RowWriter;
 use crate::gen::{astring, loader_last_name, NurandC};
 use memdb::{keys, Database, TableId};
-use serde::Serialize;
 use simkit::DetRng;
 
 /// Scale parameters. The paper runs 16 warehouses; tests use
 /// [`TpccConfig::small`] to stay fast.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TpccConfig {
     /// Warehouses (the TPC-C scale unit).
     pub warehouses: u32,
@@ -46,18 +45,12 @@ impl TpccConfig {
     /// The log path — record sizes, NURand skew, group-commit cadence — is
     /// unaffected by the smaller catalogue.
     pub fn bench() -> Self {
-        TpccConfig {
-            warehouses: 16,
-            districts: 4,
-            customers: 120,
-            items: 2000,
-            initial_orders: 10,
-        }
+        TpccConfig { warehouses: 16, districts: 4, customers: 120, items: 2000, initial_orders: 10 }
     }
 }
 
 /// Table ids of a loaded TPC-C database.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Tables {
     /// WAREHOUSE: key (w_id).
     pub warehouse: TableId,

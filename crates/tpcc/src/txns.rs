@@ -8,11 +8,10 @@ use crate::codec::{RowReader, RowWriter};
 use crate::gen::{customer_id, item_id, random_last_name, NurandC};
 use crate::schema::{key, Tables, TpccConfig};
 use memdb::{keys, Database, TxnError, TxnOutcome};
-use serde::Serialize;
 use simkit::DetRng;
 
 /// Which profile a draw selected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TxnKind {
     /// Enter a new order (45%).
     NewOrder,
@@ -27,7 +26,7 @@ pub enum TxnKind {
 }
 
 /// Per-kind execution counters.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct MixStats {
     /// NewOrder executions.
     pub new_order: u64,
@@ -55,6 +54,18 @@ pub struct TpccWorkload {
     /// Monotonic history sequence (history rows need unique keys).
     history_seq: u32,
     stats: MixStats,
+}
+
+impl simkit::Instrument for TpccWorkload {
+    fn instrument(&self, out: &mut simkit::Scope<'_>) {
+        let mut mix = out.scope("db.tpcc");
+        mix.counter("new_order", self.stats.new_order);
+        mix.counter("payment", self.stats.payment);
+        mix.counter("order_status", self.stats.order_status);
+        mix.counter("delivery", self.stats.delivery);
+        mix.counter("stock_level", self.stats.stock_level);
+        mix.counter("rollbacks", self.stats.rollbacks);
+    }
 }
 
 impl TpccWorkload {
@@ -112,9 +123,9 @@ impl TpccWorkload {
 
         let mut ctx = db.begin();
         // Warehouse tax.
-        let wrow = db.get(&mut ctx, t.warehouse, &key::warehouse(w)).ok_or_else(|| {
-            TxnError::NotFound(key::warehouse(w))
-        })?;
+        let wrow = db
+            .get(&mut ctx, t.warehouse, &key::warehouse(w))
+            .ok_or_else(|| TxnError::NotFound(key::warehouse(w)))?;
         let mut wr = RowReader::new(&wrow);
         wr.skip(10);
         let w_tax = wr.u32();
@@ -297,9 +308,8 @@ impl TpccWorkload {
         );
         // Customer balance / ytd / counters.
         let ckey = key::customer(cw, cd, c);
-        let crow = db
-            .get(&mut ctx, t.customer, &ckey)
-            .ok_or_else(|| TxnError::NotFound(ckey.clone()))?;
+        let crow =
+            db.get(&mut ctx, t.customer, &ckey).ok_or_else(|| TxnError::NotFound(ckey.clone()))?;
         let mut cr = RowReader::new(&crow);
         let first = cr.str(16);
         let middle = cr.str(2);
@@ -351,8 +361,7 @@ impl TpccWorkload {
         let to = key::order_customer(w, d, c, u32::MAX);
         if let Some((okey, _)) = db.last_in_range(&mut ctx, t.order_customer, &from, &to) {
             // Decode o_id from the tail of the index key.
-            let o_id =
-                u32::from_be_bytes(okey[okey.len() - 4..].try_into().expect("o_id suffix"));
+            let o_id = u32::from_be_bytes(okey[okey.len() - 4..].try_into().expect("o_id suffix"));
             let lfrom = key::order_line(w, d, o_id, 0);
             let lto = key::order_line(w, d, o_id, u32::MAX);
             let _lines = db.scan(&mut ctx, t.order_line, &lfrom, &lto, 20);
@@ -391,7 +400,13 @@ impl TpccWorkload {
                 &mut ctx,
                 t.order,
                 okey,
-                RowWriter::new(32).u32(c).u64(entry).u32(carrier).u32(ol_cnt).u32(all_local).finish(),
+                RowWriter::new(32)
+                    .u32(c)
+                    .u64(entry)
+                    .u32(carrier)
+                    .u32(ol_cnt)
+                    .u32(all_local)
+                    .finish(),
             );
             // Order lines: stamp delivery date, sum amounts.
             let mut total = 0i64;

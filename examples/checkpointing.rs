@@ -27,12 +27,7 @@ fn main() {
     let mut last_meta = None;
     for i in 0u32..150 {
         let mut ctx = db.begin();
-        db.insert(
-            &mut ctx,
-            table,
-            xssd_suite::db::keys::composite(&[i]),
-            vec![i as u8; 500],
-        );
+        db.insert(&mut ctx, table, xssd_suite::db::keys::composite(&[i]), vec![i as u8; 500]);
         let bytes = encode_txn(&db.commit(ctx).unwrap());
         now = log.x_pwrite(&mut cluster, now, &bytes).unwrap();
         now = log.x_fsync(&mut cluster, now).unwrap();

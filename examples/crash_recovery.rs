@@ -28,12 +28,7 @@ fn main() {
     let mut written_txns = 0u32;
     for i in 0u32..23 {
         let mut ctx = db.begin();
-        db.insert(
-            &mut ctx,
-            table,
-            xssd_suite::db::keys::composite(&[i]),
-            vec![i as u8; 200],
-        );
+        db.insert(&mut ctx, table, xssd_suite::db::keys::composite(&[i]), vec![i as u8; 200]);
         let records = db.commit(ctx).expect("no conflicts");
         let bytes = encode_txn(&records);
         now = log.x_pwrite(&mut cluster, now, &bytes).expect("x_pwrite");

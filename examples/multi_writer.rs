@@ -23,9 +23,8 @@ fn main() {
     let dev = cluster.add_device(cfg);
     println!("device exposes {} writer lanes", cluster.device(dev).lanes());
 
-    let mut handles: Vec<XLogFile> = (0..4)
-        .map(|lane| XLogFile::open_lane(dev, lane, MmioMode::WriteCombining))
-        .collect();
+    let mut handles: Vec<XLogFile> =
+        (0..4).map(|lane| XLogFile::open_lane(dev, lane, MmioMode::WriteCombining)).collect();
 
     // Interleave appends from all lanes (simulated worker threads).
     let mut now = SimTime::ZERO;
@@ -57,9 +56,7 @@ fn main() {
     let mut t = SimTime::ZERO;
     for (i, r) in regions.iter().enumerate().rev() {
         let payload = vec![i as u8 + 1; 1024];
-        t = alloc
-            .write_region(&mut cluster2, t, *r, 0, &payload)
-            .expect("region fill");
+        t = alloc.write_region(&mut cluster2, t, *r, 0, &payload).expect("region fill");
         let (_tc, credit) = cluster2.read_credit(dev2, t, 0);
         println!(
             "filled region {i} (offset {}): credit = {credit} (contiguous frontier)",

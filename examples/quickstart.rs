@@ -37,10 +37,7 @@ fn main() {
     // Make them durable: one x_fsync covers everything outstanding.
     now = log.x_fsync(&mut cluster, now).expect("x_fsync");
     println!("durable (credit counter caught up) at {now}");
-    println!(
-        "fsync cost for the batch: {}",
-        now.saturating_since(t_write)
-    );
+    println!("fsync cost for the batch: {}", now.saturating_since(t_write));
 
     // The device destages to its conventional side in the background; the
     // tail read blocks until the requested range is on NAND.

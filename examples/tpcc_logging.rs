@@ -16,11 +16,7 @@ use xssd_suite::xssd::{Cluster, VillarsConfig};
 
 fn villars(sram: bool) -> Cluster {
     let mut cl = Cluster::new();
-    cl.add_device(if sram {
-        VillarsConfig::villars_sram()
-    } else {
-        VillarsConfig::villars_dram()
-    });
+    cl.add_device(if sram { VillarsConfig::villars_sram() } else { VillarsConfig::villars_dram() });
     cl
 }
 

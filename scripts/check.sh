@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# The full local gate: formatting, lints as errors, and the test suite.
+# Run from anywhere inside the repository; CI runs exactly this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test"
+cargo test --workspace --quiet
+
+echo "ok: fmt, clippy, tests all clean"

@@ -1,14 +1,16 @@
-//! Property-based crash-consistency tests: for arbitrary write/fsync/crash
+//! Randomized crash-consistency tests: for arbitrary write/fsync/crash
 //! schedules, the Villars durability contract must hold:
 //!
 //! 1. everything acknowledged by `x_fsync` survives a power failure;
 //! 2. the recovered log is a clean prefix of what was written (no holes,
 //!    no reordering, no corruption);
 //! 3. recovery replays exactly the committed transactions.
+//!
+//! Schedules are drawn from [`DetRng`] across many fixed seeds, so every
+//! case is replayable by seed (no external property-testing framework).
 
-use proptest::prelude::*;
 use xssd_suite::db::{decode_stream, encode_txn, Database};
-use xssd_suite::sim::SimTime;
+use xssd_suite::sim::{DetRng, SimTime};
 use xssd_suite::xssd::{Cluster, VillarsConfig, XLogFile};
 
 /// A step of the randomized schedule.
@@ -20,18 +22,24 @@ enum Step {
     Fsync,
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        3 => (1usize..3000).prop_map(Step::Write),
-        1 => Just(Step::Fsync),
-    ]
+fn random_schedule(rng: &mut DetRng) -> Vec<Step> {
+    let len = rng.uniform(1, 40) as usize;
+    (0..len)
+        .map(|_| {
+            if rng.chance(0.75) {
+                Step::Write(rng.uniform(1, 3000) as usize)
+            } else {
+                Step::Fsync
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
-
-    #[test]
-    fn fsynced_bytes_always_survive_crash(steps in proptest::collection::vec(step_strategy(), 1..40)) {
+#[test]
+fn fsynced_bytes_always_survive_crash() {
+    for seed in 0..32u64 {
+        let mut rng = DetRng::new(0xC0A5_7000 + seed);
+        let steps = random_schedule(&mut rng);
         let mut cl = Cluster::new();
         let dev = cl.add_device(VillarsConfig::small());
         let mut f = XLogFile::open(dev);
@@ -59,20 +67,25 @@ proptest! {
         let report = cl.power_fail(dev, now);
         let durable = report.durable_upto[0];
         // (1) fsynced data survives.
-        prop_assert!(durable >= synced, "durable {durable} < synced {synced}");
+        assert!(durable >= synced, "seed {seed}: durable {durable} < synced {synced}");
         // (2) durable is a prefix of what was written, byte-identical.
-        prop_assert!(durable <= written);
+        assert!(durable <= written, "seed {seed}");
         if durable > 0 {
             let (_t, bytes) = cl
                 .device_mut(dev)
                 .read_destaged(now, 0, 0, durable as usize)
                 .expect("durable log readable");
-            prop_assert_eq!(&bytes[..], &payload[..durable as usize]);
+            assert_eq!(&bytes[..], &payload[..durable as usize], "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn recovery_replays_exactly_committed_transactions(n_txns in 1usize..25, crash_after in 0usize..25) {
+#[test]
+fn recovery_replays_exactly_committed_transactions() {
+    for seed in 0..24u64 {
+        let mut rng = DetRng::new(0xDB_2E_C0 + seed);
+        let n_txns = rng.uniform(1, 25) as usize;
+        let crash_after = rng.uniform(0, 25) as usize;
         let mut cl = Cluster::new();
         let dev = cl.add_device(VillarsConfig::small());
         let mut f = XLogFile::open(dev);
@@ -103,37 +116,40 @@ proptest! {
             let (_t2, stream) =
                 cl.device_mut(dev).read_destaged(now, 0, 0, durable).expect("readable");
             let rec = xssd_suite::db::recover(&mut recovered, &stream);
-            prop_assert!(rec.txns_committed >= fsynced_txns.min(n_txns));
+            assert!(rec.txns_committed >= fsynced_txns.min(n_txns), "seed {seed}");
             // Every recovered row matches the live database's row.
             for i in 0..rec.txns_committed {
                 let key = xssd_suite::db::keys::composite(&[i as u32]);
-                prop_assert_eq!(recovered.peek(t, &key), db.peek(t, &key));
+                assert_eq!(recovered.peek(t, &key), db.peek(t, &key), "seed {seed} txn {i}");
             }
         } else {
-            prop_assert_eq!(fsynced_txns, 0);
+            assert_eq!(fsynced_txns, 0, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn decode_stream_never_panics_on_corruption(
-        mut bytes in proptest::collection::vec(any::<u8>(), 0..2000),
-        flips in proptest::collection::vec((0usize..2000, any::<u8>()), 0..8),
-    ) {
+#[test]
+fn decode_stream_never_panics_on_corruption() {
+    for seed in 0..48u64 {
+        let mut rng = DetRng::new(0xBAD_F00D + seed);
+        let len = rng.uniform(0, 2000) as usize;
+        let mut bytes: Vec<u8> = (0..len).map(|_| rng.uniform(0, 256) as u8).collect();
         // Arbitrary garbage and bit-flipped streams must decode cleanly to
         // a (possibly empty) prefix without panicking.
-        for (pos, val) in flips {
+        for _ in 0..rng.uniform(0, 8) {
             if !bytes.is_empty() {
-                let p = pos % bytes.len();
-                bytes[p] ^= val;
+                // `uniform` is inclusive of its upper bound.
+                let p = rng.uniform(0, bytes.len() as u64 - 1) as usize;
+                bytes[p] ^= rng.uniform(0, 255) as u8;
             }
         }
         let (records, used) = decode_stream(&bytes);
-        prop_assert!(used <= bytes.len());
+        assert!(used <= bytes.len(), "seed {seed}");
         // Re-encoding the decoded prefix must reproduce those bytes.
         let mut re = Vec::new();
         for r in &records {
             r.encode_into(&mut re);
         }
-        prop_assert_eq!(&re[..], &bytes[..used]);
+        assert_eq!(&re[..], &bytes[..used], "seed {seed}");
     }
 }

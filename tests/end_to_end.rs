@@ -114,10 +114,7 @@ fn lazy_policy_acks_before_secondaries() {
     };
     let eager = run(eager_cfg);
     let lazy = run(lazy_cfg);
-    assert!(
-        lazy < eager,
-        "lazy ({lazy}) must acknowledge before eager ({eager})"
-    );
+    assert!(lazy < eager, "lazy ({lazy}) must acknowledge before eager ({eager})");
 }
 
 #[test]
@@ -252,20 +249,14 @@ fn secondary_failure_is_detected_and_survivable() {
     // staleness window has passed without counter updates.
     let probe_at = t3 + SimDuration::from_millis(1);
     cl.advance(probe_at);
-    let (_t4, entry) = cl.vendor_blocking(
-        0,
-        probe_at,
-        VendorCommand::new(vendor::GET_TRANSPORT_STATUS, [0; 6]),
-    );
+    let (_t4, entry) =
+        cl.vendor_blocking(0, probe_at, VendorCommand::new(vendor::GET_TRANSPORT_STATUS, [0; 6]));
     assert_eq!(entry.status, Status::Success);
     assert_eq!(entry.result, 1, "primary must report Degraded");
 
     // Demote to stand-alone and retry: the fsync now completes locally.
-    let (t5, e2) = cl.vendor_blocking(
-        0,
-        probe_at,
-        VendorCommand::new(vendor::SET_STAND_ALONE, [0; 6]),
-    );
+    let (t5, e2) =
+        cl.vendor_blocking(0, probe_at, VendorCommand::new(vendor::SET_STAND_ALONE, [0; 6]));
     assert_eq!(e2.status, Status::Success);
     let t6 = f.x_fsync(&mut cl, t5).expect("local fsync after demotion");
     assert!(t6 >= t5);
@@ -320,12 +311,7 @@ fn checkpoint_bounds_recovery_after_ring_wrap() {
     let total_txns = 120u32; // ~120 * ~700B >> 64 KiB ring
     for i in 0..total_txns {
         let mut ctx = db.begin();
-        db.insert(
-            &mut ctx,
-            tab,
-            xssd_suite::db::keys::composite(&[i]),
-            vec![i as u8; 600],
-        );
+        db.insert(&mut ctx, tab, xssd_suite::db::keys::composite(&[i]), vec![i as u8; 600]);
         let bytes = encode_txn(&db.commit(ctx).unwrap());
         now = f.x_pwrite(&mut cl, now, &bytes).unwrap();
         now = f.x_fsync(&mut cl, now).unwrap();

@@ -46,15 +46,9 @@ fn destage_retries_through_program_failures() {
     let settle = now + SimDuration::from_millis(5);
     cl.advance(settle);
     // Everything destaged despite failures; read a window back and compare.
-    let from = cl
-        .device(dev)
-        .destaged_upto(0)
-        .saturating_sub(16 << 10)
-        .max(8 << 10); // stay inside the readable ring
-    let (_t, bytes) = cl
-        .device_mut(dev)
-        .read_destaged(settle, 0, from, 8 << 10)
-        .expect("window readable");
+    let from = cl.device(dev).destaged_upto(0).saturating_sub(16 << 10).max(8 << 10); // stay inside the readable ring
+    let (_t, bytes) =
+        cl.device_mut(dev).read_destaged(settle, 0, from, 8 << 10).expect("window readable");
     assert_eq!(&bytes[..], &payload[from as usize..from as usize + (8 << 10)]);
 }
 
@@ -68,12 +62,7 @@ fn crash_protocol_holds_on_flaky_nand() {
     let mut now = SimTime::ZERO;
     for i in 0..40u32 {
         let mut ctx = db.begin();
-        db.insert(
-            &mut ctx,
-            tab,
-            xssd_suite::db::keys::composite(&[i]),
-            vec![i as u8; 300],
-        );
+        db.insert(&mut ctx, tab, xssd_suite::db::keys::composite(&[i]), vec![i as u8; 300]);
         let bytes = encode_txn(&db.commit(ctx).unwrap());
         now = f.x_pwrite(&mut cl, now, &bytes).unwrap();
         now = f.x_fsync(&mut cl, now).unwrap();
@@ -111,9 +100,7 @@ fn replication_still_exact_with_flaky_secondary_nand() {
     // And the secondary's destage (with retries) still lands content.
     let settle = now + SimDuration::from_millis(10);
     cl.advance(settle);
-    let (_t, bytes) = cl
-        .device_mut(s)
-        .read_destaged(settle, 0, 0, 700)
-        .expect("secondary log readable");
+    let (_t, bytes) =
+        cl.device_mut(s).read_destaged(settle, 0, 0, 700).expect("secondary log readable");
     assert_eq!(bytes, vec![0u8; 700]);
 }
