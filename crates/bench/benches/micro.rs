@@ -212,6 +212,41 @@ fn bench_sim_kernel() {
         }
         n
     });
+    // Indexed-cancellation churn: schedule a batch, cancel half of it via
+    // the saved handles, drain the rest — the pattern timeout-heavy device
+    // models produce.
+    bench("simkit/event_queue_1k_cancel_half", None, simkit::EventQueue::<u64>::new, |mut q| {
+        let ids: Vec<_> =
+            (0..1000u64).map(|i| q.schedule(SimTime::from_nanos(i * 7919 % 5000), i)).collect();
+        for (i, id) in ids.iter().enumerate() {
+            if i % 2 == 0 {
+                q.cancel(*id);
+            }
+        }
+        let mut n = 0;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        n
+    });
+    // Frontier polling interleaved with schedule/pop — the shape of every
+    // `advance_to` loop (`next_time` per event step must be O(1)).
+    bench("simkit/event_queue_peek_heavy_cycle", None, simkit::EventQueue::<u64>::new, |mut q| {
+        let mut acc = 0u64;
+        for i in 0..1000u64 {
+            q.schedule(SimTime::from_nanos(i * 6151 % 4000), i);
+            if let Some(t) = q.next_time() {
+                acc = acc.wrapping_add(t.as_nanos());
+            }
+            if i % 2 == 1 {
+                q.pop();
+            }
+        }
+        while let Some((at, _)) = q.pop() {
+            acc = acc.wrapping_add(at.as_nanos());
+        }
+        acc
+    });
     let mut r = SerialResource::new();
     let mut t = SimTime::ZERO;
     bench(
@@ -226,6 +261,28 @@ fn bench_sim_kernel() {
     );
 }
 
+/// End-to-end figure kernels (see `xssd_bench::kernels`): whole-stack
+/// simulation throughput, the number the wall-clock gate actually cares
+/// about.
+fn bench_e2e_kernels() {
+    use xssd_bench::kernels;
+    bench(
+        "e2e/fig09_tpcc_villars_sram_w2_10ms",
+        None,
+        || (),
+        |()| kernels::tpcc_villars_sram_cell(2, SimDuration::from_millis(10)).counter("db.commits"),
+    );
+    bench(
+        "e2e/fig11_write_fsync_16k_q4k_x100",
+        Some(100 * (16 << 10)),
+        || (),
+        |()| {
+            let (snap, times) = kernels::queue_size_cycles(4 << 10, 16 << 10, 100);
+            (snap.counter("bench.payload_bytes"), times.len())
+        },
+    );
+}
+
 fn main() {
     println!("{:<40} {:>12}", "benchmark", "time");
     bench_cmb_ingest();
@@ -235,4 +292,5 @@ fn main() {
     bench_log_codec();
     bench_tpcc_txn();
     bench_sim_kernel();
+    bench_e2e_kernels();
 }

@@ -10,6 +10,8 @@
 
 #![warn(missing_docs)]
 
+pub mod kernels;
+
 use simkit::telemetry::json::Json;
 use simkit::telemetry::Snapshot;
 use std::path::PathBuf;

@@ -1,0 +1,31 @@
+//! Determinism regression tests.
+//!
+//! The whole experimental method rests on runs being exactly reproducible:
+//! `results/*.json` baselines are compared byte-for-byte across event-loop
+//! and scheduler changes. These tests run the shared end-to-end kernels
+//! (see [`xssd_bench::kernels`]) twice with identical seeds and assert that
+//! the telemetry snapshots — and, for the write/fsync kernel, every single
+//! completion timestamp — are identical.
+
+use simkit::SimDuration;
+use xssd_bench::kernels;
+
+#[test]
+fn fig09_tpcc_cell_is_reproducible() {
+    let a = kernels::tpcc_villars_sram_cell(2, SimDuration::from_millis(20));
+    let b = kernels::tpcc_villars_sram_cell(2, SimDuration::from_millis(20));
+    assert_eq!(a, b, "same seed, same workload, different telemetry");
+    // Guard against the degenerate pass where nothing ran at all.
+    assert!(a.counter("db.commits") > 0, "kernel committed no transactions");
+}
+
+#[test]
+fn fig11_write_fsync_timeline_is_reproducible() {
+    let (snap_a, times_a) = kernels::queue_size_cycles(4 << 10, 16 << 10, 50);
+    let (snap_b, times_b) = kernels::queue_size_cycles(4 << 10, 16 << 10, 50);
+    assert_eq!(times_a.len(), 50);
+    assert_eq!(times_a, times_b, "completion timestamps diverged between identical runs");
+    assert_eq!(snap_a, snap_b, "telemetry snapshots diverged between identical runs");
+    // The timeline must actually advance.
+    assert!(times_a.windows(2).all(|w| w[0] < w[1]), "completion times must be increasing");
+}

@@ -29,6 +29,10 @@ pub struct Cluster {
     /// Devices currently powered off: traffic to them is dropped on the
     /// floor (their PCIe fabric is gone).
     dead: std::collections::HashSet<DeviceIndex>,
+    /// Reusable completion-drain buffer for the blocking waits (one
+    /// allocation for the cluster's lifetime instead of one per horizon
+    /// step).
+    drain_buf: Vec<(SimTime, CompletionEntry)>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -51,6 +55,7 @@ impl Cluster {
             events: EventQueue::new(),
             next_cid: 0,
             dead: std::collections::HashSet::new(),
+            drain_buf: Vec::new(),
         }
     }
 
@@ -92,20 +97,48 @@ impl Cluster {
     ) -> (SimTime, CompletionEntry) {
         let cid = self.next_cid;
         self.next_cid = self.next_cid.wrapping_add(1);
+        self.devices[dev]
+            .submit(now, Command { cid, kind: CommandKind::Admin(AdminCommand::Vendor(v)) });
+        self.wait_for_completion(dev, now, cid)
+    }
+
+    /// Event-driven blocking wait for the completion of `cid` on device
+    /// `dev`: jump virtual time straight to the device's next pending event
+    /// instead of stepping in fixed quanta.
+    ///
+    /// A device with an outstanding command always has a next event (the
+    /// completion itself at minimum); if `next_event_at()` ever comes back
+    /// empty while we are still waiting, the simulation has stalled and we
+    /// panic with the pending CID rather than silently spinning the horizon
+    /// forward.
+    fn wait_for_completion(
+        &mut self,
+        dev: DeviceIndex,
+        now: SimTime,
+        cid: u16,
+    ) -> (SimTime, CompletionEntry) {
+        let mut drained = std::mem::take(&mut self.drain_buf);
         let device = &mut self.devices[dev];
-        device.submit(now, Command { cid, kind: CommandKind::Admin(AdminCommand::Vendor(v)) });
         let mut horizon = now;
-        loop {
+        let found = 'wait: loop {
             device.advance_to(horizon);
-            for (at, entry) in device.drain_completions(horizon) {
+            drained.clear();
+            device.drain_completions_into(horizon, &mut drained);
+            for &(at, entry) in &drained {
                 if entry.cid == cid {
-                    return (at, entry);
+                    break 'wait (at, entry);
                 }
             }
-            horizon = device
-                .next_event_at()
-                .map_or(horizon + SimDuration::from_micros(1), |t| t.max(horizon));
-        }
+            horizon = match device.next_event_at() {
+                Some(t) => t.max(horizon),
+                None => panic!(
+                    "simulation stalled: device {dev} reports no pending event while the \
+                     completion for cid {cid} is still outstanding (horizon {horizon})"
+                ),
+            };
+        };
+        self.drain_buf = drained;
+        found
     }
 
     /// Configure eager primary/secondary replication via vendor commands:
@@ -188,21 +221,10 @@ impl Cluster {
     fn io_blocking(&mut self, dev: DeviceIndex, now: SimTime, io: nvme::IoCommand) -> SimTime {
         let cid = self.next_cid;
         self.next_cid = self.next_cid.wrapping_add(1);
-        let device = &mut self.devices[dev];
-        device.submit(now, Command { cid, kind: CommandKind::Io(io) });
-        let mut horizon = now;
-        loop {
-            device.advance_to(horizon);
-            for (at, entry) in device.drain_completions(horizon) {
-                if entry.cid == cid {
-                    assert!(entry.status.is_ok(), "block I/O failed: {:?}", entry.status);
-                    return at;
-                }
-            }
-            horizon = device
-                .next_event_at()
-                .map_or(horizon + SimDuration::from_micros(1), |t| t.max(horizon));
-        }
+        self.devices[dev].submit(now, Command { cid, kind: CommandKind::Io(io) });
+        let (at, entry) = self.wait_for_completion(dev, now, cid);
+        assert!(entry.status.is_ok(), "block I/O failed: {:?}", entry.status);
+        at
     }
 
     /// Control-interface credit read on device `dev` (policy-combined).
@@ -280,7 +302,7 @@ impl Cluster {
 
     /// The earliest pending instant across devices and in-flight traffic —
     /// lets blocking host calls jump virtual time.
-    pub fn next_event_after(&mut self, t: SimTime) -> Option<SimTime> {
+    pub fn next_event_after(&self, t: SimTime) -> Option<SimTime> {
         let mut next: Option<SimTime> = self.events.peek_time();
         for d in &self.devices {
             if let Some(e) = d.next_event() {

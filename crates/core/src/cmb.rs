@@ -256,11 +256,13 @@ impl CmbModule {
         data: &[u8],
         acquire: &mut impl FnMut(SimTime, u64) -> Grant,
     ) {
-        let size = self.config.size;
-        for (i, b) in data.iter().enumerate() {
-            let idx = ((self.tail + i as u64) % size) as usize;
-            self.ring[idx] = *b;
-        }
+        // Two-segment ring copy (ingest guarantees `data.len() <= size`, so
+        // the write wraps at most once).
+        let size = self.config.size as usize;
+        let start = (self.tail % size as u64) as usize;
+        let first = data.len().min(size - start);
+        self.ring[start..start + first].copy_from_slice(&data[..first]);
+        self.ring[..data.len() - first].copy_from_slice(&data[first..]);
         self.tail += data.len() as u64;
         self.stats.bytes_in += data.len() as u64;
         self.stats.chunks += 1;
@@ -277,8 +279,13 @@ impl CmbModule {
             self.head,
             self.tail
         );
-        let size = self.config.size;
-        (0..len).map(|i| self.ring[((offset + i as u64) % size) as usize]).collect()
+        let size = self.config.size as usize;
+        let start = (offset % size as u64) as usize;
+        let first = len.min(size - start);
+        let mut out = Vec::with_capacity(len);
+        out.extend_from_slice(&self.ring[start..start + first]);
+        out.extend_from_slice(&self.ring[..len - first]);
+        out
     }
 
     /// Advance the destage head: bytes below `new_head` are freed for

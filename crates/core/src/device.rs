@@ -89,6 +89,9 @@ pub struct VillarsDevice {
     fast_tlps: u64,
     /// Control-interface credit-counter reads (MMIO round trips).
     credit_reads: u64,
+    /// Reusable destage-completion drain buffer for the advance loop (one
+    /// allocation for the device's lifetime instead of one per event step).
+    destage_drain: Vec<(SimTime, u64)>,
 }
 
 impl std::fmt::Debug for VillarsDevice {
@@ -139,6 +142,7 @@ impl VillarsDevice {
             fast_bytes_in: 0,
             fast_tlps: 0,
             credit_reads: 0,
+            destage_drain: Vec::new(),
         }
     }
 
@@ -313,7 +317,10 @@ impl VillarsDevice {
     /// advance horizon.
     pub fn advance(&mut self, t: SimTime) {
         let mut stuck_at: Option<SimTime> = None;
+        let mut drained = std::mem::take(&mut self.destage_drain);
         loop {
+            // Jump straight to the next internal event at or below the
+            // horizon — never step in fixed quanta.
             let step = match self.next_internal_event() {
                 Some(e) if e <= t => e,
                 _ => t,
@@ -322,7 +329,9 @@ impl VillarsDevice {
             let mut progressed = false;
             // Route destage completions to their owning lanes (tokens are
             // device-global).
-            for (_at, token) in self.conventional.drain_destage_completions(step) {
+            drained.clear();
+            self.conventional.drain_destage_completions_into(step, &mut drained);
+            for &(_at, token) in &drained {
                 for lane in &mut self.lanes {
                     if lane.destage.complete(token) {
                         progressed = true;
@@ -348,6 +357,7 @@ impl VillarsDevice {
             }
             stuck_at = Some(step);
         }
+        self.destage_drain = drained;
         self.conventional.advance_to(t);
     }
 
@@ -581,13 +591,23 @@ impl NvmeController for VillarsDevice {
     }
 
     fn drain_completions(&mut self, t: SimTime) -> Vec<(SimTime, CompletionEntry)> {
-        let mut out = self.conventional.drain_completions(t);
-        let (ready, rest): (Vec<_>, Vec<_>) =
-            std::mem::take(&mut self.vendor_out).into_iter().partition(|(at, _)| *at <= t);
-        self.vendor_out = rest;
-        out.extend(ready);
-        out.sort_by_key(|(at, _)| *at);
+        let mut out = Vec::new();
+        self.drain_completions_into(t, &mut out);
         out
+    }
+
+    fn drain_completions_into(&mut self, t: SimTime, out: &mut Vec<(SimTime, CompletionEntry)>) {
+        let start = out.len();
+        self.conventional.drain_completions_into(t, out);
+        self.vendor_out.retain(|&item| {
+            if item.0 <= t {
+                out.push(item);
+                false
+            } else {
+                true
+            }
+        });
+        out[start..].sort_by_key(|(at, _)| *at);
     }
 
     fn next_event_at(&self) -> Option<SimTime> {

@@ -22,6 +22,15 @@ pub trait NvmeController {
     /// Take all completions posted at or before `t`, in completion order.
     fn drain_completions(&mut self, t: SimTime) -> Vec<(SimTime, CompletionEntry)>;
 
+    /// Append all completions posted at or before `t` to `out`, in
+    /// completion order, without allocating a fresh vector. Hot blocking
+    /// loops call this once per horizon jump with a reusable buffer;
+    /// controllers should override the default (which delegates to
+    /// [`NvmeController::drain_completions`]) when they can drain in place.
+    fn drain_completions_into(&mut self, t: SimTime, out: &mut Vec<(SimTime, CompletionEntry)>) {
+        out.extend(self.drain_completions(t));
+    }
+
     /// The earliest instant device work (a pending completion or internal
     /// event) is scheduled, if any — lets the driver jump virtual time
     /// instead of polling.
@@ -62,6 +71,9 @@ pub struct NvmeDriver<C: NvmeController> {
     costs: HostCosts,
     next_cid: u16,
     commands: u64,
+    /// Reusable completion-drain buffer for the blocking wait loop (one
+    /// allocation for the driver's lifetime instead of one per poll).
+    drain_buf: Vec<(SimTime, CompletionEntry)>,
 }
 
 impl<C: NvmeController> NvmeDriver<C> {
@@ -72,7 +84,7 @@ impl<C: NvmeController> NvmeDriver<C> {
 
     /// Wrap a controller with explicit host costs.
     pub fn with_costs(controller: C, costs: HostCosts) -> Self {
-        NvmeDriver { controller, costs, next_cid: 0, commands: 0 }
+        NvmeDriver { controller, costs, next_cid: 0, commands: 0, drain_buf: Vec::new() }
     }
 
     /// Commands issued through this driver so far.
@@ -108,12 +120,14 @@ impl<C: NvmeController> NvmeDriver<C> {
         self.commands += 1;
         let submit_at = now + self.costs.syscall;
         self.controller.submit(submit_at, Command { cid, kind });
-        // Wait for this command's completion, jumping the clock along the
-        // device's event schedule.
+        // Wait for this command's completion, jumping the clock directly to
+        // the device's next scheduled event (never polling in fixed quanta).
         let mut horizon = submit_at;
         loop {
             self.controller.advance_to(horizon);
-            for (at, entry) in self.controller.drain_completions(horizon) {
+            self.drain_buf.clear();
+            self.controller.drain_completions_into(horizon, &mut self.drain_buf);
+            for &(at, entry) in &self.drain_buf {
                 if entry.cid == cid {
                     return IoResult {
                         completed_at: at + self.costs.interrupt,
@@ -263,6 +277,8 @@ pub struct QueuedDriver<C: NvmeController> {
     costs: HostCosts,
     next_cid: u16,
     inflight: std::collections::HashSet<CommandId>,
+    /// Reusable completion-drain buffer for [`QueuedDriver::poll`].
+    drain_buf: Vec<(SimTime, CompletionEntry)>,
 }
 
 use crate::command::CommandId;
@@ -276,6 +292,7 @@ impl<C: NvmeController> QueuedDriver<C> {
             costs: HostCosts::default(),
             next_cid: 0,
             inflight: std::collections::HashSet::new(),
+            drain_buf: Vec::new(),
         }
     }
 
@@ -319,8 +336,10 @@ impl<C: NvmeController> QueuedDriver<C> {
     /// ring. Returns how many were posted.
     pub fn poll(&mut self, now: SimTime) -> usize {
         self.controller.advance_to(now);
+        self.drain_buf.clear();
+        self.controller.drain_completions_into(now, &mut self.drain_buf);
         let mut posted = 0;
-        for (_at, entry) in self.controller.drain_completions(now) {
+        for &(_at, entry) in &self.drain_buf {
             if self.qp.cq.post(entry).is_err() {
                 // CQ full: in real hardware this is fatal; here the caller
                 // must reap faster. Drop back into the device queue is not

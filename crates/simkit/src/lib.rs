@@ -3,7 +3,9 @@
 //! The foundation every hardware model in the X-SSD reproduction is built on:
 //!
 //! - [`time`] — virtual nanosecond clock ([`SimTime`], [`SimDuration`]);
-//! - [`events`] — deterministic per-device event calendars ([`EventQueue`]);
+//! - [`events`] — deterministic per-device event calendars ([`EventQueue`]):
+//!   indexed binary heaps with O(1) frontier peek, O(log n) in-place
+//!   cancellation, and generation-tagged [`EventId`] handles;
 //! - [`resource`] — contention primitives ([`SerialResource`],
 //!   [`BankedResource`], [`Link`]) where interference *emerges* from queueing;
 //! - [`bandwidth`] — rate arithmetic in the units hardware specs use;

@@ -1,0 +1,148 @@
+//! Model-based property test for the indexed-heap [`simkit::EventQueue`].
+//!
+//! A naive `Vec`-backed reference model and the real queue are driven
+//! through ~10k random schedule/cancel/pop/pop_due/peek operations from a
+//! seeded [`simkit::DetRng`]; every observable (delivery order, FIFO
+//! tie-break at equal timestamps, lengths, peeked times, cancellation
+//! results including generation-tag rejection of stale ids) must match
+//! exactly.
+
+use simkit::{DetRng, EventId, EventQueue, SimTime};
+
+/// The reference model: a flat list of live `(at, seq)` entries, popped by
+/// linear minimum scan — trivially correct, trivially slow.
+#[derive(Default)]
+struct NaiveModel {
+    live: Vec<(SimTime, u64)>,
+    next_seq: u64,
+}
+
+impl NaiveModel {
+    fn schedule(&mut self, at: SimTime) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.push((at, seq));
+        seq
+    }
+
+    /// Cancel by seq; true if the entry was still live.
+    fn cancel(&mut self, seq: u64) -> bool {
+        match self.live.iter().position(|&(_, s)| s == seq) {
+            Some(i) => {
+                self.live.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn peek(&self) -> Option<SimTime> {
+        self.live.iter().map(|&(at, _)| at).min()
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        let min = self.live.iter().enumerate().min_by_key(|(_, &(at, seq))| (at, seq));
+        let i = min.map(|(i, _)| i)?;
+        Some(self.live.remove(i))
+    }
+
+    fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, u64)> {
+        match self.peek() {
+            Some(t) if t <= now => self.pop(),
+            _ => None,
+        }
+    }
+}
+
+#[test]
+fn indexed_heap_matches_naive_model_over_random_ops() {
+    let mut rng = DetRng::new(0xE7E7_0001);
+    let mut real: EventQueue<u64> = EventQueue::new();
+    let mut model = NaiveModel::default();
+    // Every id ever issued (seq -> EventId), including long-fired ones, so
+    // cancellation regularly targets stale handles across slot reuse.
+    let mut issued: Vec<(u64, EventId)> = Vec::new();
+
+    for step in 0..10_000u64 {
+        match rng.uniform(0, 99) {
+            // Schedule — coarse time grid so equal timestamps are common
+            // and the FIFO tie-break is exercised constantly.
+            0..=44 => {
+                let at = SimTime::from_nanos(rng.uniform(0, 400) * 10);
+                let seq = model.schedule(at);
+                let id = real.schedule(at, seq);
+                issued.push((seq, id));
+            }
+            // Cancel a random id from the full issued history (live, fired,
+            // or already cancelled).
+            45..=64 => {
+                if issued.is_empty() {
+                    continue;
+                }
+                let pick = rng.uniform(0, issued.len() as u64 - 1) as usize;
+                let (seq, id) = issued[pick];
+                let model_cancelled = model.cancel(seq);
+                let real_cancelled = real.cancel(id);
+                assert_eq!(
+                    real_cancelled, model_cancelled,
+                    "step {step}: cancel(seq={seq}) diverged"
+                );
+            }
+            // Pop the frontier.
+            65..=84 => {
+                let expect = model.pop();
+                let got = real.pop();
+                assert_eq!(got, expect, "step {step}: pop diverged");
+            }
+            // Pop only if due.
+            85..=94 => {
+                let now = SimTime::from_nanos(rng.uniform(0, 4200));
+                let expect = model.pop_due(now);
+                let got = real.pop_due(now);
+                assert_eq!(got, expect, "step {step}: pop_due({now}) diverged");
+            }
+            // Pure observation.
+            _ => {
+                assert_eq!(real.peek_time(), model.peek(), "step {step}: peek_time diverged");
+                assert_eq!(real.next_time(), model.peek(), "step {step}: next_time diverged");
+            }
+        }
+        assert_eq!(real.len(), model.live.len(), "step {step}: len diverged");
+        assert_eq!(real.is_empty(), model.live.is_empty(), "step {step}: is_empty diverged");
+        assert_eq!(real.peek_time(), model.peek(), "step {step}: frontier diverged");
+    }
+
+    // Drain both completely: full delivery order must match, including
+    // FIFO tie-breaks among the surviving events.
+    let mut drained = 0;
+    loop {
+        let expect = model.pop();
+        let got = real.pop();
+        assert_eq!(got, expect, "drain diverged after {drained} pops");
+        if got.is_none() {
+            break;
+        }
+        drained += 1;
+    }
+    assert!(drained > 0, "test degenerated: nothing left to drain");
+}
+
+#[test]
+fn every_stale_id_is_rejected_after_a_full_drain() {
+    let mut rng = DetRng::new(0xE7E7_0002);
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let ids: Vec<EventId> =
+        (0..500).map(|i| q.schedule(SimTime::from_nanos(rng.uniform(0, 50)), i)).collect();
+    while q.pop().is_some() {}
+    // Refill, reusing every slot.
+    let fresh: Vec<EventId> =
+        (0..500).map(|i| q.schedule(SimTime::from_nanos(rng.uniform(0, 50)), 1000 + i)).collect();
+    for id in ids {
+        assert!(!q.cancel(id), "stale id cancelled a reused slot");
+    }
+    assert_eq!(q.len(), 500);
+    for id in fresh {
+        assert!(q.cancel(id));
+    }
+    assert!(q.is_empty());
+}

@@ -378,22 +378,38 @@ impl ConventionalSsd {
 
     /// Take destage completions at or before `t`: `(time, token)`.
     pub fn drain_destage_completions(&mut self, t: SimTime) -> Vec<(SimTime, u64)> {
-        let (ready, rest) =
-            std::mem::take(&mut self.destage_done).into_iter().partition(|(at, _)| *at <= t);
-        self.destage_done = rest;
-        let mut ready: Vec<_> = ready;
-        ready.sort_by_key(|(at, _)| *at);
+        let mut ready = Vec::new();
+        self.drain_destage_completions_into(t, &mut ready);
         ready
+    }
+
+    /// Append destage completions at or before `t` to `out` without
+    /// allocating — the Villars advance loop drains once per event step
+    /// with a reusable buffer.
+    pub fn drain_destage_completions_into(&mut self, t: SimTime, out: &mut Vec<(SimTime, u64)>) {
+        Self::drain_tokens_into(&mut self.destage_done, t, out);
     }
 
     /// Take internal-read completions at or before `t`.
     pub fn drain_internal_reads(&mut self, t: SimTime) -> Vec<(SimTime, u64)> {
-        let (ready, rest) =
-            std::mem::take(&mut self.internal_reads_done).into_iter().partition(|(at, _)| *at <= t);
-        self.internal_reads_done = rest;
-        let mut ready: Vec<_> = ready;
-        ready.sort_by_key(|(at, _)| *at);
+        let mut ready = Vec::new();
+        Self::drain_tokens_into(&mut self.internal_reads_done, t, &mut ready);
         ready
+    }
+
+    /// Stable in-place split of a `(time, token)` queue: due entries append
+    /// to `out` sorted by time, the rest compact down in place.
+    fn drain_tokens_into(src: &mut Vec<(SimTime, u64)>, t: SimTime, out: &mut Vec<(SimTime, u64)>) {
+        let start = out.len();
+        src.retain(|&item| {
+            if item.0 <= t {
+                out.push(item);
+                false
+            } else {
+                true
+            }
+        });
+        out[start..].sort_by_key(|(at, _)| *at);
     }
 
     /// Allocate a physical page, running GC first if the pools are low.
@@ -857,11 +873,24 @@ impl NvmeController for ConventionalSsd {
     }
 
     fn drain_completions(&mut self, t: SimTime) -> Vec<(SimTime, CompletionEntry)> {
-        let (mut ready, rest): (Vec<_>, Vec<_>) =
-            std::mem::take(&mut self.out).into_iter().partition(|(at, _)| *at <= t);
-        self.out = rest;
-        ready.sort_by_key(|(at, _)| *at);
+        let mut ready = Vec::new();
+        self.drain_completions_into(t, &mut ready);
         ready
+    }
+
+    fn drain_completions_into(&mut self, t: SimTime, out: &mut Vec<(SimTime, CompletionEntry)>) {
+        let start = out.len();
+        // Stable in-place split: due entries move to `out` in posting order,
+        // the rest compact down without reallocating.
+        self.out.retain(|&item| {
+            if item.0 <= t {
+                out.push(item);
+                false
+            } else {
+                true
+            }
+        });
+        out[start..].sort_by_key(|(at, _)| *at);
     }
 
     fn next_event_at(&self) -> Option<SimTime> {

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Wall-clock benchmark gate: build release, run every figure/ablation
+# harness once, time each, and write BENCH_harness_wallclock.json at the
+# repository root.
+#
+# The simulated results are a separate concern (results/*.json, byte-stable
+# across runs); this script measures how long the simulator takes to produce
+# them. Compare the JSON against a baseline from `main` to check a claimed
+# speedup — docs/PERFORMANCE.md walks through the workflow.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+HARNESSES=(
+  fig09_local_logging
+  fig10_write_combining
+  fig11_queue_size
+  fig12_destage_priority
+  fig13_replication_delay
+  ablation_data_movements
+  ablation_destage_deadline
+  ablation_replicated_tpcc
+  ablation_replication_policy
+  ablation_transport
+)
+
+echo "== cargo build --release"
+cargo build --release --bins -p xssd-bench
+
+OUT="BENCH_harness_wallclock.json"
+GIT_REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+
+{
+  echo '{'
+  echo '  "schema": "xssd-bench-wallclock/v1",'
+  echo "  \"git_rev\": \"${GIT_REV}\","
+  echo '  "unit": "milliseconds",'
+  echo '  "harnesses": {'
+} > "$OUT"
+
+first=1
+for h in "${HARNESSES[@]}"; do
+  echo "== $h"
+  start=$(date +%s%N)
+  ./target/release/"$h" > /dev/null
+  end=$(date +%s%N)
+  ms=$(( (end - start) / 1000000 ))
+  echo "   ${ms} ms"
+  if [ "$first" -eq 0 ]; then
+    echo ',' >> "$OUT"
+  fi
+  first=0
+  printf '    "%s": %s' "$h" "$ms" >> "$OUT"
+done
+
+{
+  echo ''
+  echo '  }'
+  echo '}'
+} >> "$OUT"
+
+echo
+echo "wrote $OUT"
