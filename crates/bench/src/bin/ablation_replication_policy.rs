@@ -27,16 +27,20 @@ fn run(policy: ReplicationPolicy, secondaries: usize) -> Snapshot {
     // policies; identical replicas make every combination equal.
     for (i, s) in secs.iter().enumerate() {
         let period_ns = 400 * (1 << i) as u32; // 0.4us, 0.8us, 1.6us...
-        let (t, e) = cl.vendor_blocking(
+
+        // Tagged submission on the secondary's I/O port + the shared
+        // closed-loop wait (what `vendor_blocking` is made of).
+        let tag = cl.submit(
             *s,
             now,
-            nvme::VendorCommand::new(
+            nvme::CommandKind::Admin(nvme::AdminCommand::Vendor(nvme::VendorCommand::new(
                 xssd_core::vendor::SET_SHADOW_PERIOD,
                 [period_ns * 16, 0, 0, 0, 0, 0],
-            ),
+            ))),
         );
-        assert!(e.status.is_ok());
-        now = t;
+        let done = cl.wait_for_completion(*s, now, tag);
+        assert!(done.entry.status.is_ok());
+        now = done.at;
     }
     let mut f = XLogFile::open(p);
     let chunk = vec![0x44u8; 4096];

@@ -10,7 +10,7 @@
 //! (`ssd.served_conventional_bytes` / `ssd.served_destage_bytes`), and every
 //! run's full snapshot lands in `results/fig12_destage_priority.json`.
 
-use nvme::{Command, CommandKind, IoCommand, NvmeController};
+use nvme::{CommandKind, IoCommand};
 use simkit::bytes::Bytes;
 use simkit::{MetricsRegistry, SimDuration, SimTime, Snapshot};
 use xssd_bench::{section, Measurement, Report};
@@ -52,8 +52,8 @@ fn run(mode_code: u32, fast_fraction: f64, duration: SimDuration) -> Snapshot {
     let end = start + duration;
     let mut next_conv = start;
     let mut next_fast = start;
-    let mut cid: u16 = 0;
     let mut conv_lba = 1 << 21; // away from the destage ring
+    let mut completions = Vec::new();
 
     while next_conv < end || next_fast < end {
         if next_conv <= next_fast {
@@ -61,23 +61,23 @@ fn run(mode_code: u32, fast_fraction: f64, duration: SimDuration) -> Snapshot {
                 next_conv = SimTime::MAX;
                 continue;
             }
-            // Submit one conventional page write (asynchronous: the block
-            // workload keeps its own queue depth).
-            let d = cl.device_mut(dev);
-            d.conventional_mut().stage_write_data(conv_lba, Bytes::from(fast_page.clone()));
-            d.submit(
+            // Submit one conventional page write through the device's I/O
+            // port (asynchronous: the block workload keeps its own queue
+            // depth rather than blocking per command).
+            cl.device_mut(dev)
+                .conventional_mut()
+                .stage_write_data(conv_lba, Bytes::from(fast_page.clone()));
+            let _tag = cl.submit(
+                dev,
                 next_conv,
-                Command {
-                    cid,
-                    kind: CommandKind::Io(IoCommand::Write { lba: conv_lba, blocks: 1 }),
-                },
+                CommandKind::Io(IoCommand::Write { lba: conv_lba, blocks: 1 }),
             );
-            cid = cid.wrapping_add(1);
             conv_lba += 1;
             next_conv += conv_interval;
             cl.advance(next_conv.min(end));
             // Reap completions so they do not accumulate.
-            let _ = cl.device_mut(dev).drain_completions(next_conv.min(end));
+            completions.clear();
+            cl.completions_into(dev, next_conv.min(end), &mut completions);
         } else {
             if next_fast >= end {
                 next_fast = SimTime::MAX;
@@ -90,7 +90,8 @@ fn run(mode_code: u32, fast_fraction: f64, duration: SimDuration) -> Snapshot {
         }
     }
     cl.advance(end);
-    let _ = cl.device_mut(dev).drain_completions(end);
+    completions.clear();
+    cl.completions_into(dev, end, &mut completions);
     // Snapshot what the flash arrays actually SERVED within the window —
     // the achieved bandwidth per class, the Fig. 12 metric. (Offered bytes
     // beyond this sit queued behind the scheduler.)

@@ -22,17 +22,20 @@ fn run(period: SimDuration, writes: usize) -> (simkit::Candlestick, Snapshot) {
     let p = cl.add_device(VillarsConfig::villars_sram());
     let s = cl.add_device(VillarsConfig::villars_sram());
     let mut now = cl.configure_replication(SimTime::ZERO, p, &[s]);
-    // Set the swept update period on the secondary via the vendor command.
-    let (t, e) = cl.vendor_blocking(
+    // Set the swept update period on the secondary via the vendor command:
+    // one tagged submission on the device's I/O port, then the shared
+    // closed-loop wait.
+    let tag = cl.submit(
         s,
         now,
-        nvme::VendorCommand::new(
+        nvme::CommandKind::Admin(nvme::AdminCommand::Vendor(nvme::VendorCommand::new(
             vendor::SET_SHADOW_PERIOD,
             [period.as_nanos() as u32, 0, 0, 0, 0, 0],
-        ),
+        ))),
     );
-    assert!(e.status.is_ok());
-    now = t;
+    let done = cl.wait_for_completion(s, now, tag);
+    assert!(done.entry.status.is_ok());
+    now = done.at;
 
     let chunk = vec![0xABu8; 64];
     let mut offset = 0u64;

@@ -297,9 +297,11 @@ mod tests {
     #[test]
     fn pwrite_then_fsync_persists() {
         let (mut cl, mut f) = standalone();
-        let t1 = f.x_pwrite(&mut cl, SimTime::ZERO, &[0xAB; 1000]).unwrap();
+        let t1 = f
+            .x_pwrite(&mut cl, SimTime::ZERO, &[0xAB; 1000])
+            .expect("x_pwrite rejected by the fast side");
         assert_eq!(f.written(), 1000);
-        let t2 = f.x_fsync(&mut cl, t1).unwrap();
+        let t2 = f.x_fsync(&mut cl, t1).expect("x_fsync stalled before the credit covered the log");
         assert!(t2 >= t1);
         let (_t, credit) = cl.read_credit(0, t2, 0);
         assert_eq!(credit, 1000);
@@ -310,9 +312,10 @@ mod tests {
         let (mut cl, mut f) = standalone();
         // small() queue is 4 KiB; write 16 KiB.
         let data = vec![7u8; 16 << 10];
-        let t1 = f.x_pwrite(&mut cl, SimTime::ZERO, &data).unwrap();
+        let t1 =
+            f.x_pwrite(&mut cl, SimTime::ZERO, &data).expect("x_pwrite rejected by the fast side");
         assert_eq!(f.written(), 16 << 10);
-        let t2 = f.x_fsync(&mut cl, t1).unwrap();
+        let t2 = f.x_fsync(&mut cl, t1).expect("x_fsync stalled before the credit covered the log");
         assert!(t2 > SimTime::ZERO);
         // A same-size write with a bigger window would have finished the
         // hand-off sooner: the credit checks cost time.
@@ -322,7 +325,9 @@ mod tests {
     #[test]
     fn fsync_with_nothing_written_returns_immediately() {
         let (mut cl, mut f) = standalone();
-        let t = f.x_fsync(&mut cl, SimTime::ZERO).unwrap();
+        let t = f
+            .x_fsync(&mut cl, SimTime::ZERO)
+            .expect("x_fsync stalled before the credit covered the log");
         // Just the MMIO round trip.
         assert!(t.as_micros_f64() < 2.0);
     }
@@ -331,15 +336,19 @@ mod tests {
     fn pread_tail_returns_written_content() {
         let (mut cl, mut f) = standalone();
         let payload: Vec<u8> = (0..100u8).cycle().take(5000).collect();
-        let t1 = f.x_pwrite(&mut cl, SimTime::ZERO, &payload).unwrap();
-        let t2 = f.x_fsync(&mut cl, t1).unwrap();
+        let t1 = f
+            .x_pwrite(&mut cl, SimTime::ZERO, &payload)
+            .expect("x_pwrite rejected by the fast side");
+        let t2 = f.x_fsync(&mut cl, t1).expect("x_fsync stalled before the credit covered the log");
         // Tail read blocks until destage catches up, then returns content.
-        let (t3, bytes) = f.x_pread(&mut cl, t2, 4096).unwrap();
+        let (t3, bytes) =
+            f.x_pread(&mut cl, t2, 4096).expect("x_pread failed against the destage ring");
         assert!(t3 >= t2);
         assert_eq!(bytes, &payload[..4096]);
         // The cursor advanced: the next read returns the following range
         // (once destaged — 5000-4096=904 bytes remain, partial page).
-        let (_t4, more) = f.x_pread(&mut cl, t3, 900).unwrap();
+        let (_t4, more) =
+            f.x_pread(&mut cl, t3, 900).expect("x_pread failed against the destage ring");
         assert_eq!(more, &payload[4096..4996]);
     }
 
@@ -348,10 +357,10 @@ mod tests {
         let (mut cl, mut f) = standalone();
         let mut now = SimTime::ZERO;
         for i in 0..5u8 {
-            now = f.x_pwrite(&mut cl, now, &[i; 100]).unwrap();
+            now = f.x_pwrite(&mut cl, now, &[i; 100]).expect("x_pwrite rejected by the fast side");
         }
         assert_eq!(f.written(), 500);
-        now = f.x_fsync(&mut cl, now).unwrap();
+        now = f.x_fsync(&mut cl, now).expect("x_fsync stalled before the credit covered the log");
         let (_t, credit) = cl.read_credit(0, now, 0);
         assert_eq!(credit, 500);
     }
@@ -363,8 +372,8 @@ mod tests {
         let _s = cl.add_device(VillarsConfig::small());
         let t0 = cl.configure_replication(SimTime::ZERO, p, &[1]);
         let mut f = XLogFile::open(p);
-        let t1 = f.x_pwrite(&mut cl, t0, &[1u8; 2000]).unwrap();
-        let t2 = f.x_fsync(&mut cl, t1).unwrap();
+        let t1 = f.x_pwrite(&mut cl, t0, &[1u8; 2000]).expect("x_pwrite rejected by the fast side");
+        let t2 = f.x_fsync(&mut cl, t1).expect("x_fsync stalled before the credit covered the log");
         // fsync must cover mirror + drain + shadow-update round trip: well
         // above the local-only latency.
         let fsync_cost = t2.saturating_since(t1);
@@ -383,8 +392,11 @@ mod tests {
         let r2 = alloc.x_alloc(256);
         assert_eq!(r2.offset, 256);
         // Fill region 2 first (out of order), then region 1.
-        let t1 = alloc.write_region(&mut cl, SimTime::ZERO, r2, 0, &[2u8; 256]).unwrap();
-        let t2 = alloc.write_region(&mut cl, t1, r1, 0, &[1u8; 256]).unwrap();
+        let t1 = alloc
+            .write_region(&mut cl, SimTime::ZERO, r2, 0, &[2u8; 256])
+            .expect("region write rejected");
+        let t2 =
+            alloc.write_region(&mut cl, t1, r1, 0, &[1u8; 256]).expect("region write rejected");
         alloc.x_free(r1);
         alloc.x_free(r2);
         assert_eq!(alloc.outstanding(), 0);
@@ -414,10 +426,14 @@ mod tests {
         assert_eq!(cl.device(dev).lanes(), 2);
         let mut f0 = XLogFile::open_lane(dev, 0, MmioMode::WriteCombining);
         let mut f1 = XLogFile::open_lane(dev, 1, MmioMode::WriteCombining);
-        let t1 = f0.x_pwrite(&mut cl, SimTime::ZERO, &[1u8; 500]).unwrap();
-        let t2 = f1.x_pwrite(&mut cl, t1, &[2u8; 700]).unwrap();
-        let t3 = f0.x_fsync(&mut cl, t2).unwrap();
-        let t4 = f1.x_fsync(&mut cl, t3).unwrap();
+        let t1 = f0
+            .x_pwrite(&mut cl, SimTime::ZERO, &[1u8; 500])
+            .expect("x_pwrite rejected by the fast side");
+        let t2 = f1.x_pwrite(&mut cl, t1, &[2u8; 700]).expect("x_pwrite rejected by the fast side");
+        let t3 =
+            f0.x_fsync(&mut cl, t2).expect("x_fsync stalled before the credit covered the log");
+        let t4 =
+            f1.x_fsync(&mut cl, t3).expect("x_fsync stalled before the credit covered the log");
         let (_ta, c0) = cl.read_credit(dev, t4, 0);
         let (_tb, c1) = cl.read_credit(dev, t4, 1);
         assert_eq!((c0, c1), (500, 700));

@@ -10,7 +10,8 @@ use crate::config::VillarsConfig;
 use crate::device::{vendor, CrashReport, VillarsDevice};
 use crate::transport::{DeviceIndex, Outbound};
 use nvme::{
-    AdminCommand, Command, CommandKind, CompletionEntry, NvmeController, Status, VendorCommand,
+    drive_to_completion, AdminCommand, CmdTag, CommandKind, Completion, IoPort, Status,
+    VendorCommand,
 };
 use pcie::MmioMode;
 use simkit::{EventQueue, SimDuration, SimTime};
@@ -22,17 +23,22 @@ enum ClusterEvent {
 }
 
 /// The device cluster.
+///
+/// Command I/O goes through each device's [`IoPort`] (CIDs are allocated
+/// per device, so a wrapped 16-bit CID can never collide with a command
+/// still in flight on the same device). The `*_blocking` helpers are a
+/// thin closed-loop adapter over that port: one tagged submission via
+/// [`Cluster::submit`], then the shared [`drive_to_completion`] wait.
 pub struct Cluster {
     devices: Vec<VillarsDevice>,
     events: EventQueue<ClusterEvent>,
-    next_cid: u16,
     /// Devices currently powered off: traffic to them is dropped on the
     /// floor (their PCIe fabric is gone).
     dead: std::collections::HashSet<DeviceIndex>,
     /// Reusable completion-drain buffer for the blocking waits (one
     /// allocation for the cluster's lifetime instead of one per horizon
     /// step).
-    drain_buf: Vec<(SimTime, CompletionEntry)>,
+    drain_buf: Vec<Completion>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -53,7 +59,6 @@ impl Cluster {
         Cluster {
             devices: Vec::new(),
             events: EventQueue::new(),
-            next_cid: 0,
             dead: std::collections::HashSet::new(),
             drain_buf: Vec::new(),
         }
@@ -85,6 +90,43 @@ impl Cluster {
         &mut self.devices[i]
     }
 
+    /// Submit a command asynchronously on device `dev`'s [`IoPort`] at
+    /// `now`. The returned tag identifies the in-flight command; drain
+    /// its completion with [`Cluster::completions_into`] or block on it
+    /// with [`Cluster::wait_for_completion`].
+    pub fn submit(&mut self, dev: DeviceIndex, now: SimTime, kind: CommandKind) -> CmdTag {
+        IoPort::submit(&mut self.devices[dev], now, kind)
+    }
+
+    /// Run device `dev` up to `now` so completions due by `now` become
+    /// visible (the cluster-level [`IoPort::poll`]).
+    pub fn poll_device(&mut self, dev: DeviceIndex, now: SimTime) {
+        self.devices[dev].poll(now);
+    }
+
+    /// Append device `dev`'s completions due at or before `now` to `out`,
+    /// in completion order, retiring their tags.
+    pub fn completions_into(&mut self, dev: DeviceIndex, now: SimTime, out: &mut Vec<Completion>) {
+        self.devices[dev].completions_into(now, out);
+    }
+
+    /// Event-driven blocking wait for `tag` on device `dev`, starting the
+    /// horizon at `from`: the shared closed-loop adapter
+    /// ([`drive_to_completion`]) jumps virtual time straight to the
+    /// device's next pending event instead of stepping in fixed quanta,
+    /// and panics with the pending CID if the device stalls.
+    pub fn wait_for_completion(
+        &mut self,
+        dev: DeviceIndex,
+        from: SimTime,
+        tag: CmdTag,
+    ) -> Completion {
+        let mut drained = std::mem::take(&mut self.drain_buf);
+        let done = drive_to_completion(&mut self.devices[dev], from, tag, &mut drained);
+        self.drain_buf = drained;
+        done
+    }
+
     /// Execute a vendor-specific admin command against device `dev`,
     /// blocking until its completion. This is the NVMe control plane the
     /// paper describes: "changing the networking mode for a Villars device
@@ -94,51 +136,10 @@ impl Cluster {
         dev: DeviceIndex,
         now: SimTime,
         v: VendorCommand,
-    ) -> (SimTime, CompletionEntry) {
-        let cid = self.next_cid;
-        self.next_cid = self.next_cid.wrapping_add(1);
-        self.devices[dev]
-            .submit(now, Command { cid, kind: CommandKind::Admin(AdminCommand::Vendor(v)) });
-        self.wait_for_completion(dev, now, cid)
-    }
-
-    /// Event-driven blocking wait for the completion of `cid` on device
-    /// `dev`: jump virtual time straight to the device's next pending event
-    /// instead of stepping in fixed quanta.
-    ///
-    /// A device with an outstanding command always has a next event (the
-    /// completion itself at minimum); if `next_event_at()` ever comes back
-    /// empty while we are still waiting, the simulation has stalled and we
-    /// panic with the pending CID rather than silently spinning the horizon
-    /// forward.
-    fn wait_for_completion(
-        &mut self,
-        dev: DeviceIndex,
-        now: SimTime,
-        cid: u16,
-    ) -> (SimTime, CompletionEntry) {
-        let mut drained = std::mem::take(&mut self.drain_buf);
-        let device = &mut self.devices[dev];
-        let mut horizon = now;
-        let found = 'wait: loop {
-            device.advance_to(horizon);
-            drained.clear();
-            device.drain_completions_into(horizon, &mut drained);
-            for &(at, entry) in &drained {
-                if entry.cid == cid {
-                    break 'wait (at, entry);
-                }
-            }
-            horizon = match device.next_event_at() {
-                Some(t) => t.max(horizon),
-                None => panic!(
-                    "simulation stalled: device {dev} reports no pending event while the \
-                     completion for cid {cid} is still outstanding (horizon {horizon})"
-                ),
-            };
-        };
-        self.drain_buf = drained;
-        found
+    ) -> (SimTime, nvme::CompletionEntry) {
+        let tag = self.submit(dev, now, CommandKind::Admin(AdminCommand::Vendor(v)));
+        let done = self.wait_for_completion(dev, now, tag);
+        (done.at, done.entry)
     }
 
     /// Configure eager primary/secondary replication via vendor commands:
@@ -219,12 +220,15 @@ impl Cluster {
     }
 
     fn io_blocking(&mut self, dev: DeviceIndex, now: SimTime, io: nvme::IoCommand) -> SimTime {
-        let cid = self.next_cid;
-        self.next_cid = self.next_cid.wrapping_add(1);
-        self.devices[dev].submit(now, Command { cid, kind: CommandKind::Io(io) });
-        let (at, entry) = self.wait_for_completion(dev, now, cid);
-        assert!(entry.status.is_ok(), "block I/O failed: {:?}", entry.status);
-        at
+        let tag = self.submit(dev, now, CommandKind::Io(io));
+        let done = self.wait_for_completion(dev, now, tag);
+        assert!(
+            done.entry.status.is_ok(),
+            "block I/O failed on device {dev} (cid {}): {:?}",
+            done.entry.cid,
+            done.entry.status
+        );
+        done.at
     }
 
     /// Control-interface credit read on device `dev` (policy-combined).
@@ -403,7 +407,9 @@ mod tests {
     fn mirrored_write_reaches_secondary_cmb() {
         let (mut cl, t0) = two_node_cluster();
         let data = vec![0x5A; 256];
-        let (_, t1) = cl.fast_write(0, t0, 0, 0, &data, MmioMode::WriteCombining).unwrap();
+        let (_, t1) = cl
+            .fast_write(0, t0, 0, 0, &data, MmioMode::WriteCombining)
+            .expect("fast write rejected on device 0 lane 0");
         // Let the mirror fly and the secondary drain.
         cl.advance(t1 + SimDuration::from_micros(50));
         let sec_credit = cl.device_mut(1).local_credit(t1 + SimDuration::from_micros(50), 0);
@@ -414,7 +420,9 @@ mod tests {
     fn eager_credit_waits_for_secondary() {
         let (mut cl, t0) = two_node_cluster();
         let data = vec![1u8; 512];
-        let (_, t1) = cl.fast_write(0, t0, 0, 0, &data, MmioMode::WriteCombining).unwrap();
+        let (_, t1) = cl
+            .fast_write(0, t0, 0, 0, &data, MmioMode::WriteCombining)
+            .expect("fast write rejected on device 0 lane 0");
         // Immediately after the local write: primary has persisted locally
         // but no shadow update has arrived yet -> eager credit is 0.
         let (t2, credit) = cl.read_credit(0, t1, 0);
@@ -438,8 +446,9 @@ mod tests {
     fn standalone_device_needs_no_cluster_routing() {
         let mut cl = Cluster::new();
         cl.add_device(VillarsConfig::small());
-        let (_, t) =
-            cl.fast_write(0, SimTime::ZERO, 0, 0, &[9u8; 64], MmioMode::WriteCombining).unwrap();
+        let (_, t) = cl
+            .fast_write(0, SimTime::ZERO, 0, 0, &[9u8; 64], MmioMode::WriteCombining)
+            .expect("fast write rejected on device 0 lane 0");
         cl.advance(t + SimDuration::from_micros(10));
         let (_t, c) = cl.read_credit(0, t + SimDuration::from_micros(10), 0);
         assert_eq!(c, 64);
@@ -449,7 +458,9 @@ mod tests {
     fn power_fail_drops_in_flight_traffic_to_dead_device() {
         let (mut cl, t0) = two_node_cluster();
         // Write, creating an in-flight mirror to device 1, then crash 1.
-        let (_, t1) = cl.fast_write(0, t0, 0, 0, &[7u8; 128], MmioMode::WriteCombining).unwrap();
+        let (_, t1) = cl
+            .fast_write(0, t0, 0, 0, &[7u8; 128], MmioMode::WriteCombining)
+            .expect("fast write rejected on device 0 lane 0");
         let report = cl.power_fail(1, t1);
         // The secondary had nothing durable yet (mirror still in flight).
         assert_eq!(report.durable_upto, vec![0]);

@@ -379,7 +379,8 @@ mod tests {
     fn credit_advances_only_after_drain() {
         let mut cmb = CmbModule::new(cfg(4096, 64 << 10));
         let mut port = Port::new();
-        cmb.ingest(SimTime::ZERO, 0, &[1u8; 1000], |t, b| port.acquire(t, b)).unwrap();
+        cmb.ingest(SimTime::ZERO, 0, &[1u8; 1000], |t, b| port.acquire(t, b))
+            .expect("in-window CMB write rejected");
         // 1000 bytes at 1 GB/s = 1000ns drain.
         assert_eq!(cmb.credit_at(SimTime::from_nanos(500)), 0);
         assert_eq!(cmb.credit_at(SimTime::from_nanos(1000)), 1000);
@@ -391,7 +392,8 @@ mod tests {
         let mut cmb = CmbModule::new(cfg(4096, 8192));
         let mut port = Port::new();
         let payload: Vec<u8> = (0..100u8).collect();
-        cmb.ingest(SimTime::ZERO, 0, &payload, |t, b| port.acquire(t, b)).unwrap();
+        cmb.ingest(SimTime::ZERO, 0, &payload, |t, b| port.acquire(t, b))
+            .expect("in-window CMB write rejected");
         assert_eq!(cmb.content(0, 100), payload);
         assert_eq!(cmb.content(10, 5), &payload[10..15]);
     }
@@ -400,13 +402,15 @@ mod tests {
     fn queue_overrun_detected() {
         let mut cmb = CmbModule::new(cfg(1024, 64 << 10));
         let mut port = Port::new();
-        cmb.ingest(SimTime::ZERO, 0, &[0u8; 1024], |t, b| port.acquire(t, b)).unwrap();
+        cmb.ingest(SimTime::ZERO, 0, &[0u8; 1024], |t, b| port.acquire(t, b))
+            .expect("in-window CMB write rejected");
         // Nothing drained yet at t=0: the next byte overruns.
         let err = cmb.ingest(SimTime::ZERO, 1024, &[0u8; 1], |t, b| port.acquire(t, b));
         assert!(matches!(err, Err(CmbError::QueueOverrun { .. })));
         // After the drain completes, there is room again.
         let later = SimTime::from_micros(10);
-        cmb.ingest(later, 1024, &[0u8; 1024], |t, b| port.acquire(t, b)).unwrap();
+        cmb.ingest(later, 1024, &[0u8; 1024], |t, b| port.acquire(t, b))
+            .expect("in-window CMB write rejected");
     }
 
     #[test]
@@ -414,11 +418,13 @@ mod tests {
         let mut cmb = CmbModule::new(cfg(4096, 4096));
         let mut port = Port::new();
         let t = SimTime::from_micros(100);
-        cmb.ingest(SimTime::ZERO, 0, &[7u8; 4096], |t2, b| port.acquire(t2, b)).unwrap();
+        cmb.ingest(SimTime::ZERO, 0, &[7u8; 4096], |t2, b| port.acquire(t2, b))
+            .expect("in-window CMB write rejected");
         let err = cmb.ingest(t, 4096, &[8u8; 64], |t2, b| port.acquire(t2, b));
         assert_eq!(err, Err(CmbError::RingFull));
         cmb.advance_head(1024);
-        cmb.ingest(t, 4096, &[8u8; 64], |t2, b| port.acquire(t2, b)).unwrap();
+        cmb.ingest(t, 4096, &[8u8; 64], |t2, b| port.acquire(t2, b))
+            .expect("in-window CMB write rejected");
         assert_eq!(cmb.content(4096, 64), vec![8u8; 64]);
     }
 
@@ -428,11 +434,13 @@ mod tests {
         let mut port = Port::new();
         let t = SimTime::ZERO;
         // Chunk at [100, 200) arrives before [0, 100).
-        cmb.ingest(t, 100, &[2u8; 100], |t2, b| port.acquire(t2, b)).unwrap();
+        cmb.ingest(t, 100, &[2u8; 100], |t2, b| port.acquire(t2, b))
+            .expect("in-window CMB write rejected");
         let settle = SimTime::from_micros(50);
         assert_eq!(cmb.credit_at(settle), 0, "gap blocks credit");
         assert_eq!(cmb.stats().held_chunks, 1);
-        cmb.ingest(t, 0, &[1u8; 100], |t2, b| port.acquire(t2, b)).unwrap();
+        cmb.ingest(t, 0, &[1u8; 100], |t2, b| port.acquire(t2, b))
+            .expect("in-window CMB write rejected");
         assert_eq!(cmb.credit_at(settle), 200, "gap filled, both chunks persist");
         assert_eq!(cmb.content(0, 100), vec![1u8; 100]);
         assert_eq!(cmb.content(100, 100), vec![2u8; 100]);
@@ -445,7 +453,8 @@ mod tests {
         let mut cmb = CmbModule::new(config);
         let mut port = Port::new();
         // Within the window: held.
-        cmb.ingest(SimTime::ZERO, 512, &[1u8; 64], |t, b| port.acquire(t, b)).unwrap();
+        cmb.ingest(SimTime::ZERO, 512, &[1u8; 64], |t, b| port.acquire(t, b))
+            .expect("in-window CMB write rejected");
         // Beyond the window: rejected.
         let err = cmb.ingest(SimTime::ZERO, 2048, &[1u8; 64], |t, b| port.acquire(t, b));
         assert!(matches!(err, Err(CmbError::BeyondReorderWindow { .. })));
@@ -455,7 +464,8 @@ mod tests {
     fn overlap_rejected() {
         let mut cmb = CmbModule::new(cfg(4096, 8192));
         let mut port = Port::new();
-        cmb.ingest(SimTime::ZERO, 0, &[1u8; 100], |t, b| port.acquire(t, b)).unwrap();
+        cmb.ingest(SimTime::ZERO, 0, &[1u8; 100], |t, b| port.acquire(t, b))
+            .expect("in-window CMB write rejected");
         let err = cmb.ingest(SimTime::ZERO, 50, &[2u8; 10], |t, b| port.acquire(t, b));
         assert!(matches!(err, Err(CmbError::Overlap { .. })));
     }
@@ -464,9 +474,11 @@ mod tests {
     fn crash_drain_stops_at_gap() {
         let mut cmb = CmbModule::new(cfg(8192, 64 << 10));
         let mut port = Port::new();
-        cmb.ingest(SimTime::ZERO, 0, &[1u8; 500], |t, b| port.acquire(t, b)).unwrap();
+        cmb.ingest(SimTime::ZERO, 0, &[1u8; 500], |t, b| port.acquire(t, b))
+            .expect("in-window CMB write rejected");
         // Out-of-order chunk leaves a gap at [500, 600).
-        cmb.ingest(SimTime::ZERO, 600, &[3u8; 100], |t, b| port.acquire(t, b)).unwrap();
+        cmb.ingest(SimTime::ZERO, 600, &[3u8; 100], |t, b| port.acquire(t, b))
+            .expect("in-window CMB write rejected");
         let frontier = cmb.crash_drain();
         assert_eq!(frontier, 500, "destage stops at the gap");
     }
@@ -475,7 +487,8 @@ mod tests {
     fn head_cannot_regress_or_pass_tail() {
         let mut cmb = CmbModule::new(cfg(4096, 8192));
         let mut port = Port::new();
-        cmb.ingest(SimTime::ZERO, 0, &[0u8; 100], |t, b| port.acquire(t, b)).unwrap();
+        cmb.ingest(SimTime::ZERO, 0, &[0u8; 100], |t, b| port.acquire(t, b))
+            .expect("in-window CMB write rejected");
         cmb.advance_head(50);
         let r1 = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut c = CmbModule::new(cfg(4096, 8192));
@@ -488,7 +501,8 @@ mod tests {
     fn inflight_and_undestaged_accounting() {
         let mut cmb = CmbModule::new(cfg(4096, 64 << 10));
         let mut port = Port::new();
-        cmb.ingest(SimTime::ZERO, 0, &[0u8; 2000], |t, b| port.acquire(t, b)).unwrap();
+        cmb.ingest(SimTime::ZERO, 0, &[0u8; 2000], |t, b| port.acquire(t, b))
+            .expect("in-window CMB write rejected");
         assert_eq!(cmb.inflight_at(SimTime::ZERO), 2000);
         let after = SimTime::from_micros(10);
         assert_eq!(cmb.inflight_at(after), 0);
@@ -506,14 +520,16 @@ mod tests {
         // Fill, destage, and wrap several times.
         for round in 0..5u64 {
             let payload = vec![round as u8 + 1; 200];
-            cmb.ingest(t, round * 200, &payload, |t2, b| port.acquire(t2, b)).unwrap();
+            cmb.ingest(t, round * 200, &payload, |t2, b| port.acquire(t2, b))
+                .expect("in-window CMB write rejected");
             t += SimDuration::from_micros(10);
             cmb.credit_at(t);
             cmb.advance_head((round + 1) * 200);
         }
         // Last round's content readable at its monotonic offset... head==tail
         // now, so re-ingest and verify.
-        cmb.ingest(t, 1000, &[9u8; 100], |t2, b| port.acquire(t2, b)).unwrap();
+        cmb.ingest(t, 1000, &[9u8; 100], |t2, b| port.acquire(t2, b))
+            .expect("in-window CMB write rejected");
         assert_eq!(cmb.content(1000, 100), vec![9u8; 100]);
     }
 
@@ -521,7 +537,8 @@ mod tests {
     fn reset_clears_state() {
         let mut cmb = CmbModule::new(cfg(4096, 8192));
         let mut port = Port::new();
-        cmb.ingest(SimTime::ZERO, 0, &[1u8; 100], |t, b| port.acquire(t, b)).unwrap();
+        cmb.ingest(SimTime::ZERO, 0, &[1u8; 100], |t, b| port.acquire(t, b))
+            .expect("in-window CMB write rejected");
         cmb.reset();
         assert_eq!(cmb.tail(), 0);
         assert_eq!(cmb.head(), 0);

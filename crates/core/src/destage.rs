@@ -324,7 +324,9 @@ mod tests {
 
         fn write(&mut self, now: SimTime, off: u64, data: &[u8]) {
             let (port, bw) = (&mut self.port, self.bw);
-            self.cmb.ingest(now, off, data, |t, b| port.acquire(t, bw.transfer_time(b))).unwrap();
+            self.cmb
+                .ingest(now, off, data, |t, b| port.acquire(t, bw.transfer_time(b)))
+                .expect("in-window CMB write rejected");
         }
 
         fn run_to(&mut self, t: SimTime) {
@@ -372,8 +374,8 @@ mod tests {
         assert_eq!(rig.destage.stats().full_pages, 1);
         assert_eq!(rig.cmb.head(), 4096, "CMB head freed");
         // Content landed on the conventional side.
-        let seg = rig.destage.segment_for(0).unwrap();
-        let media = rig.conv.media_content(seg.lba).unwrap();
+        let seg = rig.destage.segment_for(0).expect("no destaged segment covers offset 0");
+        let media = rig.conv.media_content(seg.lba).expect("destaged LBA missing from flash media");
         assert_eq!(&media[..4096], &[0xAA; 4096][..]);
     }
 
@@ -403,7 +405,8 @@ mod tests {
         for i in 0..3u64 {
             let seg = rig.destage.segment_for(i * 4096 + 7).expect("segment exists");
             assert_eq!(seg.log_from, i * 4096);
-            let media = rig.conv.media_content(seg.lba).unwrap();
+            let media =
+                rig.conv.media_content(seg.lba).expect("destaged LBA missing from flash media");
             assert_eq!(media[0], i as u8 + 1);
         }
         assert_eq!(rig.destage.readable_from(), Some(0));
@@ -424,7 +427,9 @@ mod tests {
         // The first 4 pages were overwritten by wrap.
         assert!(rig.destage.segment_for(0).is_none(), "oldest page aged out");
         assert!(rig.destage.segment_for(11 * 4096).is_some());
-        assert!(rig.destage.readable_from().unwrap() >= 4 * 4096);
+        assert!(
+            rig.destage.readable_from().expect("destage ring has nothing readable") >= 4 * 4096
+        );
     }
 
     #[test]
@@ -441,8 +446,8 @@ mod tests {
             &mut rig.conv,
         );
         assert_eq!(durable, 100);
-        let seg = rig.destage.segment_for(0).unwrap();
-        let media = rig.conv.media_content(seg.lba).unwrap();
+        let seg = rig.destage.segment_for(0).expect("no destaged segment covers offset 0");
+        let media = rig.conv.media_content(seg.lba).expect("destaged LBA missing from flash media");
         assert_eq!(&media[..100], &[0x77; 100][..]);
     }
 

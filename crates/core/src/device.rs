@@ -10,8 +10,8 @@ use crate::config::VillarsConfig;
 use crate::destage::DestageModule;
 use crate::transport::{DeviceIndex, Outbound, Role, TransportModule, TransportStatus};
 use nvme::{
-    AdminCommand, BackingClass, Command, CommandKind, CompletionEntry, Namespace, NvmeController,
-    Status, VendorCommand,
+    AdminCommand, BackingClass, CmdTag, Command, CommandKind, Completion, CompletionEntry, IoPort,
+    Namespace, NvmeController, PortAccounting, QueueError, Status, VendorCommand,
 };
 use pcie::{MmioMode, StoreIssueModel};
 use simkit::{Bandwidth, Grant, SerialResource, SimDuration, SimTime};
@@ -92,6 +92,11 @@ pub struct VillarsDevice {
     /// Reusable destage-completion drain buffer for the advance loop (one
     /// allocation for the device's lifetime instead of one per event step).
     destage_drain: Vec<(SimTime, u64)>,
+    /// Per-port CID allocation + queue-depth accounting for commands
+    /// submitted through the [`IoPort`] contract.
+    port: PortAccounting,
+    /// Reusable drain scratch for [`IoPort::completions_into`].
+    port_drain: Vec<(SimTime, CompletionEntry)>,
 }
 
 impl std::fmt::Debug for VillarsDevice {
@@ -143,7 +148,17 @@ impl VillarsDevice {
             fast_tlps: 0,
             credit_reads: 0,
             destage_drain: Vec::new(),
+            port: PortAccounting::new(),
+            port_drain: Vec::new(),
         }
+    }
+
+    /// Per-port accounting for [`IoPort`] submissions (CID liveness,
+    /// in-flight depth, queue-depth histogram). Collected explicitly —
+    /// not part of [`simkit::Instrument`] for this device, whose snapshot
+    /// layout is byte-frozen by the results gate.
+    pub fn port_stats(&self) -> &PortAccounting {
+        &self.port
     }
 
     /// The configuration.
@@ -296,6 +311,20 @@ impl VillarsDevice {
     /// Raw local credit (no PCIe round trip) — device-internal observers.
     pub fn local_credit(&mut self, now: SimTime, lane: usize) -> u64 {
         self.lanes[lane].cmb.credit_at(now)
+    }
+
+    /// Policy-combined credit (replication-aware, like
+    /// [`VillarsDevice::read_credit`]) but *without* the MMIO round trip —
+    /// for host-side completion pollers that resolve already-issued
+    /// appends against the durability frontier without perturbing the
+    /// link timeline.
+    pub fn observed_credit(&mut self, now: SimTime, lane: usize) -> u64 {
+        let local = self.lanes[lane].cmb.credit_at(now);
+        if lane == 0 {
+            self.transport.combined_credit(local, self.config.replication)
+        } else {
+            local
+        }
     }
 
     /// Secondary: emit shadow-counter updates up to `now` for the cluster.
@@ -582,7 +611,7 @@ impl NvmeController for VillarsDevice {
     fn submit(&mut self, now: SimTime, cmd: Command) {
         match cmd.kind {
             CommandKind::Admin(AdminCommand::Vendor(v)) => self.handle_vendor(now, cmd.cid, v),
-            _ => self.conventional.submit(now, cmd),
+            _ => NvmeController::submit(&mut self.conventional, now, cmd),
         }
     }
 
@@ -616,5 +645,39 @@ impl NvmeController for VillarsDevice {
 
     fn namespace(&self) -> Namespace {
         self.conventional.namespace()
+    }
+}
+
+impl IoPort for VillarsDevice {
+    /// The device-level port is unbounded (NVMe back-pressure is modelled
+    /// by the device internals, not by submission failure): this never
+    /// returns an error.
+    fn try_submit(&mut self, now: SimTime, kind: CommandKind) -> Result<CmdTag, QueueError> {
+        let cid = self.port.begin();
+        NvmeController::submit(self, now, Command { cid, kind });
+        Ok(CmdTag(cid))
+    }
+
+    fn poll(&mut self, now: SimTime) {
+        self.advance(now);
+    }
+
+    fn completions_into(&mut self, now: SimTime, out: &mut Vec<Completion>) {
+        let mut drained = std::mem::take(&mut self.port_drain);
+        drained.clear();
+        self.drain_completions_into(now, &mut drained);
+        for &(at, entry) in &drained {
+            self.port.finish(entry.cid);
+            out.push(Completion { at, entry });
+        }
+        self.port_drain = drained;
+    }
+
+    fn next_port_event_at(&self) -> Option<SimTime> {
+        self.next_event()
+    }
+
+    fn in_flight(&self) -> usize {
+        self.port.in_flight()
     }
 }

@@ -16,6 +16,10 @@
 //!   conformant NVMe interface with vendor-command setup;
 //! - [`cluster`] — [`Cluster`]: devices interconnected by NTB, routing
 //!   mirror and shadow-counter traffic deterministically;
+//! - [`port`] — the unified asynchronous [`IoPort`] command-lifecycle
+//!   contract (tagged submissions, event-driven completions) all device
+//!   types share, with the closed-loop [`drive_to_completion`] adapter
+//!   the `*_blocking` helpers route through;
 //! - [`api`] — the drop-in host API: [`XLogFile`] (`x_pwrite`/`x_fsync`/
 //!   `x_pread`) and the advanced [`XAllocator`] (`x_alloc`/`x_free`)
 //!   (paper §5).
@@ -28,6 +32,7 @@ pub mod cmb;
 pub mod config;
 pub mod destage;
 pub mod device;
+pub mod port;
 pub mod tenancy;
 pub mod transport;
 
@@ -37,5 +42,6 @@ pub use cmb::{CmbError, CmbModule, CmbStats};
 pub use config::{CmbConfig, DestageConfig, ReplicationPolicy, TransportConfig, VillarsConfig};
 pub use destage::{DestageModule, DestageStats, Segment};
 pub use device::{vendor, CrashReport, FastWrite, VillarsDevice};
+pub use port::{drive_to_completion, CmdTag, Completion, IoPort, PortAccounting};
 pub use tenancy::{TenancyError, TenantId, TenantManager, TenantUsage};
 pub use transport::{DeviceIndex, Outbound, Role, TransportModule, TransportStatus};

@@ -214,9 +214,10 @@ mod tests {
         let (cl, dev) = four_lane_cluster();
         let mut mgr = TenantManager::new(&cl, dev);
         assert_eq!(mgr.capacity(), 4);
-        let ids: Vec<_> = (0..4).map(|_| mgr.admit().unwrap()).collect();
+        let ids: Vec<_> =
+            (0..4).map(|_| mgr.admit().expect("tenant admission failed with lanes free")).collect();
         let lanes: std::collections::HashSet<_> =
-            ids.iter().map(|i| mgr.lane_of(*i).unwrap()).collect();
+            ids.iter().map(|i| mgr.lane_of(*i).expect("admitted tenant has no lane")).collect();
         assert_eq!(lanes.len(), 4);
         assert_eq!(mgr.admit(), Err(TenancyError::NoFreeLane));
     }
@@ -225,25 +226,28 @@ mod tests {
     fn tenants_are_isolated() {
         let (mut cl, dev) = four_lane_cluster();
         let mut mgr = TenantManager::new(&cl, dev);
-        let a = mgr.admit().unwrap();
-        let b = mgr.admit().unwrap();
+        let a = mgr.admit().expect("tenant admission failed with lanes free");
+        let b = mgr.admit().expect("tenant admission failed with lanes free");
         let mut now = SimTime::ZERO;
-        now = mgr.append(&mut cl, a, now, &[0xAA; 900]).unwrap();
-        now = mgr.append(&mut cl, b, now, &[0xBB; 300]).unwrap();
-        now = mgr.fsync(&mut cl, a, now).unwrap();
-        now = mgr.fsync(&mut cl, b, now).unwrap();
+        now = mgr.append(&mut cl, a, now, &[0xAA; 900]).expect("tenant lane append rejected");
+        now = mgr.append(&mut cl, b, now, &[0xBB; 300]).expect("tenant lane append rejected");
+        now = mgr.fsync(&mut cl, a, now).expect("tenant lane fsync stalled");
+        now = mgr.fsync(&mut cl, b, now).expect("tenant lane fsync stalled");
         // Each lane's credit covers only its own tenant's bytes.
-        let (la, lb) = (mgr.lane_of(a).unwrap(), mgr.lane_of(b).unwrap());
+        let (la, lb) = (
+            mgr.lane_of(a).expect("admitted tenant has no lane"),
+            mgr.lane_of(b).expect("admitted tenant has no lane"),
+        );
         let ca = cl.device_mut(dev).local_credit(now, la);
         let cb = cl.device_mut(dev).local_credit(now, lb);
         assert_eq!(ca, 900);
         assert_eq!(cb, 300);
         // And each tenant reads back only its own log.
-        let (_t, bytes_a) = mgr.read_tail(&mut cl, a, now, 900).unwrap();
+        let (_t, bytes_a) = mgr.read_tail(&mut cl, a, now, 900).expect("tenant tail read failed");
         assert_eq!(bytes_a, vec![0xAA; 900]);
-        let (_t, bytes_b) = mgr.read_tail(&mut cl, b, now, 300).unwrap();
+        let (_t, bytes_b) = mgr.read_tail(&mut cl, b, now, 300).expect("tenant tail read failed");
         assert_eq!(bytes_b, vec![0xBB; 300]);
-        let ua = mgr.usage(a).unwrap();
+        let ua = mgr.usage(a).expect("tenant usage missing for a live tenant");
         assert_eq!((ua.bytes_written, ua.appends, ua.fsyncs), (900, 1, 1));
     }
 
@@ -251,20 +255,23 @@ mod tests {
     fn revocation_recycles_the_lane() {
         let (mut cl, dev) = four_lane_cluster();
         let mut mgr = TenantManager::new(&cl, dev);
-        let ids: Vec<_> = (0..4).map(|_| mgr.admit().unwrap()).collect();
+        let ids: Vec<_> =
+            (0..4).map(|_| mgr.admit().expect("tenant admission failed with lanes free")).collect();
         // The departing tenant actually used its lane.
-        let mut now = mgr.append(&mut cl, ids[1], SimTime::ZERO, &[9u8; 700]).unwrap();
-        now = mgr.fsync(&mut cl, ids[1], now).unwrap();
-        let lane = mgr.lane_of(ids[1]).unwrap();
-        let usage = mgr.revoke(ids[1]).unwrap();
+        let mut now = mgr
+            .append(&mut cl, ids[1], SimTime::ZERO, &[9u8; 700])
+            .expect("tenant lane append rejected");
+        now = mgr.fsync(&mut cl, ids[1], now).expect("tenant lane fsync stalled");
+        let lane = mgr.lane_of(ids[1]).expect("admitted tenant has no lane");
+        let usage = mgr.revoke(ids[1]).expect("revoking a live tenant failed");
         assert_eq!(usage.bytes_written, 700);
         assert_eq!(mgr.admitted(), 3);
         // The freed lane is reusable: the newcomer's handle continues the
         // lane's monotonic log, so appends work immediately.
-        let newcomer = mgr.admit().unwrap();
+        let newcomer = mgr.admit().expect("tenant admission failed with lanes free");
         assert_eq!(mgr.lane_of(newcomer), Some(lane));
-        now = mgr.append(&mut cl, newcomer, now, &[1u8; 64]).unwrap();
-        now = mgr.fsync(&mut cl, newcomer, now).unwrap();
+        now = mgr.append(&mut cl, newcomer, now, &[1u8; 64]).expect("tenant lane append rejected");
+        now = mgr.fsync(&mut cl, newcomer, now).expect("tenant lane fsync stalled");
         let credit = cl.device_mut(dev).local_credit(now, lane);
         assert_eq!(credit, 764, "old + new bytes on the lane's log");
         // Revoked capabilities are dead.

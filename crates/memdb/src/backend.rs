@@ -7,18 +7,57 @@
 //! - [`XssdLog`] — `x_pwrite`/`x_fsync` against a Villars device's fast
 //!   side (SRAM- or DRAM-backed, optionally replicated).
 
+use nvme::{CmdTag, CommandKind, Completion, IoCommand, IoPort};
 use simkit::{Bandwidth, SerialResource, SimDuration, SimTime};
 use xssd_core::{Cluster, XLogFile};
 
+/// One in-flight asynchronous append-and-persist unit (a WAL group),
+/// returned by [`LogBackend::append_submit`] and retired by
+/// [`LogBackend::drain_completions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AppendTag(pub u64);
+
 /// A durable append-only log device as the WAL manager sees it.
+///
+/// Two paths to durability:
+///
+/// - **Blocking**: [`append`](LogBackend::append) then
+///   [`sync`](LogBackend::sync) — `sync` returns only once every prior
+///   append (staged or in flight) is durable.
+/// - **Asynchronous**: [`append_submit`](LogBackend::append_submit) hands
+///   one append-and-persist unit to the device and returns immediately;
+///   durability arrives later through
+///   [`drain_completions`](LogBackend::drain_completions). This is what
+///   lets the WAL group-commit loop keep several groups in flight.
 pub trait LogBackend {
     /// Hand `data` to the device; returns when the append call returns to
     /// the caller (durability NOT implied).
     fn append(&mut self, now: SimTime, data: &[u8]) -> SimTime;
 
     /// Block until every appended byte is durable (per the backend's
-    /// replication policy); returns the completion instant.
+    /// replication policy); returns the completion instant. Dominates
+    /// asynchronous submissions too: any unit still in flight is durable
+    /// by the returned instant (its completion is still delivered by the
+    /// next [`drain_completions`](LogBackend::drain_completions)).
     fn sync(&mut self, now: SimTime) -> SimTime;
+
+    /// Asynchronously hand `data` to the device as one self-contained
+    /// append-and-persist unit. Returns the unit's tag plus the instant
+    /// the submission returns to the caller (CPU hand-off; durability NOT
+    /// implied).
+    fn append_submit(&mut self, now: SimTime, data: &[u8]) -> (AppendTag, SimTime);
+
+    /// Deliver `(tag, durable_at)` for every submitted unit known durable
+    /// by `now`. Each tag is delivered at most once, in completion order.
+    fn drain_completions(&mut self, now: SimTime, out: &mut Vec<(AppendTag, SimTime)>);
+
+    /// Submitted units not yet reported durable.
+    fn appends_in_flight(&self) -> usize;
+
+    /// Earliest instant at which an in-flight unit could become durable —
+    /// a virtual-time jump target for pollers. `None` when nothing is in
+    /// flight or the backend cannot bound it (pollers should nudge).
+    fn next_completion_at(&self) -> Option<SimTime>;
 
     /// Total bytes appended.
     fn bytes_written(&self) -> u64;
@@ -31,6 +70,8 @@ pub trait LogBackend {
 #[derive(Debug, Default)]
 pub struct NoLog {
     bytes: u64,
+    next_tag: u64,
+    pending: Vec<(AppendTag, SimTime)>,
 }
 
 impl NoLog {
@@ -48,6 +89,27 @@ impl LogBackend for NoLog {
 
     fn sync(&mut self, now: SimTime) -> SimTime {
         now
+    }
+
+    fn append_submit(&mut self, now: SimTime, data: &[u8]) -> (AppendTag, SimTime) {
+        self.bytes += data.len() as u64;
+        let tag = AppendTag(self.next_tag);
+        self.next_tag += 1;
+        // Free logging: durable the instant it is submitted.
+        self.pending.push((tag, now));
+        (tag, now)
+    }
+
+    fn drain_completions(&mut self, _now: SimTime, out: &mut Vec<(AppendTag, SimTime)>) {
+        out.append(&mut self.pending);
+    }
+
+    fn appends_in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn next_completion_at(&self) -> Option<SimTime> {
+        self.pending.first().map(|&(_, at)| at)
     }
 
     fn bytes_written(&self) -> u64 {
@@ -90,12 +152,23 @@ pub struct PmLog {
     dimm: SerialResource,
     bytes: u64,
     pending_done: SimTime,
+    next_tag: u64,
+    /// Asynchronous units, `(tag, durable_at)`, ordered by durable instant
+    /// (the DIMM is a serial resource, so grants never reorder).
+    pending: Vec<(AppendTag, SimTime)>,
 }
 
 impl PmLog {
     /// A fresh PM log.
     pub fn new(config: PmConfig) -> Self {
-        PmLog { config, dimm: SerialResource::new(), bytes: 0, pending_done: SimTime::ZERO }
+        PmLog {
+            config,
+            dimm: SerialResource::new(),
+            bytes: 0,
+            pending_done: SimTime::ZERO,
+            next_tag: 0,
+            pending: Vec::new(),
+        }
     }
 }
 
@@ -113,8 +186,43 @@ impl LogBackend for PmLog {
     }
 
     fn sync(&mut self, now: SimTime) -> SimTime {
-        // All flushes already issued; sync is the fence.
+        // All flushes already issued; sync is the fence. `pending_done`
+        // covers asynchronous submissions too, so the fence dominates them.
         self.pending_done.max(now) + self.config.fence
+    }
+
+    fn append_submit(&mut self, now: SimTime, data: &[u8]) -> (AppendTag, SimTime) {
+        let len = data.len() as u64;
+        let lines = len.div_ceil(64);
+        let cost = self.config.bandwidth.transfer_time(len) + self.config.flush_per_line * lines;
+        let g = self.dimm.acquire(now, cost);
+        self.bytes += len;
+        self.pending_done = self.pending_done.max(g.end);
+        let tag = AppendTag(self.next_tag);
+        self.next_tag += 1;
+        // Each unit carries its own fence: durable once the store+flush
+        // train retires and the fence drains.
+        self.pending.push((tag, g.end + self.config.fence));
+        // The store loop itself is synchronous on the log-writer CPU.
+        (tag, g.end)
+    }
+
+    fn drain_completions(&mut self, now: SimTime, out: &mut Vec<(AppendTag, SimTime)>) {
+        while let Some(&(tag, at)) = self.pending.first() {
+            if at > now {
+                break;
+            }
+            out.push((tag, at));
+            self.pending.remove(0);
+        }
+    }
+
+    fn appends_in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn next_completion_at(&self) -> Option<SimTime> {
+        self.pending.first().map(|&(_, at)| at)
     }
 
     fn bytes_written(&self) -> u64 {
@@ -135,6 +243,14 @@ pub struct NvmeLog {
     /// Bytes staged but not yet written as a block.
     staged: u64,
     bytes: u64,
+    next_tag: u64,
+    /// Asynchronous units, keyed by the flush command that makes the unit
+    /// durable.
+    pending: Vec<(AppendTag, CmdTag)>,
+    /// Units whose flush completed but were not yet delivered to a drain.
+    resolved: Vec<(AppendTag, SimTime)>,
+    /// Scratch buffer for draining the driver port.
+    drain: Vec<Completion>,
 }
 
 impl std::fmt::Debug for NvmeLog {
@@ -155,6 +271,10 @@ impl NvmeLog {
             base_lba,
             staged: 0,
             bytes: 0,
+            next_tag: 0,
+            pending: Vec::new(),
+            resolved: Vec::new(),
+            drain: Vec::new(),
         }
     }
 
@@ -165,6 +285,33 @@ impl NvmeLog {
 
     fn lba_bytes(&self) -> u64 {
         self.driver.namespace().lba_bytes as u64
+    }
+
+    /// Poll the driver's I/O port and move completed flushes — each one
+    /// retiring an asynchronous append unit — into `resolved`. Write
+    /// completions are dropped (the port retires their accounting).
+    fn collect(&mut self, now: SimTime) {
+        if self.pending.is_empty() {
+            return;
+        }
+        IoPort::poll(&mut self.driver, now);
+        let mut buf = std::mem::take(&mut self.drain);
+        buf.clear();
+        IoPort::completions_into(&mut self.driver, now, &mut buf);
+        for c in &buf {
+            if let Some(pos) = self.pending.iter().position(|&(_, ft)| ft.0 == c.entry.cid) {
+                let (tag, _) = self.pending.remove(pos);
+                debug_assert!(
+                    c.entry.status.is_ok(),
+                    "log flush failed (cid {}): {:?}",
+                    c.entry.cid,
+                    c.entry.status
+                );
+                self.resolved.push((tag, c.at));
+            }
+        }
+        buf.clear();
+        self.drain = buf;
     }
 }
 
@@ -179,13 +326,30 @@ impl LogBackend for NvmeLog {
     }
 
     fn sync(&mut self, now: SimTime) -> SimTime {
+        // fsync dominates asynchronous submissions: retire any unit still
+        // in flight before issuing the staged write-out, so the returned
+        // instant covers them. (Their completions stay queued in
+        // `resolved` for the next drain.)
+        let mut t = now;
+        while !self.pending.is_empty() {
+            self.collect(t);
+            if self.pending.is_empty() {
+                break;
+            }
+            let next = IoPort::next_port_event_at(&self.driver).unwrap_or_else(|| {
+                panic!("nvme log idle with {} append units still in flight", self.pending.len())
+            });
+            t = t.max(next);
+        }
+        for &(_, at) in &self.resolved {
+            t = t.max(at);
+        }
         if self.staged == 0 {
-            return self.driver.flush_blocking(now).completed_at;
+            return self.driver.flush_blocking(t).completed_at;
         }
         let lba_bytes = self.lba_bytes();
         let blocks = self.staged.div_ceil(lba_bytes).max(1);
         self.staged = 0;
-        let mut t = now;
         let mut remaining = blocks;
         while remaining > 0 {
             let chunk = remaining.min(self.ring_lbas - self.next_lba);
@@ -199,6 +363,51 @@ impl LogBackend for NvmeLog {
         let f = self.driver.flush_blocking(t);
         debug_assert!(f.status.is_ok());
         f.completed_at
+    }
+
+    fn append_submit(&mut self, now: SimTime, data: &[u8]) -> (AppendTag, SimTime) {
+        let len = data.len() as u64;
+        self.bytes += len;
+        let lba_bytes = self.lba_bytes();
+        let mut remaining = len.div_ceil(lba_bytes).max(1);
+        // Queue the block writes and the flush without waiting: the flush
+        // completion is the unit's durability point.
+        while remaining > 0 {
+            let chunk = remaining.min(self.ring_lbas - self.next_lba);
+            let lba = self.base_lba + self.next_lba;
+            let _write = IoPort::submit(
+                &mut self.driver,
+                now,
+                CommandKind::Io(IoCommand::Write { lba, blocks: chunk as u32 }),
+            );
+            self.next_lba = (self.next_lba + chunk) % self.ring_lbas;
+            remaining -= chunk;
+        }
+        let flush = IoPort::submit(&mut self.driver, now, CommandKind::Io(IoCommand::Flush));
+        let tag = AppendTag(self.next_tag);
+        self.next_tag += 1;
+        self.pending.push((tag, flush));
+        (tag, now)
+    }
+
+    fn drain_completions(&mut self, now: SimTime, out: &mut Vec<(AppendTag, SimTime)>) {
+        self.collect(now);
+        out.append(&mut self.resolved);
+    }
+
+    fn appends_in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn next_completion_at(&self) -> Option<SimTime> {
+        if let Some(&(_, at)) = self.resolved.first() {
+            return Some(at);
+        }
+        if self.pending.is_empty() {
+            None
+        } else {
+            IoPort::next_port_event_at(&self.driver)
+        }
     }
 
     fn bytes_written(&self) -> u64 {
@@ -216,7 +425,14 @@ impl LogBackend for NvmeLog {
 pub struct XssdLog {
     cluster: Cluster,
     file: XLogFile,
+    dev: usize,
     label: &'static str,
+    next_tag: u64,
+    /// Asynchronous units, `(tag, end_offset)`: durable once the policy-
+    /// combined credit counter covers `end_offset`. Ordered by offset.
+    pending: Vec<(AppendTag, u64)>,
+    /// Units retired by an `x_fsync` but not yet delivered to a drain.
+    resolved: Vec<(AppendTag, SimTime)>,
 }
 
 impl std::fmt::Debug for XssdLog {
@@ -229,7 +445,15 @@ impl XssdLog {
     /// Log into device `dev` of `cluster` (configure replication on the
     /// cluster before wrapping it).
     pub fn new(cluster: Cluster, dev: usize, label: &'static str) -> Self {
-        XssdLog { cluster, file: XLogFile::open(dev), label }
+        XssdLog {
+            cluster,
+            file: XLogFile::open(dev),
+            dev,
+            label,
+            next_tag: 0,
+            pending: Vec::new(),
+            resolved: Vec::new(),
+        }
     }
 
     /// Access the cluster (stats, crash injection).
@@ -254,7 +478,63 @@ impl LogBackend for XssdLog {
     }
 
     fn sync(&mut self, now: SimTime) -> SimTime {
-        self.file.x_fsync(&mut self.cluster, now).expect("x_fsync failed")
+        let t = self.file.x_fsync(&mut self.cluster, now).expect("x_fsync failed");
+        // The fsync waited for the credit counter to cover every byte
+        // handed off, asynchronous units included: retire them all here
+        // (delivered by the next drain).
+        for (tag, _) in self.pending.drain(..) {
+            self.resolved.push((tag, t));
+        }
+        t
+    }
+
+    fn append_submit(&mut self, now: SimTime, data: &[u8]) -> (AppendTag, SimTime) {
+        // `x_pwrite` returns at CPU hand-off (stores posted into the CMB
+        // intake queue); durability is signalled later by the credit
+        // counter, which `drain_completions` polls.
+        let t = self.file.x_pwrite(&mut self.cluster, now, data).expect("fast-side append failed");
+        let tag = AppendTag(self.next_tag);
+        self.next_tag += 1;
+        self.pending.push((tag, self.file.written()));
+        (tag, t)
+    }
+
+    fn drain_completions(&mut self, now: SimTime, out: &mut Vec<(AppendTag, SimTime)>) {
+        out.append(&mut self.resolved);
+        if self.pending.is_empty() {
+            return;
+        }
+        self.cluster.advance(now);
+        let lane = self.file.lane();
+        // Host-visible durability: the policy-combined credit counter (no
+        // MMIO round trip — the poller reads the shadow state the host
+        // would have cached). Completion instants are the poll instant,
+        // exactly like `x_fsync` observes durability.
+        let credit = self.cluster.device_mut(self.dev).observed_credit(now, lane);
+        while let Some(&(tag, end)) = self.pending.first() {
+            if end > credit {
+                break;
+            }
+            out.push((tag, now));
+            self.pending.remove(0);
+        }
+    }
+
+    fn appends_in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn next_completion_at(&self) -> Option<SimTime> {
+        if let Some(&(_, at)) = self.resolved.first() {
+            return Some(at);
+        }
+        if self.pending.is_empty() {
+            None
+        } else {
+            // The credit counter moves on cluster events (CMB drains,
+            // shadow updates); the next one bounds the next completion.
+            self.cluster.next_event_after(SimTime::ZERO)
+        }
     }
 
     fn bytes_written(&self) -> u64 {
@@ -269,6 +549,10 @@ impl LogBackend for XssdLog {
 impl simkit::Instrument for NoLog {
     fn instrument(&self, out: &mut simkit::Scope<'_>) {
         out.counter("db.log.bytes_appended", self.bytes);
+        if self.next_tag > 0 {
+            out.counter("db.log.async_appends", self.next_tag);
+            out.gauge("db.log.appends_in_flight", self.pending.len() as f64);
+        }
     }
 }
 
@@ -277,15 +561,28 @@ impl simkit::Instrument for PmLog {
         out.counter("db.log.bytes_appended", self.bytes);
         out.counter("db.log.dimm_busy_ns", self.dimm.busy_time().as_nanos());
         out.counter("db.log.dimm_stores", self.dimm.request_count());
+        if self.next_tag > 0 {
+            out.counter("db.log.async_appends", self.next_tag);
+            out.gauge("db.log.appends_in_flight", self.pending.len() as f64);
+        }
     }
 }
 
 impl simkit::Instrument for NvmeLog {
     /// Reports the whole device stack under the wrapped SSD, plus the
-    /// host-side NVMe command count under `nvme.driver`.
+    /// host-side NVMe command count under `nvme.driver`. The async-path
+    /// metrics (including the driver's port accounting) appear only once
+    /// `append_submit` has been used, so blocking-only runs serialize
+    /// exactly as before.
     fn instrument(&self, out: &mut simkit::Scope<'_>) {
         out.counter("db.log.bytes_appended", self.bytes);
         out.counter("nvme.driver.commands", self.driver.commands_issued());
+        if self.next_tag > 0 {
+            out.counter("db.log.async_appends", self.next_tag);
+            out.gauge("db.log.appends_in_flight", self.pending.len() as f64);
+            let mut port = out.scope("db.log.port");
+            self.driver.port_stats().instrument(&mut port);
+        }
         self.driver.controller().instrument(out);
     }
 }
@@ -293,6 +590,10 @@ impl simkit::Instrument for NvmeLog {
 impl simkit::Instrument for XssdLog {
     fn instrument(&self, out: &mut simkit::Scope<'_>) {
         out.counter("db.log.bytes_appended", self.file.written());
+        if self.next_tag > 0 {
+            out.counter("db.log.async_appends", self.next_tag);
+            out.gauge("db.log.appends_in_flight", self.pending.len() as f64);
+        }
         self.cluster.instrument(out);
     }
 }

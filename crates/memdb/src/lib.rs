@@ -25,7 +25,7 @@ pub mod runner;
 pub mod storage;
 pub mod wal;
 
-pub use backend::{LogBackend, NoLog, NvmeLog, PmConfig, PmLog, XssdLog};
+pub use backend::{AppendTag, LogBackend, NoLog, NvmeLog, PmConfig, PmLog, XssdLog};
 pub use checkpoint::{
     decode_snapshot, encode_snapshot, CheckpointMeta, Checkpointer, SnapshotError,
 };

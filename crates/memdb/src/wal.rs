@@ -6,7 +6,7 @@
 //! group threshold fills (or a timeout expires), and every transaction in
 //! the batch becomes durable at the batch's sync completion.
 
-use crate::backend::LogBackend;
+use crate::backend::{AppendTag, LogBackend};
 use crate::log::LogRecord;
 use simkit::{SimDuration, SimTime};
 
@@ -54,8 +54,21 @@ pub struct WalManager<B: LogBackend> {
     durable: Lsn,
     flushes: u64,
     /// When the log-writer finished its previous flush: flushes serialize
-    /// (queue depth 1 on the log device, paper §6.1).
+    /// (queue depth 1 on the log device, paper §6.1). On the pipelined
+    /// path this is the CPU hand-off instant of the latest submission.
     log_writer_free: SimTime,
+    /// Asynchronously submitted groups not yet reported durable.
+    in_flight: Vec<PendingFlush>,
+    /// Scratch for draining backend completions.
+    scratch: Vec<(AppendTag, SimTime)>,
+}
+
+/// One asynchronously submitted group commit awaiting durability.
+#[derive(Debug, Clone, Copy)]
+struct PendingFlush {
+    tag: AppendTag,
+    durable_upto: Lsn,
+    bytes: u64,
 }
 
 impl<B: LogBackend> WalManager<B> {
@@ -70,6 +83,8 @@ impl<B: LogBackend> WalManager<B> {
             durable: Lsn(0),
             flushes: 0,
             log_writer_free: SimTime::ZERO,
+            in_flight: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -112,6 +127,17 @@ impl<B: LogBackend> WalManager<B> {
         now: SimTime,
         records: &[LogRecord],
     ) -> (Lsn, Option<FlushReport>) {
+        let lsn = self.append_records(now, records);
+        let report = if self.threshold_reached() { Some(self.flush(now)) } else { None };
+        (lsn, report)
+    }
+
+    /// Enqueue a committed transaction's records WITHOUT the inline
+    /// blocking flush — the pipelined path checks
+    /// [`threshold_reached`](WalManager::threshold_reached) and submits
+    /// via [`flush_submit`](WalManager::flush_submit) instead. Returns
+    /// the transaction's LSN.
+    pub fn append_records(&mut self, now: SimTime, records: &[LogRecord]) -> Lsn {
         if self.batch_opened.is_none() {
             self.batch_opened = Some(now);
         }
@@ -119,13 +145,12 @@ impl<B: LogBackend> WalManager<B> {
             r.encode_into(&mut self.pending);
         }
         self.enqueued += records.iter().map(|r| r.encoded_len() as u64).sum::<u64>();
-        let lsn = Lsn(self.enqueued);
-        let report = if self.pending.len() as u64 >= self.config.group_threshold {
-            Some(self.flush(now))
-        } else {
-            None
-        };
-        (lsn, report)
+        Lsn(self.enqueued)
+    }
+
+    /// Whether the open batch has filled the group threshold.
+    pub fn threshold_reached(&self) -> bool {
+        self.pending.len() as u64 >= self.config.group_threshold
     }
 
     /// The deadline by which the open batch must flush, if one is open.
@@ -159,6 +184,81 @@ impl<B: LogBackend> WalManager<B> {
     /// horizon for stalled workers).
     pub fn log_writer_free(&self) -> SimTime {
         self.log_writer_free
+    }
+
+    /// Submit the open batch to the backend asynchronously (pipelined
+    /// group commit): the log writer hands the group off and is free to
+    /// take the next one while the device persists this one. Durability
+    /// arrives through [`poll_flushes`](WalManager::poll_flushes).
+    ///
+    /// Returns `None` when nothing is pending.
+    pub fn flush_submit(&mut self, now: SimTime) -> Option<AppendTag> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let batch = std::mem::take(&mut self.pending);
+        self.batch_opened = None;
+        let start = now.max(self.log_writer_free);
+        let (tag, handoff) = self.backend.append_submit(start, &batch);
+        self.log_writer_free = handoff;
+        self.in_flight.push(PendingFlush {
+            tag,
+            durable_upto: Lsn(self.enqueued),
+            bytes: batch.len() as u64,
+        });
+        Some(tag)
+    }
+
+    /// Collect groups the backend reports durable by `now`, advancing the
+    /// durable frontier and emitting one [`FlushReport`] per group.
+    pub fn poll_flushes(&mut self, now: SimTime, out: &mut Vec<FlushReport>) {
+        if self.in_flight.is_empty() {
+            return;
+        }
+        let mut done = std::mem::take(&mut self.scratch);
+        done.clear();
+        self.backend.drain_completions(now, &mut done);
+        for &(tag, at) in &done {
+            if let Some(pos) = self.in_flight.iter().position(|p| p.tag == tag) {
+                let p = self.in_flight.remove(pos);
+                self.durable = self.durable.max(p.durable_upto);
+                self.flushes += 1;
+                out.push(FlushReport { durable_upto: p.durable_upto, at, bytes: p.bytes });
+            }
+        }
+        done.clear();
+        self.scratch = done;
+    }
+
+    /// Groups submitted via [`flush_submit`](WalManager::flush_submit)
+    /// whose durability has not yet been reported.
+    pub fn flushes_in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Earliest instant an in-flight group could become durable — the
+    /// virtual-time jump target when every pipeline slot is occupied.
+    pub fn next_flush_completion_at(&self) -> Option<SimTime> {
+        self.backend.next_completion_at()
+    }
+
+    /// Shutdown path for the pipelined mode: submit any open batch, drive
+    /// every in-flight group durable (the backend's `sync` dominates
+    /// them), and deliver the corresponding reports. Returns the instant
+    /// everything is durable.
+    pub fn drain_all(&mut self, now: SimTime, out: &mut Vec<FlushReport>) -> SimTime {
+        self.flush_submit(now);
+        if self.in_flight.is_empty() {
+            return now;
+        }
+        let t = self.backend.sync(now.max(self.log_writer_free)).max(now);
+        self.poll_flushes(t, out);
+        debug_assert!(
+            self.in_flight.is_empty(),
+            "{} groups still in flight after a dominating sync",
+            self.in_flight.len()
+        );
+        t
     }
 }
 
@@ -235,6 +335,52 @@ mod tests {
         assert_eq!(r.bytes, 0);
         assert_eq!(r.at, SimTime::from_micros(3));
         assert_eq!(wal.flushes(), 0);
+    }
+
+    #[test]
+    fn pipelined_flushes_overlap_and_converge() {
+        // A long fence makes durability lag the CPU hand-off, so two
+        // submissions can genuinely be in flight at once.
+        let pm = PmConfig { fence: SimDuration::from_micros(50), ..PmConfig::default() };
+        let mut wal = WalManager::new(
+            PmLog::new(pm),
+            WalConfig { group_threshold: 1000, group_timeout: SimDuration::from_millis(1) },
+        );
+        let now = SimTime::ZERO;
+        let lsn1 = wal.append_records(now, &[rec(1, 1200)]);
+        wal.flush_submit(now).expect("first group submitted");
+        let lsn2 = wal.append_records(now, &[rec(2, 1200)]);
+        wal.flush_submit(now).expect("second group submitted");
+        assert_eq!(wal.flushes_in_flight(), 2);
+        assert_eq!(wal.durable_upto(), Lsn(0), "nothing durable before completions drain");
+
+        let mut reports = Vec::new();
+        let t = wal.drain_all(now, &mut reports);
+        assert_eq!(wal.flushes_in_flight(), 0);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].durable_upto, lsn1);
+        assert_eq!(reports[1].durable_upto, lsn2);
+        assert!(reports.iter().all(|r| r.at <= t));
+        assert_eq!(wal.durable_upto(), lsn2);
+        assert_eq!(wal.flushes(), 2);
+    }
+
+    #[test]
+    fn pipelined_poll_delivers_in_completion_order() {
+        let mut wal = WalManager::new(
+            NoLog::new(),
+            WalConfig { group_threshold: 100, group_timeout: SimDuration::from_millis(1) },
+        );
+        let t0 = SimTime::from_micros(3);
+        wal.append_records(t0, &[rec(1, 200)]);
+        assert!(wal.threshold_reached());
+        wal.flush_submit(t0);
+        let mut reports = Vec::new();
+        wal.poll_flushes(t0, &mut reports);
+        // NoLog completes at the submit instant.
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].at, t0);
+        assert_eq!(wal.flushes_in_flight(), 0);
     }
 
     #[test]

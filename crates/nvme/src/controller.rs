@@ -9,6 +9,7 @@
 
 use crate::command::{Command, CommandKind, CompletionEntry, Status};
 use crate::namespace::Namespace;
+use crate::port::{drive_to_completion, CmdTag, Completion, IoPort, PortAccounting};
 use simkit::{SimDuration, SimTime};
 
 /// The device side of the NVMe contract.
@@ -65,15 +66,22 @@ pub struct IoResult {
 }
 
 /// The host driver: submit-and-wait over a controller.
+///
+/// The driver is itself an [`IoPort`] (submission pays the syscall cost,
+/// completion delivery pays the interrupt cost); the blocking helpers are
+/// a thin closed-loop adapter — [`crate::port::drive_to_completion`] —
+/// over that port.
 #[derive(Debug)]
 pub struct NvmeDriver<C: NvmeController> {
     controller: C,
     costs: HostCosts,
-    next_cid: u16,
+    port: PortAccounting,
     commands: u64,
-    /// Reusable completion-drain buffer for the blocking wait loop (one
-    /// allocation for the driver's lifetime instead of one per poll).
+    /// Reusable completion-drain buffer for [`IoPort::completions_into`]
+    /// (one allocation for the driver's lifetime instead of one per poll).
     drain_buf: Vec<(SimTime, CompletionEntry)>,
+    /// Reusable scratch for the blocking wait adapter.
+    wait_buf: Vec<Completion>,
 }
 
 impl<C: NvmeController> NvmeDriver<C> {
@@ -84,7 +92,14 @@ impl<C: NvmeController> NvmeDriver<C> {
 
     /// Wrap a controller with explicit host costs.
     pub fn with_costs(controller: C, costs: HostCosts) -> Self {
-        NvmeDriver { controller, costs, next_cid: 0, commands: 0, drain_buf: Vec::new() }
+        NvmeDriver {
+            controller,
+            costs,
+            port: PortAccounting::new(),
+            commands: 0,
+            drain_buf: Vec::new(),
+            wait_buf: Vec::new(),
+        }
     }
 
     /// Commands issued through this driver so far.
@@ -107,41 +122,28 @@ impl<C: NvmeController> NvmeDriver<C> {
         self.controller.namespace()
     }
 
-    fn alloc_cid(&mut self) -> u16 {
-        let cid = self.next_cid;
-        self.next_cid = self.next_cid.wrapping_add(1);
-        cid
+    /// Per-port accounting: in-flight depth, CID liveness, and queue-depth
+    /// telemetry. Collect it explicitly when port metrics are wanted — it
+    /// is not part of the default instrument tree (snapshot layouts are
+    /// byte-frozen by the results gate).
+    pub fn port_stats(&self) -> &PortAccounting {
+        &self.port
     }
 
     /// Submit `kind` at `now` and block until its completion arrives.
     /// Models: syscall entry, command processing, interrupt, return.
+    ///
+    /// This is the closed-loop adapter over the driver's [`IoPort`]: one
+    /// tagged submission, then [`crate::port::drive_to_completion`] jumps
+    /// virtual time from device event to device event until the tag
+    /// completes.
     pub fn execute_blocking(&mut self, now: SimTime, kind: CommandKind) -> IoResult {
-        let cid = self.alloc_cid();
-        self.commands += 1;
-        let submit_at = now + self.costs.syscall;
-        self.controller.submit(submit_at, Command { cid, kind });
-        // Wait for this command's completion, jumping the clock directly to
-        // the device's next scheduled event (never polling in fixed quanta).
-        let mut horizon = submit_at;
-        loop {
-            self.controller.advance_to(horizon);
-            self.drain_buf.clear();
-            self.controller.drain_completions_into(horizon, &mut self.drain_buf);
-            for &(at, entry) in &self.drain_buf {
-                if entry.cid == cid {
-                    return IoResult {
-                        completed_at: at + self.costs.interrupt,
-                        status: entry.status,
-                    };
-                }
-                // Completions for other (pipelined) commands are dropped
-                // here; callers needing them use the controller directly.
-            }
-            match self.controller.next_event_at() {
-                Some(t) => horizon = t.max(horizon),
-                None => panic!("device has no pending work but command {cid} never completed"),
-            }
-        }
+        let tag = IoPort::submit(self, now, kind);
+        let from = now + self.costs.syscall;
+        let mut scratch = std::mem::take(&mut self.wait_buf);
+        let done = drive_to_completion(self, from, tag, &mut scratch);
+        self.wait_buf = scratch;
+        IoResult { completed_at: done.at, status: done.entry.status }
     }
 
     /// Blocking write of `blocks` logical blocks at `lba`.
@@ -162,6 +164,40 @@ impl<C: NvmeController> NvmeDriver<C> {
         self.execute_blocking(now, CommandKind::Io(crate::command::IoCommand::Flush))
     }
 }
+
+impl<C: NvmeController> IoPort for NvmeDriver<C> {
+    fn try_submit(&mut self, now: SimTime, kind: CommandKind) -> Result<CmdTag, QueueError> {
+        let cid = self.port.begin();
+        self.commands += 1;
+        // The device sees the command after the kernel round trip.
+        self.controller.submit(now + self.costs.syscall, Command { cid, kind });
+        Ok(CmdTag(cid))
+    }
+
+    fn poll(&mut self, now: SimTime) {
+        self.controller.advance_to(now);
+    }
+
+    fn completions_into(&mut self, now: SimTime, out: &mut Vec<Completion>) {
+        self.drain_buf.clear();
+        self.controller.drain_completions_into(now, &mut self.drain_buf);
+        for &(at, entry) in &self.drain_buf {
+            self.port.finish(entry.cid);
+            // Delivery to the application pays the interrupt cost.
+            out.push(Completion { at: at + self.costs.interrupt, entry });
+        }
+    }
+
+    fn next_port_event_at(&self) -> Option<SimTime> {
+        self.controller.next_event_at()
+    }
+
+    fn in_flight(&self) -> usize {
+        self.port.in_flight()
+    }
+}
+
+use crate::queue::QueueError;
 
 impl<C: NvmeController + simkit::Instrument> simkit::Instrument for NvmeDriver<C> {
     fn instrument(&self, out: &mut simkit::Scope<'_>) {
@@ -275,8 +311,10 @@ pub struct QueuedDriver<C: NvmeController> {
     controller: C,
     qp: crate::queue::QueuePair,
     costs: HostCosts,
-    next_cid: u16,
-    inflight: std::collections::HashSet<CommandId>,
+    port: PortAccounting,
+    /// Completion instants (including interrupt cost) for entries posted
+    /// to the CQ but not yet reaped, keyed by CID.
+    done_at: std::collections::HashMap<CommandId, SimTime>,
     /// Reusable completion-drain buffer for [`QueuedDriver::poll`].
     drain_buf: Vec<(SimTime, CompletionEntry)>,
 }
@@ -290,8 +328,8 @@ impl<C: NvmeController> QueuedDriver<C> {
             controller,
             qp: crate::queue::QueuePair::new(crate::queue::QueueId(1), depth),
             costs: HostCosts::default(),
-            next_cid: 0,
-            inflight: std::collections::HashSet::new(),
+            port: PortAccounting::new(),
+            done_at: std::collections::HashMap::new(),
             drain_buf: Vec::new(),
         }
     }
@@ -308,7 +346,13 @@ impl<C: NvmeController> QueuedDriver<C> {
 
     /// Commands submitted and not yet reaped.
     pub fn inflight(&self) -> usize {
-        self.inflight.len()
+        self.port.in_flight()
+    }
+
+    /// Per-port accounting (CID liveness, depth telemetry). Collected
+    /// explicitly by callers that want port metrics.
+    pub fn port_stats(&self) -> &PortAccounting {
+        &self.port
     }
 
     /// Submit a command asynchronously. Returns its CID, or `QueueError::Full`
@@ -318,17 +362,22 @@ impl<C: NvmeController> QueuedDriver<C> {
         now: SimTime,
         kind: CommandKind,
     ) -> Result<CommandId, crate::queue::QueueError> {
-        if self.inflight.len() >= self.qp.sq.depth() {
+        if self.port.in_flight() >= self.qp.sq.depth() {
             return Err(crate::queue::QueueError::Full);
         }
-        let cid = self.next_cid;
-        self.next_cid = self.next_cid.wrapping_add(1);
-        self.qp.sq.push(Command { cid, kind })?;
+        let cid = self.port.begin();
+        if let Err(e) = self.qp.sq.push(Command { cid, kind }) {
+            self.port.finish(cid);
+            return Err(e);
+        }
         // The device fetches immediately after the doorbell (fetch cost is
         // modelled device-side).
-        let cmd = self.qp.sq.fetch().expect("just pushed");
+        let cmd = self
+            .qp
+            .sq
+            .fetch()
+            .unwrap_or_else(|| panic!("submission ring empty after pushing cid {cid}"));
         self.controller.submit(now + self.costs.syscall, cmd);
-        self.inflight.insert(cid);
         Ok(cid)
     }
 
@@ -339,13 +388,17 @@ impl<C: NvmeController> QueuedDriver<C> {
         self.drain_buf.clear();
         self.controller.drain_completions_into(now, &mut self.drain_buf);
         let mut posted = 0;
-        for &(_at, entry) in &self.drain_buf {
+        for &(at, entry) in &self.drain_buf {
             if self.qp.cq.post(entry).is_err() {
                 // CQ full: in real hardware this is fatal; here the caller
                 // must reap faster. Drop back into the device queue is not
                 // possible, so surface loudly.
-                panic!("completion queue overflow: reap completions faster");
+                panic!(
+                    "completion queue overflow posting cid {}: reap completions faster",
+                    entry.cid
+                );
             }
+            self.done_at.insert(entry.cid, at + self.costs.interrupt);
             posted += 1;
         }
         posted
@@ -354,7 +407,8 @@ impl<C: NvmeController> QueuedDriver<C> {
     /// Reap one completion from the ring, if any.
     pub fn reap(&mut self) -> Option<CompletionEntry> {
         let entry = self.qp.cq.reap()?;
-        self.inflight.remove(&entry.cid);
+        self.port.finish(entry.cid);
+        self.done_at.remove(&entry.cid);
         Some(entry)
     }
 
@@ -370,10 +424,40 @@ impl<C: NvmeController> QueuedDriver<C> {
     }
 }
 
+impl<C: NvmeController> IoPort for QueuedDriver<C> {
+    fn try_submit(&mut self, now: SimTime, kind: CommandKind) -> Result<CmdTag, QueueError> {
+        QueuedDriver::submit(self, now, kind).map(CmdTag)
+    }
+
+    fn poll(&mut self, now: SimTime) {
+        QueuedDriver::poll(self, now);
+    }
+
+    fn completions_into(&mut self, _now: SimTime, out: &mut Vec<Completion>) {
+        // Everything already posted to the CQ by `poll` is due; reap it
+        // all, in posting order.
+        while let Some(entry) = self.qp.cq.reap() {
+            self.port.finish(entry.cid);
+            let at = self.done_at.remove(&entry.cid).unwrap_or_else(|| {
+                panic!("no completion instant recorded for reaped cid {}", entry.cid)
+            });
+            out.push(Completion { at, entry });
+        }
+    }
+
+    fn next_port_event_at(&self) -> Option<SimTime> {
+        self.controller.next_event_at()
+    }
+
+    fn in_flight(&self) -> usize {
+        self.port.in_flight()
+    }
+}
+
 impl<C: NvmeController> simkit::Instrument for QueuedDriver<C> {
     fn instrument(&self, out: &mut simkit::Scope<'_>) {
         self.qp.instrument(out);
-        out.gauge("inflight", self.inflight.len() as f64);
+        out.gauge("inflight", self.port.in_flight() as f64);
     }
 }
 

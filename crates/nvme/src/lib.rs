@@ -9,13 +9,18 @@
 //! - [`namespace`] — the logical-block address space;
 //! - [`regions`] — CMB/PMR descriptors (§2.3);
 //! - [`controller`] — the [`NvmeController`] device contract and the
-//!   blocking host [`NvmeDriver`] with explicit syscall/interrupt costs.
+//!   blocking host [`NvmeDriver`] with explicit syscall/interrupt costs;
+//! - [`port`] — the unified asynchronous [`IoPort`]
+//!   submission/completion contract every device type implements, plus
+//!   the closed-loop [`drive_to_completion`] adapter blocking helpers
+//!   route through.
 
 #![warn(missing_docs)]
 
 pub mod command;
 pub mod controller;
 pub mod namespace;
+pub mod port;
 pub mod queue;
 pub mod regions;
 
@@ -25,5 +30,6 @@ pub use command::{
 };
 pub use controller::{HostCosts, IoResult, NvmeController, NvmeDriver, QueuedDriver};
 pub use namespace::Namespace;
+pub use port::{drive_to_completion, CmdTag, Completion, IoPort, PortAccounting};
 pub use queue::{CompletionQueue, QueueError, QueueId, QueuePair, SubmissionQueue};
 pub use regions::{BackingClass, CmbDescriptor};

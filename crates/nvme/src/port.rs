@@ -1,0 +1,310 @@
+//! The unified asynchronous submission/completion port.
+//!
+//! Every host-visible device in the stack — the Villars device, the
+//! conventional SSD, and the NVMe host drivers — speaks the same
+//! command-lifecycle contract: tagged submissions go in, event-driven
+//! completions come out, and the caller decides how many commands to keep
+//! in flight. This is the shape the paper's host interface requires
+//! (NVMe queue pairs keep many commands outstanding per device, §2.1;
+//! CMB fast-writes race destage and replication mirrors overlap local
+//! I/O, §4, §6.2): the *port* is asynchronous, and blocking is a policy
+//! layered on top — the closed-loop adapter [`drive_to_completion`] —
+//! not a property of the device.
+//!
+//! The port contract is deliberately small:
+//!
+//! 1. [`IoPort::try_submit`] hands a [`CommandKind`] to the device at a
+//!    virtual instant and returns a [`CmdTag`] identifying the in-flight
+//!    command (the port allocates the NVMe CID — callers never mint
+//!    their own, which is what makes per-port collision checking
+//!    possible).
+//! 2. [`IoPort::poll`] runs device work up to an instant so due
+//!    completions become visible.
+//! 3. [`IoPort::completions_into`] delivers every completion due by an
+//!    instant, in completion order, retiring their tags.
+//! 4. [`IoPort::next_port_event_at`] lets callers jump virtual time
+//!    straight to the next device event instead of polling in quanta.
+//!
+//! [`PortAccounting`] is the bookkeeping every implementation shares:
+//! per-port CID allocation that skips live CIDs (a wrapped 16-bit CID
+//! must never collide with a still-in-flight command), plus queue-depth
+//! telemetry (submitted/completed counters, an in-flight gauge and
+//! high-water mark, and an in-flight-depth histogram). It implements
+//! [`simkit::Instrument`] but is *not* folded into the device instrument
+//! trees by default — snapshot layouts embedded in `results/*.json` are
+//! byte-frozen, so port telemetry is collected explicitly by callers who
+//! want it (see `docs/OBSERVABILITY.md`).
+
+use crate::command::{CommandId, CommandKind, CompletionEntry};
+use crate::queue::QueueError;
+use simkit::{Histogram, SimTime};
+use std::collections::HashSet;
+
+/// Identifies one in-flight submission on the port that issued it.
+///
+/// Tags wrap the NVMe CID the port allocated; they are only meaningful
+/// relative to the issuing port, and only until the matching completion
+/// is delivered (after which the CID may be reissued).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CmdTag(pub CommandId);
+
+/// One completed command, as delivered by [`IoPort::completions_into`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// When the host observes the completion. For device-level ports this
+    /// is the instant the device posted it; host drivers that model
+    /// interrupt cost fold it in here.
+    pub at: SimTime,
+    /// The NVMe completion-queue entry (CID, status, result).
+    pub entry: CompletionEntry,
+}
+
+/// The unified asynchronous submission/completion contract.
+///
+/// Implemented by `VillarsDevice`, `ssd::ConventionalSsd`, and the NVMe
+/// host drivers ([`crate::NvmeDriver`], [`crate::QueuedDriver`]), so all
+/// device types share one command lifecycle: submit → queue → device
+/// event → completion. Blocking callers layer [`drive_to_completion`] on
+/// top; pipelined callers keep several tags in flight and drain
+/// completions as virtual time advances.
+pub trait IoPort {
+    /// Submit `kind` at `now`. Returns the tag of the in-flight command,
+    /// or [`QueueError::Full`] when the port has bounded depth and no
+    /// free slot (device-level ports are unbounded and never fail).
+    fn try_submit(&mut self, now: SimTime, kind: CommandKind) -> Result<CmdTag, QueueError>;
+
+    /// Infallible submit for unbounded ports. Panics with port context if
+    /// the port rejects the submission.
+    fn submit(&mut self, now: SimTime, kind: CommandKind) -> CmdTag {
+        match self.try_submit(now, kind) {
+            Ok(tag) => tag,
+            Err(e) => panic!(
+                "I/O port rejected submission at t={}us ({} in flight): {e:?}",
+                now.as_micros_f64(),
+                self.in_flight()
+            ),
+        }
+    }
+
+    /// Run device-internal work up to and including instant `now`, so
+    /// completions due by `now` become visible to
+    /// [`IoPort::completions_into`].
+    fn poll(&mut self, now: SimTime);
+
+    /// Append every completion due at or before `now` to `out`, in
+    /// completion order, retiring their tags from the in-flight set.
+    fn completions_into(&mut self, now: SimTime, out: &mut Vec<Completion>);
+
+    /// The earliest instant port work (a pending completion or internal
+    /// device event) is scheduled, if any. Named to avoid colliding with
+    /// [`crate::NvmeController::next_event_at`] on types implementing
+    /// both contracts.
+    fn next_port_event_at(&self) -> Option<SimTime>;
+
+    /// Commands submitted through this port and not yet delivered.
+    fn in_flight(&self) -> usize;
+}
+
+/// Per-port command accounting shared by every [`IoPort`] implementation:
+/// CID allocation that never reissues a live CID, and queue-depth
+/// telemetry.
+#[derive(Debug, Clone)]
+pub struct PortAccounting {
+    next_cid: CommandId,
+    live: HashSet<CommandId>,
+    submitted: u64,
+    completed: u64,
+    max_in_flight: usize,
+    depth: Histogram,
+}
+
+impl PortAccounting {
+    /// Fresh accounting: CIDs start at 0, nothing in flight.
+    pub fn new() -> Self {
+        PortAccounting {
+            next_cid: 0,
+            live: HashSet::new(),
+            submitted: 0,
+            completed: 0,
+            max_in_flight: 0,
+            depth: Histogram::new(),
+        }
+    }
+
+    /// Allocate the CID for a new submission and mark it live.
+    ///
+    /// Allocation is a wrapping scan that skips CIDs still in flight, so
+    /// a wrapped 16-bit counter can never collide with an outstanding
+    /// command (the bug the old global `wrapping_add(1)` allocator had).
+    pub fn begin(&mut self) -> CommandId {
+        assert!(
+            self.live.len() < usize::from(CommandId::MAX),
+            "I/O port exhausted: {} commands in flight, no free CID",
+            self.live.len()
+        );
+        let mut cid = self.next_cid;
+        while self.live.contains(&cid) {
+            cid = cid.wrapping_add(1);
+        }
+        self.next_cid = cid.wrapping_add(1);
+        let fresh = self.live.insert(cid);
+        debug_assert!(fresh, "cid {cid} allocated while still in flight");
+        self.submitted += 1;
+        self.max_in_flight = self.max_in_flight.max(self.live.len());
+        self.depth.record(self.live.len() as f64);
+        cid
+    }
+
+    /// Retire `cid` after its completion is delivered. Returns whether it
+    /// was live on this port (completions for CIDs submitted around the
+    /// port — e.g. raw `NvmeController::submit` callers — are ignored).
+    pub fn finish(&mut self, cid: CommandId) -> bool {
+        let was_live = self.live.remove(&cid);
+        if was_live {
+            self.completed += 1;
+        }
+        was_live
+    }
+
+    /// Whether `cid` is currently in flight on this port.
+    pub fn is_live(&self, cid: CommandId) -> bool {
+        self.live.contains(&cid)
+    }
+
+    /// Commands currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Total commands submitted through this port.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Total completions delivered through this port.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// High-water mark of the in-flight depth.
+    pub fn max_in_flight(&self) -> usize {
+        self.max_in_flight
+    }
+
+    /// Distribution of in-flight depth sampled at each submission.
+    pub fn depth_histogram(&self) -> &Histogram {
+        &self.depth
+    }
+}
+
+impl Default for PortAccounting {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl simkit::Instrument for PortAccounting {
+    fn instrument(&self, out: &mut simkit::Scope<'_>) {
+        out.counter("submitted", self.submitted);
+        out.counter("completed", self.completed);
+        out.gauge("inflight", self.live.len() as f64);
+        out.gauge("max_inflight", self.max_in_flight as f64);
+        out.latency("depth", &self.depth);
+    }
+}
+
+/// The single closed-loop wait every `*_blocking` helper routes through:
+/// poll the port, drain its completions, and jump virtual time straight
+/// to the port's next scheduled event until the tagged command completes.
+///
+/// Completions for *other* in-flight commands drained while waiting are
+/// discarded (their tags are retired) — exactly the behaviour of the
+/// pre-port blocking helpers; pipelined callers drain the port themselves
+/// instead of using this adapter.
+///
+/// Panics with CID context if the port goes idle before the tag
+/// completes (a stalled device model is a simulation bug).
+pub fn drive_to_completion<P: IoPort + ?Sized>(
+    port: &mut P,
+    from: SimTime,
+    tag: CmdTag,
+    scratch: &mut Vec<Completion>,
+) -> Completion {
+    let mut horizon = from;
+    loop {
+        port.poll(horizon);
+        scratch.clear();
+        port.completions_into(horizon, scratch);
+        if let Some(done) = scratch.iter().find(|c| c.entry.cid == tag.0) {
+            return *done;
+        }
+        match port.next_port_event_at() {
+            Some(t) => horizon = t.max(horizon),
+            None => panic!(
+                "port idle but command cid={} never completed (waiting since t={}us)",
+                tag.0,
+                from.as_micros_f64()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cid_allocation_skips_live_cids() {
+        let mut acct = PortAccounting::new();
+        let a = acct.begin();
+        let b = acct.begin();
+        assert_ne!(a, b);
+        assert_eq!(acct.in_flight(), 2);
+        // Force the counter to wrap onto a live CID: it must skip it.
+        let mut seen = HashSet::new();
+        seen.insert(a);
+        seen.insert(b);
+        for _ in 0..u32::from(CommandId::MAX) - 1 {
+            let cid = acct.begin();
+            assert!(seen.insert(cid), "cid {cid} reissued while live");
+            acct.finish(cid);
+            seen.remove(&cid);
+        }
+        // The counter has wrapped past `a` and `b`; they stayed unique.
+        assert_eq!(acct.in_flight(), 2);
+        assert!(acct.finish(a));
+        assert!(acct.finish(b));
+        assert_eq!(acct.in_flight(), 0);
+    }
+
+    #[test]
+    fn finish_ignores_foreign_cids() {
+        let mut acct = PortAccounting::new();
+        let cid = acct.begin();
+        assert!(!acct.finish(cid.wrapping_add(7)));
+        assert!(acct.finish(cid));
+        assert_eq!(acct.completed(), 1);
+        assert_eq!(acct.submitted(), 1);
+    }
+
+    #[test]
+    fn depth_telemetry_tracks_high_water_mark() {
+        let mut acct = PortAccounting::new();
+        let a = acct.begin();
+        let b = acct.begin();
+        let c = acct.begin();
+        acct.finish(b);
+        acct.finish(a);
+        assert_eq!(acct.max_in_flight(), 3);
+        assert_eq!(acct.in_flight(), 1);
+        assert_eq!(acct.depth_histogram().count(), 3);
+        acct.finish(c);
+        let mut reg = simkit::MetricsRegistry::new();
+        reg.collect("port", &acct);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("port.submitted"), 3);
+        assert_eq!(snap.counter("port.completed"), 3);
+        assert_eq!(snap.gauge("port.max_inflight"), 3.0);
+        assert_eq!(snap.gauge("port.inflight"), 0.0);
+    }
+}

@@ -15,8 +15,8 @@ use flash::{
     Priority, ReliabilityConfig, SchedulingMode,
 };
 use nvme::{
-    AdminCommand, Command, CommandId, CommandKind, CompletionEntry, IoCommand, Namespace,
-    NvmeController, Status,
+    AdminCommand, CmdTag, Command, CommandId, CommandKind, Completion, CompletionEntry, IoCommand,
+    IoPort, Namespace, NvmeController, PortAccounting, QueueError, Status,
 };
 use pcie::{DmaConfig, LinkConfig};
 use simkit::bytes::Bytes;
@@ -169,6 +169,13 @@ pub struct ConventionalSsd {
     served_conventional_bytes: u64,
     /// Destage page bytes whose programs have completed.
     served_destage_bytes: u64,
+    /// Per-port CID allocation + queue-depth accounting for commands
+    /// submitted through the [`IoPort`] contract (raw
+    /// [`NvmeController::submit`] callers bypass it and mint their own
+    /// CIDs).
+    port: PortAccounting,
+    /// Reusable drain scratch for [`IoPort::completions_into`].
+    port_drain: Vec<(SimTime, CompletionEntry)>,
 }
 
 impl std::fmt::Debug for ConventionalSsd {
@@ -220,12 +227,22 @@ impl ConventionalSsd {
             internal_reads_done: Vec::new(),
             served_conventional_bytes: 0,
             served_destage_bytes: 0,
+            port: PortAccounting::new(),
+            port_drain: Vec::new(),
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> &SsdConfig {
         &self.config
+    }
+
+    /// Per-port accounting for [`IoPort`] submissions (CID liveness,
+    /// in-flight depth, queue-depth histogram). Collected explicitly —
+    /// not part of [`simkit::Instrument`] for this device, whose snapshot
+    /// layout is byte-frozen by the results gate.
+    pub fn port_stats(&self) -> &PortAccounting {
+        &self.port
     }
 
     /// Change the channel-scheduler policy (an X-SSD vendor command).
@@ -903,5 +920,39 @@ impl NvmeController for ConventionalSsd {
 
     fn namespace(&self) -> Namespace {
         self.ns
+    }
+}
+
+impl IoPort for ConventionalSsd {
+    /// The device-level port is unbounded (back-pressure is modelled by
+    /// the HIC/scheduler, not by submission failure): this never returns
+    /// an error.
+    fn try_submit(&mut self, now: SimTime, kind: CommandKind) -> Result<CmdTag, QueueError> {
+        let cid = self.port.begin();
+        NvmeController::submit(self, now, Command { cid, kind });
+        Ok(CmdTag(cid))
+    }
+
+    fn poll(&mut self, now: SimTime) {
+        self.advance_to(now);
+    }
+
+    fn completions_into(&mut self, now: SimTime, out: &mut Vec<Completion>) {
+        let mut drained = std::mem::take(&mut self.port_drain);
+        drained.clear();
+        self.drain_completions_into(now, &mut drained);
+        for &(at, entry) in &drained {
+            self.port.finish(entry.cid);
+            out.push(Completion { at, entry });
+        }
+        self.port_drain = drained;
+    }
+
+    fn next_port_event_at(&self) -> Option<SimTime> {
+        self.next_event_at()
+    }
+
+    fn in_flight(&self) -> usize {
+        self.port.in_flight()
     }
 }

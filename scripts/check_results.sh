@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# The byte-identical results gate: rebuild the harnesses, rerun every
+# figure/ablation, and fail if any committed results/*.json changed by a
+# single byte.
+#
+# The golden JSON files serialize *virtual* time, so they are exact across
+# machines — any diff means a simulation-visible behaviour change, which
+# must be an intentional, reviewed regeneration (commit the new goldens in
+# the same change that explains them).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+HARNESSES=(
+  fig09_local_logging
+  fig10_write_combining
+  fig11_queue_size
+  fig12_destage_priority
+  fig13_replication_delay
+  ablation_data_movements
+  ablation_destage_deadline
+  ablation_replicated_tpcc
+  ablation_replication_policy
+  ablation_transport
+)
+
+echo "== cargo build --release"
+cargo build --release --bins -p xssd-bench
+
+for h in "${HARNESSES[@]}"; do
+  echo "== $h"
+  ./target/release/"$h" > /dev/null
+done
+
+echo "== diff results/*.json against committed goldens"
+if ! git diff --exit-code -- 'results/*.json'; then
+  echo
+  echo "FAIL: results/*.json diverged from the committed goldens (see diff above)."
+  echo "If the change is intentional, commit the regenerated files with the"
+  echo "explanation; otherwise the refactor changed simulated behaviour."
+  exit 1
+fi
+
+# Untracked results would mean a harness wrote a file the goldens don't
+# cover — surface that too.
+untracked=$(git ls-files --others --exclude-standard -- 'results/*.json')
+if [ -n "$untracked" ]; then
+  echo "FAIL: new untracked results files: $untracked"
+  exit 1
+fi
+
+echo "ok: all ${#HARNESSES[@]} harnesses reproduce the goldens byte-for-byte"
