@@ -19,6 +19,7 @@ fn main() {
         "ablation_replication_policy",
         "ablation_replicated_tpcc",
         "ablation_destage_deadline",
+        "chaos_tpcc",
     ];
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir");

@@ -10,11 +10,11 @@ use crate::config::VillarsConfig;
 use crate::device::{vendor, CrashReport, VillarsDevice};
 use crate::transport::{DeviceIndex, Outbound};
 use nvme::{
-    drive_to_completion, AdminCommand, CmdTag, CommandKind, Completion, IoPort, Status,
+    try_drive_to_completion, AdminCommand, CmdTag, CommandKind, Completion, IoPort, Status,
     VendorCommand,
 };
 use pcie::MmioMode;
-use simkit::{EventQueue, SimDuration, SimTime};
+use simkit::{EventQueue, FaultPlan, SimDuration, SimError, SimTime};
 
 #[derive(Debug, Clone)]
 enum ClusterEvent {
@@ -112,17 +112,31 @@ impl Cluster {
 
     /// Event-driven blocking wait for `tag` on device `dev`, starting the
     /// horizon at `from`: the shared closed-loop adapter
-    /// ([`drive_to_completion`]) jumps virtual time straight to the
+    /// ([`try_drive_to_completion`]) jumps virtual time straight to the
     /// device's next pending event instead of stepping in fixed quanta,
-    /// and panics with the pending CID if the device stalls.
+    /// and panics with the structured [`SimError::Stall`] report if the
+    /// device stalls. Fallible callers use
+    /// [`Cluster::try_wait_for_completion`].
     pub fn wait_for_completion(
         &mut self,
         dev: DeviceIndex,
         from: SimTime,
         tag: CmdTag,
     ) -> Completion {
+        self.try_wait_for_completion(dev, from, tag).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Cluster::wait_for_completion`]: a stalled device
+    /// yields [`SimError::Stall`] carrying a diagnostic snapshot (horizon
+    /// instant, in-flight commands, pending CID) instead of unwinding.
+    pub fn try_wait_for_completion(
+        &mut self,
+        dev: DeviceIndex,
+        from: SimTime,
+        tag: CmdTag,
+    ) -> Result<Completion, Box<SimError>> {
         let mut drained = std::mem::take(&mut self.drain_buf);
-        let done = drive_to_completion(&mut self.devices[dev], from, tag, &mut drained);
+        let done = try_drive_to_completion(&mut self.devices[dev], from, tag, &mut drained);
         self.drain_buf = drained;
         done
     }
@@ -349,6 +363,112 @@ impl Cluster {
         self.dead.remove(&dev);
     }
 
+    /// Arm the whole cluster from a [`FaultPlan`]: each device gets
+    /// independently forked flash and transport fault streams (the device
+    /// index salts the fork, so one device's fault draws never perturb
+    /// another's). Inactive layers are skipped entirely — a disabled plan
+    /// arms nothing and the simulation timeline is byte-identical to an
+    /// unarmed run.
+    pub fn arm_faults(&mut self, plan: &FaultPlan) {
+        for (i, d) in self.devices.iter_mut().enumerate() {
+            if plan.flash.is_active() {
+                let mut base = plan.rng_for(simkit::faults::site::FLASH_READ);
+                d.arm_flash_faults(plan.flash, base.fork(i as u64));
+            }
+            if plan.transport.is_active() {
+                let mut base = plan.rng_for(simkit::faults::site::NTB_TLP);
+                d.arm_transport_faults(plan.transport, base.fork(i as u64));
+            }
+        }
+    }
+
+    /// Park device `dev`'s outgoing transport flows during `window` (link
+    /// retrain). Schedule after replication roles are configured.
+    pub fn schedule_link_down(&mut self, dev: DeviceIndex, window: simkit::faults::LinkDownWindow) {
+        self.devices[dev].schedule_link_down(window);
+    }
+
+    /// Re-synchronise a rebooted (stand-alone) secondary from the
+    /// primary's surviving log copy: bytes `[target tail, primary tail)`
+    /// are read back on the primary — destaged pages through its
+    /// conventional side, the live tail straight from its CMB ring — and
+    /// streamed into the target's intake under the normal flow-control
+    /// window. Returns the instant the last chunk was accepted; the caller
+    /// then reconfigures replication roles via
+    /// [`Cluster::configure_replication`].
+    pub fn resync_secondary(
+        &mut self,
+        now: SimTime,
+        primary: DeviceIndex,
+        target: DeviceIndex,
+    ) -> SimTime {
+        assert_ne!(primary, target, "cannot resync a device from itself");
+        assert!(!self.dead.contains(&target), "reboot the target before resync");
+        self.advance(now);
+        let mut t = now;
+        let upto = self.devices[primary].log_tail(0);
+        let mut cursor = self.devices[target].log_tail(0);
+        let chunk_cap = (self.devices[target].intake_queue_bytes(0) / 2).max(64);
+        let mut waits = 0u64;
+        while cursor < upto {
+            // Three zones on the primary: `[.., persisted)` is readable
+            // from the destage ring segments, `[ring_from, tail)` still
+            // sits in the CMB ring, and `[persisted, ring_from)` is riding
+            // in-flight destage writes (the CMB head advances at destage
+            // *submission*, so those bytes are momentarily in neither) —
+            // for that zone, advance the simulation until the writes land.
+            let persisted = self.devices[primary].destaged_upto(0);
+            let ring_from = self.devices[primary].log_head(0);
+            let want = chunk_cap.min(upto - cursor) as usize;
+            let chunk = if cursor < persisted {
+                let take = want.min((persisted - cursor) as usize);
+                let (ready, bytes) =
+                    self.devices[primary].read_destaged(t, 0, cursor, take).unwrap_or_else(|| {
+                        panic!(
+                            "resync range [{cursor}, {}) fell off the primary's destage ring \
+                             (persisted {persisted}, tail {upto})",
+                            cursor + take as u64
+                        )
+                    });
+                t = t.max(ready);
+                bytes
+            } else if cursor >= ring_from {
+                self.devices[primary].log_content(0, cursor, want)
+            } else {
+                // In-flight destage: wait for the conventional side to
+                // retire the write, then re-evaluate the zones.
+                waits += 1;
+                assert!(
+                    waits < 1_000_000,
+                    "resync stuck waiting for the primary's destage: cursor {cursor}, \
+                     persisted {persisted}, cmb head {ring_from}, tail {upto}, at {t}"
+                );
+                t = match self.next_event_after(t) {
+                    Some(e) => e,
+                    None => t + SimDuration::from_micros(1),
+                };
+                self.advance(t);
+                continue;
+            };
+            loop {
+                match self.devices[target].receive_mirror(t, cursor, &chunk) {
+                    Ok(()) => break,
+                    Err(CmbError::Overlap { .. }) => break, // already delivered
+                    Err(_) => {
+                        // Intake saturated or ring full: let the target
+                        // destage, then retry — the transport's normal
+                        // back-pressure path.
+                        t += SimDuration::from_micros(1);
+                        self.advance(t);
+                    }
+                }
+            }
+            cursor += chunk.len() as u64;
+        }
+        self.advance(t);
+        t
+    }
+
     /// Whether a device is currently powered off.
     pub fn is_dead(&self, dev: DeviceIndex) -> bool {
         self.dead.contains(&dev)
@@ -452,6 +572,49 @@ mod tests {
         cl.advance(t + SimDuration::from_micros(10));
         let (_t, c) = cl.read_credit(0, t + SimDuration::from_micros(10), 0);
         assert_eq!(c, 64);
+    }
+
+    #[test]
+    fn crashed_secondary_resyncs_from_primary_log() {
+        let (mut cl, t0) = two_node_cluster();
+        // Phase A: both copies receive the prefix.
+        let (_, t1) = cl
+            .fast_write(0, t0, 0, 0, &[0xA1; 256], MmioMode::WriteCombining)
+            .expect("fast write rejected on device 0 lane 0");
+        cl.advance(t1 + SimDuration::from_micros(50));
+        // Crash the secondary, then keep writing on the (now degraded)
+        // primary: these bytes exist only on device 0.
+        let crash_at = t1 + SimDuration::from_micros(50);
+        cl.power_fail(1, crash_at);
+        let (_, t2) = cl
+            .fast_write(0, crash_at, 0, 256, &[0xB2; 512], MmioMode::WriteCombining)
+            .expect("fast write rejected on device 0 lane 0");
+        cl.advance(t2 + SimDuration::from_micros(50));
+        // Reboot and resync: the secondary's log catches up to the
+        // primary's tail, byte for byte.
+        cl.reboot_device(1);
+        let done = cl.resync_secondary(t2 + SimDuration::from_micros(50), 0, 1);
+        assert_eq!(cl.device(1).log_tail(0), cl.device(0).log_tail(0));
+        // The re-shipped suffix is intact on the secondary.
+        let settle = done + SimDuration::from_millis(2);
+        cl.advance(settle);
+        let credit = cl.device_mut(1).local_credit(settle, 0);
+        assert_eq!(credit, 768, "secondary persisted the full resynced log");
+        // Roles can now be restored.
+        let t3 = cl.configure_replication(settle, 0, &[1]);
+        assert!(cl.device(0).is_primary());
+        assert!(t3 > settle);
+    }
+
+    #[test]
+    fn try_wait_surfaces_completions_without_panicking() {
+        let mut cl = Cluster::new();
+        cl.add_device(VillarsConfig::small());
+        let tag = cl.submit(0, SimTime::ZERO, CommandKind::Io(nvme::IoCommand::Flush));
+        let done = cl
+            .try_wait_for_completion(0, SimTime::ZERO, tag)
+            .expect("flush completes on an idle device");
+        assert!(done.entry.status.is_ok());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! so destaging, replication, and crash recovery are verifiable end to end.
 
 use crate::config::CmbConfig;
-use simkit::{Grant, SimTime};
+use simkit::{DiagnosticSnapshot, Grant, SimError, SimTime};
 use std::collections::BTreeMap;
 
 /// Errors from CMB ingest.
@@ -271,21 +271,41 @@ impl CmbModule {
     }
 
     /// Read `len` bytes of ring content starting at monotonic `offset`
-    /// (destage module / verification).
+    /// (destage module / verification). Panics with the structured
+    /// [`SimError`] report on an out-of-window read; fallible callers use
+    /// [`CmbModule::try_content`].
     pub fn content(&self, offset: u64, len: usize) -> Vec<u8> {
-        assert!(
-            offset >= self.head && offset + len as u64 <= self.tail,
-            "content read outside live ring: [{offset}, +{len}) vs [{}, {})",
-            self.head,
-            self.tail
-        );
+        self.try_content(offset, len).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`CmbModule::content`]: a read outside the live
+    /// ring window `[head, tail)` yields [`SimError::Invariant`] carrying
+    /// the ring's full state (head/tail/credit, pending drains, held
+    /// chunks) instead of unwinding.
+    pub fn try_content(&self, offset: u64, len: usize) -> Result<Vec<u8>, Box<SimError>> {
+        if offset < self.head || offset + len as u64 > self.tail {
+            let snapshot = DiagnosticSnapshot::new(
+                self.pending.iter().map(|(at, _)| *at).max().unwrap_or(SimTime::ZERO),
+                0,
+            )
+            .queue("head", self.head)
+            .queue("credit", self.credit)
+            .queue("tail", self.tail)
+            .queue("pending_drains", self.pending.len() as u64)
+            .queue("held_chunks", self.held.len() as u64)
+            .detail(format!(
+                "content read outside live ring: [{offset}, +{len}) vs [{}, {})",
+                self.head, self.tail
+            ));
+            return Err(Box::new(SimError::invariant("CMB ring", snapshot)));
+        }
         let size = self.config.size as usize;
         let start = (offset % size as u64) as usize;
         let first = len.min(size - start);
         let mut out = Vec::with_capacity(len);
         out.extend_from_slice(&self.ring[start..start + first]);
         out.extend_from_slice(&self.ring[..len - first]);
-        out
+        Ok(out)
     }
 
     /// Advance the destage head: bytes below `new_head` are freed for
@@ -531,6 +551,25 @@ mod tests {
         cmb.ingest(t, 1000, &[9u8; 100], |t2, b| port.acquire(t2, b))
             .expect("in-window CMB write rejected");
         assert_eq!(cmb.content(1000, 100), vec![9u8; 100]);
+    }
+
+    #[test]
+    fn out_of_window_content_read_is_a_structured_error() {
+        let mut cmb = CmbModule::new(cfg(4096, 8192));
+        let mut port = Port::new();
+        cmb.ingest(SimTime::ZERO, 0, &[1u8; 100], |t, b| port.acquire(t, b))
+            .expect("in-window CMB write rejected");
+        cmb.advance_head(50);
+        // Below the head: freed bytes.
+        let err = cmb.try_content(0, 10).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("CMB ring"), "{msg}");
+        assert!(msg.contains("head=50"), "{msg}");
+        assert!(msg.contains("tail=100"), "{msg}");
+        // Beyond the tail: unwritten bytes.
+        assert!(cmb.try_content(90, 20).is_err());
+        // In-window reads still work.
+        assert_eq!(cmb.try_content(50, 50).unwrap(), vec![1u8; 50]);
     }
 
     #[test]

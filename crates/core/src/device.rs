@@ -368,6 +368,12 @@ impl VillarsDevice {
                     }
                 }
             }
+            // Discard orphaned internal-read completions (an interrupted
+            // recovery read): left in place they would pin the event
+            // frontier below real work and stall the loop for good.
+            drained.clear();
+            self.conventional.drain_internal_reads_into(step, &mut drained);
+            progressed |= !drained.is_empty();
             for lane in &mut self.lanes {
                 progressed |= lane.destage.pump(step, &mut lane.cmb, &mut self.conventional);
             }
@@ -430,6 +436,54 @@ impl VillarsDevice {
         self.lanes[lane].destage.persisted()
     }
 
+    /// The lane's monotonic log tail: every byte below it has been
+    /// contiguously received into the CMB ring.
+    pub fn log_tail(&self, lane: usize) -> u64 {
+        self.lanes[lane].cmb.tail()
+    }
+
+    /// The lane's destage head: bytes below it have left the CMB ring for
+    /// the conventional side (readable via [`VillarsDevice::read_destaged`]).
+    pub fn log_head(&self, lane: usize) -> u64 {
+        self.lanes[lane].cmb.head()
+    }
+
+    /// Copy live CMB ring content `[offset, offset+len)` for `lane`
+    /// (panics with the structured invariant report when the range falls
+    /// outside the live window `[head, tail]`).
+    pub fn log_content(&self, lane: usize, offset: u64, len: usize) -> Vec<u8> {
+        self.lanes[lane].cmb.content(offset, len)
+    }
+
+    /// Raw flash-array statistics of the conventional side (including the
+    /// injected fault counters).
+    pub fn flash_stats(&self) -> flash::FlashStats {
+        self.conventional.flash_stats()
+    }
+
+    /// Arm the conventional side's flash fault layer (transient read /
+    /// program retries, permanent program failures) with a dedicated RNG
+    /// stream. A device left unarmed takes zero extra RNG draws.
+    pub fn arm_flash_faults(&mut self, cfg: simkit::faults::FlashFaultConfig, rng: simkit::DetRng) {
+        self.conventional.arm_flash_faults(cfg, rng);
+    }
+
+    /// Arm transport (NTB) faults on every replication flow this device
+    /// creates — the arming survives role reconfiguration.
+    pub fn arm_transport_faults(
+        &mut self,
+        cfg: simkit::faults::TransportFaultConfig,
+        rng: simkit::DetRng,
+    ) {
+        self.transport.arm_flow_faults(cfg, rng);
+    }
+
+    /// Park this device's outgoing transport flows during `window` (a link
+    /// retrain). Schedule after replication roles are configured.
+    pub fn schedule_link_down(&mut self, window: simkit::faults::LinkDownWindow) {
+        self.transport.schedule_link_down(window);
+    }
+
     /// Read destaged log content `[offset, offset+len)` from `lane`,
     /// driving the device until the read completes. Returns `None` if the
     /// range is not (or no longer) on the destage ring.
@@ -446,21 +500,29 @@ impl VillarsDevice {
         let end = offset + len as u64;
         while cursor < end {
             let seg = self.lanes[lane].destage.segment_for(cursor)?;
-            let media = self.conventional.media_content(seg.lba)?;
+            // Host-visible content: the write cache may still hold a
+            // destaged page the flash program has not retired yet.
+            let media = self.conventional.read_content(seg.lba)?;
             let within = (cursor - seg.log_from) as usize;
             let take = ((seg.log_to - cursor) as usize).min((end - cursor) as usize);
             out.extend_from_slice(&media[within..within + take]);
             // Timing: one flash read per touched page.
-            if let Some(_token) = self.conventional.submit_internal_read(ready, seg.lba) {
-                // Drive until that read completes.
-                loop {
+            if let Some(token) = self.conventional.submit_internal_read(ready, seg.lba) {
+                // Drive until *that* read completes, stepping on the flash
+                // pipeline's own events — the global next_event_at can sit
+                // pinned at an undelivered destage completion (which only
+                // the device advance loop routes), and breaking out early
+                // would orphan this read's completion, pinning the event
+                // frontier in turn.
+                'drive: loop {
                     self.conventional.advance_to(ready);
-                    let done = self.conventional.drain_internal_reads(ready);
-                    if let Some((at, _)) = done.last() {
-                        ready = *at;
-                        break;
+                    for (at, tok) in self.conventional.drain_internal_reads(ready) {
+                        if tok == token {
+                            ready = at;
+                            break 'drive;
+                        }
                     }
-                    match self.conventional.next_event_at() {
+                    match self.conventional.next_flash_event() {
                         Some(t) if t > ready => ready = t,
                         _ => break,
                     }

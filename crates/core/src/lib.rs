@@ -42,6 +42,8 @@ pub use cmb::{CmbError, CmbModule, CmbStats};
 pub use config::{CmbConfig, DestageConfig, ReplicationPolicy, TransportConfig, VillarsConfig};
 pub use destage::{DestageModule, DestageStats, Segment};
 pub use device::{vendor, CrashReport, FastWrite, VillarsDevice};
-pub use port::{drive_to_completion, CmdTag, Completion, IoPort, PortAccounting};
+pub use port::{
+    drive_to_completion, try_drive_to_completion, CmdTag, Completion, IoPort, PortAccounting,
+};
 pub use tenancy::{TenancyError, TenantId, TenantManager, TenantUsage};
 pub use transport::{DeviceIndex, Outbound, Role, TransportModule, TransportStatus};

@@ -8,8 +8,9 @@
 //! the database reads the credit counter.
 
 use crate::config::{ReplicationPolicy, TransportConfig};
-use pcie::{HostId, NtbConfig, NtbPort, Tlp, TranslationWindow};
-use simkit::{SimDuration, SimTime};
+use pcie::{HostId, NtbConfig, NtbFaultStats, NtbPort, Tlp, TranslationWindow};
+use simkit::faults::{LinkDownWindow, TransportFaultConfig};
+use simkit::{DetRng, SimDuration, SimTime};
 use std::collections::HashMap;
 
 /// Index of a device within a [`crate::cluster::Cluster`].
@@ -102,6 +103,10 @@ pub struct TransportModule {
     next_update_at: SimTime,
     /// Secondary: last credit value reported.
     last_reported: u64,
+    /// Armed transport-fault state: the config plus the parent RNG stream.
+    /// Kept here (not on the flows) because flows are rebuilt on every
+    /// role change — each new flow forks its own child stream from this.
+    flow_faults: Option<(TransportFaultConfig, DetRng)>,
     stats: TransportStats,
 }
 
@@ -122,6 +127,7 @@ impl TransportModule {
             upstream: None,
             next_update_at: SimTime::ZERO,
             last_reported: 0,
+            flow_faults: None,
             stats: TransportStats::default(),
         }
     }
@@ -182,6 +188,9 @@ impl TransportModule {
         for &s in &secondaries {
             let mut port = NtbPort::new(ntb, HostId(s as u16));
             port.add_window(Self::window_for(s));
+            if let Some((cfg, rng)) = &mut self.flow_faults {
+                port.arm_faults(*cfg, rng.fork(s as u64));
+            }
             self.flows.insert(s, port);
             self.shadows.insert(s, 0);
             self.last_update_at.insert(s, now);
@@ -194,6 +203,9 @@ impl TransportModule {
     pub fn set_secondary(&mut self, primary: DeviceIndex, ntb: NtbConfig, now: SimTime) {
         let mut port = NtbPort::new(ntb, HostId(primary as u16));
         port.add_window(Self::window_for(primary));
+        if let Some((cfg, rng)) = &mut self.flow_faults {
+            port.arm_faults(*cfg, rng.fork(u64::from(u32::MAX) + 1 + primary as u64));
+        }
         self.upstream = Some(port);
         self.flows.clear();
         self.shadows.clear();
@@ -214,6 +226,51 @@ impl TransportModule {
     pub fn set_shadow_period(&mut self, period: SimDuration) {
         assert!(!period.is_zero(), "update period must be positive");
         self.config.shadow_update_period = period;
+    }
+
+    /// Arm transport faults (TLP drop → replay-timer replay, link-down
+    /// windows) on every NTB flow this module owns, now and across future
+    /// role changes: flows are rebuilt on reconfiguration, so the config
+    /// and parent RNG stream live here and each flow forks a child stream
+    /// salted by its peer index.
+    pub fn arm_flow_faults(&mut self, cfg: TransportFaultConfig, rng: DetRng) {
+        self.flow_faults = Some((cfg, rng));
+        let mut peers: Vec<DeviceIndex> = self.flows.keys().copied().collect();
+        peers.sort_unstable();
+        let (cfg, rng) = self.flow_faults.as_mut().expect("just set");
+        for p in peers {
+            self.flows.get_mut(&p).expect("just listed").arm_faults(*cfg, rng.fork(p as u64));
+        }
+        if let Some(up) = self.upstream.as_mut() {
+            up.arm_faults(*cfg, rng.fork(u64::MAX));
+        }
+    }
+
+    /// Park every flow's traffic during `window` (link retrain): TLPs
+    /// entering the window wait for the retrain instant before the wire
+    /// accepts them. Applies to current flows only — schedule outages
+    /// after roles are configured.
+    pub fn schedule_link_down(&mut self, window: LinkDownWindow) {
+        let mut peers: Vec<DeviceIndex> = self.flows.keys().copied().collect();
+        peers.sort_unstable();
+        for p in peers {
+            self.flows.get_mut(&p).expect("just listed").schedule_link_down(window);
+        }
+        if let Some(up) = self.upstream.as_mut() {
+            up.schedule_link_down(window);
+        }
+    }
+
+    /// Aggregate NTB fault statistics across every flow (mirror flows plus
+    /// the upstream counter flow).
+    pub fn flow_fault_stats(&self) -> NtbFaultStats {
+        let mut total = NtbFaultStats::default();
+        for f in self.flows.values().chain(self.upstream.iter()) {
+            let s = f.fault_stats();
+            total.replays += s.replays;
+            total.deferrals += s.deferrals;
+        }
+        total
     }
 
     /// Primary: mirror one CMB chunk to every secondary. Each flow is
@@ -471,6 +528,30 @@ mod tests {
         t.apply_shadow(1, 500, SimTime::ZERO);
         t.apply_shadow(1, 400, SimTime::ZERO); // late/reordered update must not regress
         assert_eq!(t.shadow_of(1), Some(500));
+    }
+
+    #[test]
+    fn flow_faults_survive_role_reconfiguration() {
+        let mut t = TransportModule::new(TransportConfig::default());
+        t.arm_flow_faults(
+            TransportFaultConfig { tlp_drop: 1.0, replay_timeout: SimDuration::from_micros(10) },
+            DetRng::new(7),
+        );
+        t.set_primary(vec![1], NtbConfig::default(), SimTime::ZERO);
+        t.mirror(SimTime::ZERO, 0, &[0u8; 64]);
+        let first = t.flow_fault_stats().replays;
+        assert!(first >= 1, "certain drop must replay");
+        // Reconfigure: the rebuilt flow stays armed from the stored stream.
+        t.set_primary(vec![1, 2], NtbConfig::default(), SimTime::from_micros(50));
+        t.mirror(SimTime::from_micros(50), 0, &[0u8; 64]);
+        assert!(t.flow_fault_stats().replays >= 2, "new flows re-armed");
+    }
+
+    #[test]
+    fn unarmed_flows_report_zero_fault_stats() {
+        let mut t = primary_of(vec![1]);
+        t.mirror(SimTime::ZERO, 0, &[0u8; 64]);
+        assert_eq!(t.flow_fault_stats(), NtbFaultStats::default());
     }
 
     #[test]

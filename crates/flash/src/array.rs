@@ -9,6 +9,7 @@
 
 use crate::geometry::{BlockAddr, DieAddr, FlashGeometry, Ppa};
 use crate::timing::{FlashTiming, ReliabilityConfig};
+use simkit::faults::{FaultHook, FlashFaultConfig};
 use simkit::{DetRng, Grant, SerialResource, SimTime};
 
 /// Errors surfaced by flash operations.
@@ -81,6 +82,25 @@ pub struct FlashStats {
     pub uncorrectable_reads: u64,
     /// Total ECC-corrected bits.
     pub corrected_bits: u64,
+    /// In-device retries of transiently failed reads (injected faults).
+    pub transient_read_retries: u64,
+    /// In-device retries of transiently failed programs (injected faults).
+    pub transient_program_retries: u64,
+    /// Permanent program failures injected by the fault layer (a subset of
+    /// `program_failures`).
+    pub injected_program_failures: u64,
+}
+
+/// Armed fault-injection state for one array (see
+/// [`FlashArray::arm_faults`]). Each class draws from its own forked
+/// stream so rates can be tuned independently without perturbing the
+/// other classes' schedules.
+#[derive(Debug, Clone)]
+struct FlashFaults {
+    cfg: FlashFaultConfig,
+    read: FaultHook,
+    program: FaultHook,
+    permanent: FaultHook,
 }
 
 /// The full set of flash arrays behind the storage controller.
@@ -94,6 +114,8 @@ pub struct FlashArray {
     blocks: Vec<BlockState>,
     rng: DetRng,
     stats: FlashStats,
+    /// Fault injection (None = inert, the default).
+    faults: Option<FlashFaults>,
 }
 
 impl FlashArray {
@@ -124,7 +146,31 @@ impl FlashArray {
             reliability,
             rng,
             stats: FlashStats::default(),
+            faults: None,
         }
+    }
+
+    /// Arm deterministic fault injection. Transient read/program faults
+    /// are retried *in-device* (each retry re-pays the die time, bounded
+    /// by `cfg.max_retries`, after which the transient condition has
+    /// cleared by definition); permanent program faults mark the block bad
+    /// and surface as [`FlashError::ProgramFailed`] for the FTL to retire,
+    /// remap, and rewrite. `rng` should be forked from the fault plan's
+    /// master seed (`FaultPlan::rng_for`); the unarmed array makes zero
+    /// extra draws and behaves bit-identically.
+    pub fn arm_faults(&mut self, cfg: FlashFaultConfig, mut rng: DetRng) {
+        use simkit::faults::site;
+        self.faults = Some(FlashFaults {
+            read: FaultHook::armed(rng.fork(site::FLASH_READ), cfg.transient_read),
+            program: FaultHook::armed(rng.fork(site::FLASH_PROGRAM), cfg.transient_program),
+            permanent: FaultHook::armed(rng.fork(site::FLASH_PERMANENT), cfg.permanent_program),
+            cfg,
+        });
+    }
+
+    /// Whether fault injection is armed.
+    pub fn faults_armed(&self) -> bool {
+        self.faults.is_some()
     }
 
     /// The geometry.
@@ -217,7 +263,26 @@ impl FlashArray {
             self.stats.program_failures += 1;
             return Err(FlashError::ProgramFailed(ppa.block));
         }
-        Ok(OpOutcome { grant: Grant { start: bus.start, end: die.end }, corrected_bits: 0 })
+        let mut end = die.end;
+        if let Some(f) = self.faults.as_mut() {
+            if f.permanent.fire() {
+                // Injected permanent failure: the block is grown bad and
+                // the FTL must retire + remap + rewrite (paper §7.1).
+                self.blocks[bi].bad = true;
+                self.stats.program_failures += 1;
+                self.stats.injected_program_failures += 1;
+                return Err(FlashError::ProgramFailed(ppa.block));
+            }
+            // Transient program faults clear on retry; each in-device
+            // retry re-pays the die program time (bounded).
+            let mut retries = 0u32;
+            while retries < f.cfg.max_retries && f.program.fire() {
+                retries += 1;
+                end = self.dies[di].acquire(end, self.timing.t_prog).end;
+            }
+            self.stats.transient_program_retries += u64::from(retries);
+        }
+        Ok(OpOutcome { grant: Grant { start: bus.start, end }, corrected_bits: 0 })
     }
 
     /// Read one page. `t_read` on the die, then the bus transfer out.
@@ -233,7 +298,19 @@ impl FlashArray {
             return Err(FlashError::ReadUnwritten(ppa));
         }
         let di = self.die_index(ppa.die());
-        let die = self.dies[di].acquire(now, self.timing.t_read);
+        let mut die = self.dies[di].acquire(now, self.timing.t_read);
+        let die_start = die.start;
+        if let Some(f) = self.faults.as_mut() {
+            // Transient read faults (read-disturb style) are retried
+            // in-device before the page leaves the die; each retry
+            // re-pays the array sense time (bounded).
+            let mut retries = 0u32;
+            while retries < f.cfg.max_retries && f.read.fire() {
+                retries += 1;
+                die = self.dies[di].acquire(die.end, self.timing.t_read);
+            }
+            self.stats.transient_read_retries += u64::from(retries);
+        }
         let xfer = self.timing.page_transfer(self.geometry.page_bytes);
         let bus = self.buses[ppa.channel() as usize].acquire(die.end, xfer);
         self.stats.reads += 1;
@@ -244,7 +321,7 @@ impl FlashArray {
             return Err(FlashError::Uncorrectable(ppa));
         }
         self.stats.corrected_bits += errors as u64;
-        Ok(OpOutcome { grant: Grant { start: die.start, end: bus.end }, corrected_bits: errors })
+        Ok(OpOutcome { grant: Grant { start: die_start, end: bus.end }, corrected_bits: errors })
     }
 
     /// Erase a block: resets the program pointer and consumes one P/E cycle.
@@ -301,6 +378,13 @@ impl simkit::Instrument for FlashArray {
         out.counter("program_failures", self.stats.program_failures);
         out.counter("uncorrectable_reads", self.stats.uncorrectable_reads);
         out.counter("corrected_bits", self.stats.corrected_bits);
+        // Fault metrics exist only when injection is armed — fault-free
+        // snapshots keep their byte-frozen layout.
+        if self.faults.is_some() {
+            out.counter("retry.read_transient", self.stats.transient_read_retries);
+            out.counter("retry.program_transient", self.stats.transient_program_retries);
+            out.counter("fault.program_permanent", self.stats.injected_program_failures);
+        }
         // Aggregate die occupancy (tPROG/tR/tBERS residency) plus
         // per-channel bus serialization time.
         let die_busy: u64 = self.dies.iter().map(|d| d.busy_time().as_nanos()).sum();
@@ -449,6 +533,64 @@ mod tests {
             a.erase(SimTime::ZERO, BlockAddr { die: DieAddr { channel: 0, die: 0 }, block: 99 }),
             Err(FlashError::OutOfBounds(_))
         ));
+    }
+
+    #[test]
+    fn transient_faults_retry_in_device_and_add_latency() {
+        let mut clean = array();
+        let mut faulty = array();
+        faulty.arm_faults(
+            FlashFaultConfig {
+                transient_read: 0.5,
+                transient_program: 0.5,
+                max_retries: 3,
+                ..Default::default()
+            },
+            DetRng::new(5),
+        );
+        let mut clean_end = SimTime::ZERO;
+        let mut faulty_end = SimTime::ZERO;
+        for p in 0..16 {
+            let ppa = Ppa::new(0, 0, 0, p);
+            clean_end = clean.program(SimTime::ZERO, ppa).unwrap().grant.end.max(clean_end);
+            faulty_end = faulty.program(SimTime::ZERO, ppa).unwrap().grant.end.max(faulty_end);
+        }
+        assert!(faulty.stats().transient_program_retries > 0);
+        assert!(faulty_end > clean_end, "retries cost die time: {faulty_end} vs {clean_end}");
+        for p in 0..16 {
+            faulty.read(faulty_end, Ppa::new(0, 0, 0, p)).unwrap();
+        }
+        assert!(faulty.stats().transient_read_retries > 0);
+    }
+
+    #[test]
+    fn injected_permanent_fault_grows_bad_block() {
+        let mut a = array();
+        a.arm_faults(
+            FlashFaultConfig { permanent_program: 1.0, max_retries: 3, ..Default::default() },
+            DetRng::new(9),
+        );
+        let ppa = Ppa::new(0, 0, 0, 0);
+        let err = a.program(SimTime::ZERO, ppa).unwrap_err();
+        assert_eq!(err, FlashError::ProgramFailed(ppa.block));
+        assert!(a.is_bad(ppa.block));
+        assert_eq!(a.stats().injected_program_failures, 1);
+        assert_eq!(a.stats().program_failures, 1);
+    }
+
+    #[test]
+    fn unarmed_array_timing_is_unchanged() {
+        // Arming at zero rates must not perturb grants either (the hooks
+        // draw, but never fire, and fired-path latency is never added).
+        let mut plain = array();
+        let mut zero = array();
+        zero.arm_faults(FlashFaultConfig::default(), DetRng::new(1));
+        for p in 0..8 {
+            let ppa = Ppa::new(0, 0, 0, p);
+            let a = plain.program(SimTime::ZERO, ppa).unwrap().grant;
+            let b = zero.program(SimTime::ZERO, ppa).unwrap().grant;
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

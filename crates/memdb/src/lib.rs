@@ -18,6 +18,7 @@
 
 pub mod backend;
 pub mod checkpoint;
+pub mod failover;
 pub mod log;
 pub mod recovery;
 pub mod replica;
@@ -26,6 +27,8 @@ pub mod storage;
 pub mod wal;
 
 pub use backend::{AppendTag, LogBackend, NoLog, NvmeLog, PmConfig, PmLog, XssdLog};
+pub use failover::{durable_log_stream, fail_over, rejoin_secondary, FailoverReport};
+
 pub use checkpoint::{
     decode_snapshot, encode_snapshot, CheckpointMeta, Checkpointer, SnapshotError,
 };

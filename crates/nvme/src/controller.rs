@@ -10,7 +10,9 @@
 use crate::command::{Command, CommandKind, CompletionEntry, Status};
 use crate::namespace::Namespace;
 use crate::port::{drive_to_completion, CmdTag, Completion, IoPort, PortAccounting};
-use simkit::{SimDuration, SimTime};
+use simkit::faults::NvmeFaultConfig;
+use simkit::{DetRng, SimDuration, SimTime};
+use std::collections::BTreeMap;
 
 /// The device side of the NVMe contract.
 pub trait NvmeController {
@@ -82,6 +84,59 @@ pub struct NvmeDriver<C: NvmeController> {
     drain_buf: Vec<(SimTime, CompletionEntry)>,
     /// Reusable scratch for the blocking wait adapter.
     wait_buf: Vec<Completion>,
+    /// Command-level fault injection (None = inert, the default).
+    faults: Option<CmdFaults>,
+}
+
+/// Driver-side command-fault state: per-command fate draws, retry budgets,
+/// and abort deadlines. Armed via [`NvmeDriver::arm_faults`].
+#[derive(Debug)]
+struct CmdFaults {
+    cfg: NvmeFaultConfig,
+    rng: DetRng,
+    /// Fate bookkeeping per live CID. BTreeMap so deadline processing
+    /// iterates in a deterministic order.
+    cmds: BTreeMap<crate::command::CommandId, CmdFate>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CmdFate {
+    kind: CommandKind,
+    /// Retries consumed so far (fate rolls stop at the budget, so every
+    /// command eventually succeeds).
+    attempts: u32,
+    /// The next completion carries an injected error status and is
+    /// swallowed + retried by the driver.
+    error_next: bool,
+    /// The next completion is lost (CQE never posted to the host); the
+    /// timeout → abort → retry path recovers it.
+    drop_next: bool,
+    /// Abort deadline armed when a completion was rolled as lost.
+    deadline: Option<SimTime>,
+    /// Completions from aborted attempts still in flight device-side;
+    /// they arrive eventually and must be discarded, not delivered.
+    swallow: u32,
+}
+
+impl CmdFaults {
+    /// Roll the fate of a (re)submission issued at `issue_at`. Draws stop
+    /// once the retry budget is consumed.
+    fn roll(&mut self, fate: &mut CmdFate, issue_at: SimTime) {
+        if fate.attempts >= self.cfg.max_retries {
+            return;
+        }
+        if self.rng.chance(self.cfg.dropped_completion) {
+            fate.drop_next = true;
+            fate.deadline = Some(issue_at + self.cfg.timeout);
+        } else if self.rng.chance(self.cfg.error_completion) {
+            fate.error_next = true;
+        }
+    }
+
+    /// Exponential backoff for retry number `attempt` (1-based).
+    fn backoff(&self, attempt: u32) -> SimDuration {
+        self.cfg.backoff_base.saturating_mul(1u64 << (attempt - 1).min(16))
+    }
 }
 
 impl<C: NvmeController> NvmeDriver<C> {
@@ -99,7 +154,18 @@ impl<C: NvmeController> NvmeDriver<C> {
             commands: 0,
             drain_buf: Vec::new(),
             wait_buf: Vec::new(),
+            faults: None,
         }
+    }
+
+    /// Arm deterministic command-level fault injection: each submission's
+    /// fate (clean / error completion / lost completion) is drawn from
+    /// `rng`; injected failures are recovered by the driver itself with
+    /// bounded exponential-backoff retries, surfaced in
+    /// [`NvmeDriver::port_stats`] (`retry.*` / `fault.*` counters). The
+    /// unarmed driver makes zero draws and behaves bit-identically.
+    pub fn arm_faults(&mut self, cfg: NvmeFaultConfig, rng: DetRng) {
+        self.faults = Some(CmdFaults { cfg, rng, cmds: BTreeMap::new() });
     }
 
     /// Commands issued through this driver so far.
@@ -169,27 +235,119 @@ impl<C: NvmeController> IoPort for NvmeDriver<C> {
     fn try_submit(&mut self, now: SimTime, kind: CommandKind) -> Result<CmdTag, QueueError> {
         let cid = self.port.begin();
         self.commands += 1;
+        let issue_at = now + self.costs.syscall;
+        if let Some(f) = self.faults.as_mut() {
+            let mut fate = CmdFate {
+                kind,
+                attempts: 0,
+                error_next: false,
+                drop_next: false,
+                deadline: None,
+                swallow: 0,
+            };
+            f.roll(&mut fate, issue_at);
+            f.cmds.insert(cid, fate);
+        }
         // The device sees the command after the kernel round trip.
-        self.controller.submit(now + self.costs.syscall, Command { cid, kind });
+        self.controller.submit(issue_at, Command { cid, kind });
         Ok(CmdTag(cid))
     }
 
     fn poll(&mut self, now: SimTime) {
+        // Abort commands whose completion deadline expired (their CQE was
+        // rolled as lost) and resubmit with exponential backoff. BTreeMap
+        // order keeps the RNG draw sequence deterministic.
+        if let Some(f) = self.faults.as_mut() {
+            let expired: Vec<_> = f
+                .cmds
+                .iter()
+                .filter(|(_, fate)| fate.deadline.is_some_and(|d| d <= now))
+                .map(|(&cid, _)| cid)
+                .collect();
+            for cid in expired {
+                let mut fate = f.cmds.remove(&cid).expect("expired fate present");
+                // If the aborted attempt's (lost) completion is still in
+                // flight device-side, re-mark it stale so it is discarded
+                // when it finally drains; if it already drained (consumed
+                // by `drop_next`), there is nothing left to discard.
+                if fate.drop_next {
+                    fate.drop_next = false;
+                    fate.swallow += 1;
+                }
+                fate.deadline = None;
+                fate.attempts += 1;
+                self.port.record_timeout();
+                self.port.record_dropped_completion();
+                self.port.record_retry();
+                let issue_at = now + f.backoff(fate.attempts) + self.costs.syscall;
+                f.roll(&mut fate, issue_at);
+                f.cmds.insert(cid, fate);
+                self.controller.submit(issue_at, Command { cid, kind: fate.kind });
+            }
+        }
         self.controller.advance_to(now);
     }
 
     fn completions_into(&mut self, now: SimTime, out: &mut Vec<Completion>) {
         self.drain_buf.clear();
         self.controller.drain_completions_into(now, &mut self.drain_buf);
+        let Some(f) = self.faults.as_mut() else {
+            for &(at, entry) in &self.drain_buf {
+                self.port.finish(entry.cid);
+                // Delivery to the application pays the interrupt cost.
+                out.push(Completion { at: at + self.costs.interrupt, entry });
+            }
+            return;
+        };
         for &(at, entry) in &self.drain_buf {
+            let Some(fate) = f.cmds.get_mut(&entry.cid) else {
+                self.port.finish(entry.cid);
+                out.push(Completion { at: at + self.costs.interrupt, entry });
+                continue;
+            };
+            if fate.swallow > 0 {
+                // Stale completion of an attempt the driver already
+                // aborted and resubmitted.
+                fate.swallow -= 1;
+                continue;
+            }
+            if fate.drop_next {
+                // The CQE for this attempt is lost; the abort deadline in
+                // `poll` drives recovery.
+                fate.drop_next = false;
+                continue;
+            }
+            if fate.error_next {
+                // Injected error completion: swallow it and retry the
+                // same CID with exponential backoff (the caller's tag
+                // stays valid across the retry).
+                fate.error_next = false;
+                fate.attempts += 1;
+                self.port.record_error_completion();
+                self.port.record_retry();
+                let mut next = *fate;
+                let issue_at = at + f.backoff(next.attempts) + self.costs.syscall;
+                f.roll(&mut next, issue_at);
+                f.cmds.insert(entry.cid, next);
+                self.controller.submit(issue_at, Command { cid: entry.cid, kind: next.kind });
+                continue;
+            }
+            f.cmds.remove(&entry.cid);
             self.port.finish(entry.cid);
-            // Delivery to the application pays the interrupt cost.
             out.push(Completion { at: at + self.costs.interrupt, entry });
         }
     }
 
     fn next_port_event_at(&self) -> Option<SimTime> {
-        self.controller.next_event_at()
+        let device = self.controller.next_event_at();
+        let deadline = self
+            .faults
+            .as_ref()
+            .and_then(|f| f.cmds.values().filter_map(|fate| fate.deadline).min());
+        match (device, deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     fn in_flight(&self) -> usize {
@@ -297,6 +455,89 @@ mod tests {
         let mut drv = NvmeDriver::new(FixedDelay::new(5));
         let r = drv.flush_blocking(SimTime::ZERO);
         assert!(r.status.is_ok());
+    }
+
+    #[test]
+    fn injected_error_completions_are_retried_transparently() {
+        let mut drv = NvmeDriver::new(FixedDelay::new(10));
+        drv.arm_faults(
+            NvmeFaultConfig { error_completion: 0.4, ..Default::default() },
+            DetRng::new(7),
+        );
+        let mut now = SimTime::ZERO;
+        for i in 0..50 {
+            let r = drv.write_blocking(now, i, 1);
+            assert!(r.status.is_ok(), "retries keep the caller-visible status clean");
+            now = r.completed_at;
+        }
+        let stats = drv.port_stats();
+        assert!(stats.error_completions() > 0, "a 40% rate fires within 50 commands");
+        assert_eq!(stats.retries(), stats.error_completions());
+        assert_eq!(stats.completed(), 50);
+        assert_eq!(drv.in_flight(), 0);
+    }
+
+    #[test]
+    fn lost_completions_time_out_abort_and_retry() {
+        let mut drv = NvmeDriver::new(FixedDelay::new(10));
+        drv.arm_faults(
+            NvmeFaultConfig { dropped_completion: 0.5, ..Default::default() },
+            DetRng::new(3),
+        );
+        let mut now = SimTime::ZERO;
+        for i in 0..40 {
+            let r = drv.write_blocking(now, i, 1);
+            assert!(r.status.is_ok());
+            now = r.completed_at;
+        }
+        let stats = drv.port_stats();
+        assert!(stats.timeouts() > 0, "a 50% drop rate forces timeouts");
+        assert_eq!(stats.timeouts(), stats.dropped_completions());
+        assert_eq!(stats.completed(), 40);
+        assert_eq!(drv.in_flight(), 0);
+        // A timed-out command pays at least the timeout before retrying.
+        assert!(
+            now > SimTime::from_micros(500),
+            "timeout latency is visible in the virtual clock: {now:?}"
+        );
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        fn run(seed: u64) -> (f64, u64, u64) {
+            let mut drv = NvmeDriver::new(FixedDelay::new(10));
+            drv.arm_faults(
+                NvmeFaultConfig {
+                    error_completion: 0.2,
+                    dropped_completion: 0.2,
+                    ..Default::default()
+                },
+                DetRng::new(seed),
+            );
+            let mut now = SimTime::ZERO;
+            for i in 0..60 {
+                now = drv.write_blocking(now, i, 1).completed_at;
+            }
+            (now.as_micros_f64(), drv.port_stats().retries(), drv.port_stats().timeouts())
+        }
+        assert_eq!(run(11), run(11), "same seed, same fault schedule, same clock");
+        assert_ne!(run(11), run(12), "different seeds diverge");
+    }
+
+    #[test]
+    fn armed_at_zero_rates_is_bit_identical_to_unarmed() {
+        let mut plain = NvmeDriver::new(FixedDelay::new(10));
+        let mut armed = NvmeDriver::new(FixedDelay::new(10));
+        armed.arm_faults(NvmeFaultConfig::default(), DetRng::new(99));
+        let mut t1 = SimTime::ZERO;
+        let mut t2 = SimTime::ZERO;
+        for i in 0..20 {
+            t1 = plain.write_blocking(t1, i, 1).completed_at;
+            t2 = armed.write_blocking(t2, i, 1).completed_at;
+        }
+        assert_eq!(t1, t2, "zero-rate fault layer adds no latency");
+        assert_eq!(plain.port_stats().retries(), 0);
+        assert_eq!(armed.port_stats().retries(), 0);
     }
 }
 

@@ -30,6 +30,8 @@ pub use command::{
 };
 pub use controller::{HostCosts, IoResult, NvmeController, NvmeDriver, QueuedDriver};
 pub use namespace::Namespace;
-pub use port::{drive_to_completion, CmdTag, Completion, IoPort, PortAccounting};
+pub use port::{
+    drive_to_completion, try_drive_to_completion, CmdTag, Completion, IoPort, PortAccounting,
+};
 pub use queue::{CompletionQueue, QueueError, QueueId, QueuePair, SubmissionQueue};
 pub use regions::{BackingClass, CmbDescriptor};

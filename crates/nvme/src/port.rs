@@ -37,7 +37,7 @@
 
 use crate::command::{CommandId, CommandKind, CompletionEntry};
 use crate::queue::QueueError;
-use simkit::{Histogram, SimTime};
+use simkit::{DiagnosticSnapshot, Histogram, SimError, SimTime};
 use std::collections::HashSet;
 
 /// Identifies one in-flight submission on the port that issued it.
@@ -116,6 +116,14 @@ pub struct PortAccounting {
     completed: u64,
     max_in_flight: usize,
     depth: Histogram,
+    /// Driver retries (error-completion resubmits + timeout resubmits).
+    retries: u64,
+    /// Commands whose completion deadline expired (timeout → abort).
+    timeouts: u64,
+    /// Injected error completions swallowed by the driver's retry loop.
+    error_completions: u64,
+    /// Injected lost completions (CQE never posted; timeout path fired).
+    dropped_completions: u64,
 }
 
 impl PortAccounting {
@@ -128,6 +136,10 @@ impl PortAccounting {
             completed: 0,
             max_in_flight: 0,
             depth: Histogram::new(),
+            retries: 0,
+            timeouts: 0,
+            error_completions: 0,
+            dropped_completions: 0,
         }
     }
 
@@ -195,6 +207,46 @@ impl PortAccounting {
     pub fn depth_histogram(&self) -> &Histogram {
         &self.depth
     }
+
+    /// Count one driver retry (resubmission of an existing CID).
+    pub fn record_retry(&mut self) {
+        self.retries += 1;
+    }
+
+    /// Count one command timeout (deadline expired, command aborted).
+    pub fn record_timeout(&mut self) {
+        self.timeouts += 1;
+    }
+
+    /// Count one error completion swallowed by the retry loop.
+    pub fn record_error_completion(&mut self) {
+        self.error_completions += 1;
+    }
+
+    /// Count one lost completion (injected drop).
+    pub fn record_dropped_completion(&mut self) {
+        self.dropped_completions += 1;
+    }
+
+    /// Driver retries so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Command timeouts so far.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    /// Error completions swallowed so far.
+    pub fn error_completions(&self) -> u64 {
+        self.error_completions
+    }
+
+    /// Lost completions so far.
+    pub fn dropped_completions(&self) -> u64 {
+        self.dropped_completions
+    }
 }
 
 impl Default for PortAccounting {
@@ -210,6 +262,20 @@ impl simkit::Instrument for PortAccounting {
         out.gauge("inflight", self.live.len() as f64);
         out.gauge("max_inflight", self.max_in_flight as f64);
         out.latency("depth", &self.depth);
+        // Fault-path counters appear only once a fault has actually been
+        // injected, so fault-free snapshots keep their frozen layout.
+        if self.retries > 0 {
+            out.counter("retry.resubmits", self.retries);
+        }
+        if self.timeouts > 0 {
+            out.counter("fault.timeouts", self.timeouts);
+        }
+        if self.error_completions > 0 {
+            out.counter("fault.error_completions", self.error_completions);
+        }
+        if self.dropped_completions > 0 {
+            out.counter("fault.dropped_completions", self.dropped_completions);
+        }
     }
 }
 
@@ -222,29 +288,44 @@ impl simkit::Instrument for PortAccounting {
 /// pre-port blocking helpers; pipelined callers drain the port themselves
 /// instead of using this adapter.
 ///
-/// Panics with CID context if the port goes idle before the tag
-/// completes (a stalled device model is a simulation bug).
+/// Panics with the structured [`SimError::Stall`] report if the port goes
+/// idle before the tag completes (a stalled device model is a simulation
+/// bug); chaos harnesses that want the error instead use
+/// [`try_drive_to_completion`].
 pub fn drive_to_completion<P: IoPort + ?Sized>(
     port: &mut P,
     from: SimTime,
     tag: CmdTag,
     scratch: &mut Vec<Completion>,
 ) -> Completion {
+    try_drive_to_completion(port, from, tag, scratch).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`drive_to_completion`]: a port that goes idle with
+/// the tag still outstanding yields [`SimError::Stall`] carrying a
+/// diagnostic snapshot (virtual time, in-flight count, the waiting CID)
+/// instead of unwinding.
+pub fn try_drive_to_completion<P: IoPort + ?Sized>(
+    port: &mut P,
+    from: SimTime,
+    tag: CmdTag,
+    scratch: &mut Vec<Completion>,
+) -> Result<Completion, Box<SimError>> {
     let mut horizon = from;
     loop {
         port.poll(horizon);
         scratch.clear();
         port.completions_into(horizon, scratch);
         if let Some(done) = scratch.iter().find(|c| c.entry.cid == tag.0) {
-            return *done;
+            return Ok(*done);
         }
         match port.next_port_event_at() {
             Some(t) => horizon = t.max(horizon),
-            None => panic!(
-                "port idle but command cid={} never completed (waiting since t={}us)",
-                tag.0,
-                from.as_micros_f64()
-            ),
+            None => {
+                let snapshot = DiagnosticSnapshot::new(horizon, port.in_flight())
+                    .detail(format!("command cid={} never completed", tag.0));
+                return Err(Box::new(SimError::stall("I/O port", from, snapshot)));
+            }
         }
     }
 }

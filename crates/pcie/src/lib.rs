@@ -28,7 +28,7 @@ pub mod wc;
 pub use dma::{DmaConfig, DmaDirection, DmaEngine};
 pub use link::{Generation, LaneWidth, LinkConfig, PcieLink};
 pub use mmio::{AddressMap, DeviceId, MmioError, Region, RegionKind};
-pub use ntb::{HostId, NtbConfig, NtbPort, TranslationWindow};
+pub use ntb::{HostId, NtbConfig, NtbFaultStats, NtbPort, TranslationWindow};
 pub use rdma::{RdmaConfig, RdmaTransport};
 pub use tlp::{BusAddr, MaxPayloadSize, Tlp, TlpKind, TlpOverhead};
 pub use wc::{MmioMode, StoreIssueModel, UC_STORE_BYTES, WC_BUFFER_BYTES};

@@ -10,7 +10,8 @@
 
 use crate::link::{LinkConfig, PcieLink};
 use crate::tlp::{BusAddr, Tlp};
-use simkit::{Grant, LinkStats, SimDuration, SimTime};
+use simkit::faults::{FaultHook, LinkDownWindow, TransportFaultConfig};
+use simkit::{DetRng, Grant, LinkStats, SimDuration, SimTime};
 
 /// Identifies a host/fabric connected by NTB.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -91,13 +92,94 @@ pub struct NtbPort {
     windows: Vec<TranslationWindow>,
     wire: PcieLink,
     forwarded_tlps: u64,
+    /// Fault injection (None = inert, the default).
+    faults: Option<NtbFaults>,
+}
+
+/// Armed transport-fault state for one port (see [`NtbPort::arm_faults`]).
+#[derive(Debug, Clone)]
+struct NtbFaults {
+    cfg: TransportFaultConfig,
+    drop: FaultHook,
+    /// Scheduled outages; traffic entering a window is parked until the
+    /// link retrains at the window end, then replayed.
+    link_down: Vec<LinkDownWindow>,
+    replays: u64,
+    deferrals: u64,
+}
+
+/// Fault counters for one NTB port.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NtbFaultStats {
+    /// TLPs (or bursts) dropped and replayed after the replay timer.
+    pub replays: u64,
+    /// TLPs (or bursts) parked by a link-down window until retrain.
+    pub deferrals: u64,
 }
 
 impl NtbPort {
     /// Open a port towards `peer`.
     pub fn new(config: NtbConfig, peer: HostId) -> Self {
         let wire = PcieLink::new(config.link);
-        NtbPort { config, peer, windows: Vec::new(), wire, forwarded_tlps: 0 }
+        NtbPort { config, peer, windows: Vec::new(), wire, forwarded_tlps: 0, faults: None }
+    }
+
+    /// Arm deterministic transport-fault injection: each forwarded TLP (or
+    /// burst) is dropped with probability `cfg.tlp_drop` and redelivered
+    /// after the replay timer — the PCIe data-link layer's ACK/NAK replay,
+    /// so a drop is pure latency, never loss. `rng` should be forked from
+    /// the fault plan's master seed. The unarmed port makes zero draws and
+    /// behaves bit-identically.
+    pub fn arm_faults(&mut self, cfg: TransportFaultConfig, rng: DetRng) {
+        self.faults = Some(NtbFaults {
+            drop: FaultHook::armed(rng, cfg.tlp_drop),
+            cfg,
+            link_down: Vec::new(),
+            replays: 0,
+            deferrals: 0,
+        });
+    }
+
+    /// Schedule a link outage: traffic entering `[window.from, window.until)`
+    /// is parked until the link retrains at `window.until`, then replayed.
+    /// Arms the fault layer (at zero drop rate) if it was not armed yet.
+    pub fn schedule_link_down(&mut self, window: LinkDownWindow) {
+        let f = self.faults.get_or_insert_with(|| NtbFaults {
+            cfg: TransportFaultConfig::default(),
+            drop: FaultHook::disabled(),
+            link_down: Vec::new(),
+            replays: 0,
+            deferrals: 0,
+        });
+        f.link_down.push(window);
+    }
+
+    /// Fault counters (zero when never armed).
+    pub fn fault_stats(&self) -> NtbFaultStats {
+        self.faults
+            .as_ref()
+            .map(|f| NtbFaultStats { replays: f.replays, deferrals: f.deferrals })
+            .unwrap_or_default()
+    }
+
+    /// Extra delivery delay the fault layer imposes on traffic entering at
+    /// `now`: time parked in a link-down window, plus the replay timer if
+    /// the drop hook fires. Zero (and zero draws) when unarmed.
+    fn fault_delay(&mut self, now: SimTime) -> SimDuration {
+        let Some(f) = self.faults.as_mut() else {
+            return SimDuration::ZERO;
+        };
+        let mut extra = SimDuration::ZERO;
+        if let Some(w) = f.link_down.iter().find(|w| w.contains(now)) {
+            // Parked until retrain, then the TLP goes out.
+            extra += w.until.saturating_since(now);
+            f.deferrals += 1;
+        }
+        if f.drop.fire() {
+            extra += f.cfg.replay_timeout;
+            f.replays += 1;
+        }
+        extra
     }
 
     /// The peer this port reaches.
@@ -123,7 +205,8 @@ impl NtbPort {
     /// as real NTBs do for unmapped traffic).
     pub fn forward(&mut self, now: SimTime, tlp: &Tlp) -> Option<(Tlp, Grant)> {
         let remote_addr = self.translate(tlp.addr)?;
-        let g = self.wire.send(now, &Tlp { addr: remote_addr, ..*tlp });
+        let fault = self.fault_delay(now);
+        let g = self.wire.send(now + fault, &Tlp { addr: remote_addr, ..*tlp });
         self.forwarded_tlps += 1;
         let extra =
             self.config.link.bandwidth().transfer_time(self.config.translation_overhead_bytes);
@@ -141,7 +224,8 @@ impl NtbPort {
         n: u64,
     ) -> Option<Grant> {
         let _remote = self.translate(addr)?;
-        let g = self.wire.send_write_burst(now, payload, n);
+        let fault = self.fault_delay(now);
+        let g = self.wire.send_write_burst(now + fault, payload, n);
         self.forwarded_tlps += n;
         Some(Grant { start: g.start, end: g.end + self.config.hop_latency })
     }
@@ -170,6 +254,12 @@ impl NtbPort {
 impl simkit::Instrument for NtbPort {
     fn instrument(&self, out: &mut simkit::Scope<'_>) {
         out.counter("forwarded_tlps", self.forwarded_tlps);
+        // Fault metrics exist only when injection is armed — fault-free
+        // snapshots keep their byte-frozen layout.
+        if let Some(f) = &self.faults {
+            out.counter("retry.tlp_replays", f.replays);
+            out.counter("fault.link_down_deferrals", f.deferrals);
+        }
         self.wire.instrument(out);
     }
 }
@@ -238,6 +328,65 @@ mod tests {
         let g2 = p.forward_burst(SimTime::ZERO, 0x8000_0000, 64, 100).unwrap();
         assert!(g2.end > g1.end, "second burst must queue behind the first");
         assert_eq!(p.forwarded_tlps(), 200);
+    }
+
+    #[test]
+    fn tlp_drop_pays_replay_timer_not_loss() {
+        let mut clean = port();
+        let mut faulty = port();
+        faulty.arm_faults(
+            TransportFaultConfig { tlp_drop: 1.0, replay_timeout: SimDuration::from_micros(10) },
+            DetRng::new(4),
+        );
+        let (_, gc) = clean.forward(SimTime::ZERO, &Tlp::write(0x8000_0000, 64)).unwrap();
+        let (_, gf) = faulty.forward(SimTime::ZERO, &Tlp::write(0x8000_0000, 64)).unwrap();
+        assert_eq!(
+            gf.end.as_nanos(),
+            gc.end.as_nanos() + 10_000,
+            "a dropped TLP is delayed by exactly the replay timer, never lost"
+        );
+        assert_eq!(faulty.fault_stats().replays, 1);
+        assert_eq!(faulty.forwarded_tlps(), 1);
+    }
+
+    #[test]
+    fn link_down_window_parks_traffic_until_retrain() {
+        let mut p = port();
+        p.schedule_link_down(LinkDownWindow {
+            from: SimTime::from_micros(10),
+            until: SimTime::from_micros(50),
+        });
+        // Before the outage: normal latency.
+        let g0 = p.forward_burst(SimTime::ZERO, 0x8000_0000, 64, 1).unwrap();
+        assert!(g0.end < SimTime::from_micros(10));
+        // Inside the outage: parked until retrain at 50us.
+        let g1 = p.forward_burst(SimTime::from_micros(20), 0x8000_0000, 64, 1).unwrap();
+        assert!(g1.end >= SimTime::from_micros(50), "parked until retrain: {:?}", g1.end);
+        // After the outage: normal again.
+        let g2 = p.forward_burst(SimTime::from_micros(60), 0x8000_0000, 64, 1).unwrap();
+        assert!(g2.end < SimTime::from_micros(62));
+        assert_eq!(p.fault_stats().deferrals, 1);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        fn run(seed: u64) -> Vec<u64> {
+            let mut p = port();
+            p.arm_faults(
+                TransportFaultConfig { tlp_drop: 0.3, replay_timeout: SimDuration::from_micros(5) },
+                DetRng::new(seed),
+            );
+            (0..50)
+                .map(|i| {
+                    p.forward_burst(SimTime::from_micros(i * 10), 0x8000_0000, 64, 4)
+                        .unwrap()
+                        .end
+                        .as_nanos()
+                })
+                .collect()
+        }
+        assert_eq!(run(8), run(8));
+        assert_ne!(run(8), run(9));
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Structured simulation errors with diagnostic snapshots.
+//!
+//! A stalled device model or a violated hot-path invariant used to surface
+//! as a bare `panic!` — fine for a unit test, useless in a chaos run where
+//! the interesting question is *what the stack looked like* when progress
+//! stopped. [`SimError`] packages the failure class together with a
+//! [`DiagnosticSnapshot`] (virtual time, in-flight commands, queue depths)
+//! so fallible entry points (`Cluster::try_wait_for_completion`,
+//! `try_drive_to_completion`) return an actionable report, and the
+//! infallible wrappers panic with the same structured text instead of a
+//! bare message.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// What the simulation looked like at the instant of failure.
+#[derive(Debug, Clone, Default)]
+pub struct DiagnosticSnapshot {
+    /// Virtual time of the failure.
+    pub at: SimTime,
+    /// Commands in flight on the failing port/device.
+    pub in_flight: usize,
+    /// Named queue depths (ring occupancy, pending events, …).
+    pub queue_depths: Vec<(&'static str, u64)>,
+    /// Free-form context from the failure site.
+    pub detail: String,
+}
+
+impl DiagnosticSnapshot {
+    /// Snapshot at `at` with `in_flight` commands outstanding.
+    pub fn new(at: SimTime, in_flight: usize) -> Self {
+        DiagnosticSnapshot { at, in_flight, queue_depths: Vec::new(), detail: String::new() }
+    }
+
+    /// Attach a named queue depth.
+    pub fn queue(mut self, name: &'static str, depth: u64) -> Self {
+        self.queue_depths.push((name, depth));
+        self
+    }
+
+    /// Attach free-form context.
+    pub fn detail(mut self, detail: impl Into<String>) -> Self {
+        self.detail = detail.into();
+        self
+    }
+}
+
+impl fmt::Display for DiagnosticSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}us, {} in flight", self.at.as_micros_f64(), self.in_flight)?;
+        for (name, depth) in &self.queue_depths {
+            write!(f, ", {name}={depth}")?;
+        }
+        if !self.detail.is_empty() {
+            write!(f, "; {}", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// A structured simulation failure.
+#[derive(Debug, Clone)]
+pub enum SimError {
+    /// A port/device went idle while a command was still outstanding —
+    /// the simulation cannot make progress.
+    Stall {
+        /// The failing site ("cluster device 2 port", "nvme driver", …).
+        site: String,
+        /// When the stalled wait began.
+        waiting_since: SimTime,
+        /// The state of the stack at stall detection.
+        snapshot: DiagnosticSnapshot,
+    },
+    /// A hot-path invariant was violated (e.g. a CMB read outside the live
+    /// ring window).
+    Invariant {
+        /// The failing site.
+        site: String,
+        /// The state of the stack at the violation.
+        snapshot: DiagnosticSnapshot,
+    },
+}
+
+impl SimError {
+    /// Build a stall error.
+    pub fn stall(
+        site: impl Into<String>,
+        waiting_since: SimTime,
+        snapshot: DiagnosticSnapshot,
+    ) -> Self {
+        SimError::Stall { site: site.into(), waiting_since, snapshot }
+    }
+
+    /// Build an invariant-violation error.
+    pub fn invariant(site: impl Into<String>, snapshot: DiagnosticSnapshot) -> Self {
+        SimError::Invariant { site: site.into(), snapshot }
+    }
+
+    /// The diagnostic snapshot, whatever the failure class.
+    pub fn snapshot(&self) -> &DiagnosticSnapshot {
+        match self {
+            SimError::Stall { snapshot, .. } | SimError::Invariant { snapshot, .. } => snapshot,
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Stall { site, waiting_since, snapshot } => write!(
+                f,
+                "simulation stalled at {site}: waiting since t={}us [{snapshot}]",
+                waiting_since.as_micros_f64()
+            ),
+            SimError::Invariant { site, snapshot } => {
+                write!(f, "invariant violated at {site} [{snapshot}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_diagnostics() {
+        let snap = DiagnosticSnapshot::new(SimTime::from_micros(42), 3)
+            .queue("sq", 7)
+            .detail("cid=9 never completed");
+        let e = SimError::stall("test port", SimTime::from_micros(10), snap);
+        let s = e.to_string();
+        assert!(s.contains("test port"), "{s}");
+        assert!(s.contains("t=42us"), "{s}");
+        assert!(s.contains("3 in flight"), "{s}");
+        assert!(s.contains("sq=7"), "{s}");
+        assert!(s.contains("cid=9"), "{s}");
+    }
+
+    #[test]
+    fn invariant_display() {
+        let e = SimError::invariant(
+            "cmb ring",
+            DiagnosticSnapshot::new(SimTime::ZERO, 0).detail("read outside live window"),
+        );
+        assert!(e.to_string().contains("invariant violated at cmb ring"));
+        assert_eq!(e.snapshot().in_flight, 0);
+    }
+}

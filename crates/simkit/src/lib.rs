@@ -13,7 +13,12 @@
 //! - [`rng`] — explicitly seeded randomness for replayable workloads;
 //! - [`bytes`] — cheaply cloneable immutable payload buffers;
 //! - [`telemetry`] — the cross-stack metrics registry every device model
-//!   reports into, with snapshot/diff phase measurement and JSON export.
+//!   reports into, with snapshot/diff phase measurement and JSON export;
+//! - [`faults`] — deterministic fault injection ([`FaultPlan`],
+//!   [`FaultHook`]): seed-reproducible fault schedules threaded through
+//!   every layer, inert (zero draws, zero latency) when disarmed;
+//! - [`error`] — structured simulation failures ([`SimError`]) carrying a
+//!   diagnostic snapshot (time, in-flight commands, queue depths).
 //!
 //! Design note: there is intentionally no global scheduler or actor runtime.
 //! Each device owns its own calendar and exposes `advance_to(t)`; a
@@ -25,7 +30,9 @@
 
 pub mod bandwidth;
 pub mod bytes;
+pub mod error;
 pub mod events;
+pub mod faults;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -34,7 +41,9 @@ pub mod time;
 
 pub use bandwidth::Bandwidth;
 pub use bytes::Bytes;
+pub use error::{DiagnosticSnapshot, SimError};
 pub use events::{EventId, EventQueue};
+pub use faults::{FaultHook, FaultPlan};
 pub use resource::{BankedResource, Grant, Link, LinkStats, SerialResource};
 pub use rng::DetRng;
 pub use stats::{Candlestick, Histogram, OnlineStats, SampleSeries, SeriesPoint, ThroughputMeter};

@@ -245,6 +245,22 @@ impl ConventionalSsd {
         &self.port
     }
 
+    /// Arm the flash fault layer (see [`FlashArray::arm_faults`]):
+    /// deterministic transient read/program retries plus permanent program
+    /// failures, drawn from `rng`. Permanent failures surface as
+    /// [`FlashError::ProgramFailed`] and ride the existing FTL
+    /// retire-remap-resubmit path. An unarmed device makes zero fault
+    /// draws.
+    pub fn arm_flash_faults(&mut self, cfg: simkit::faults::FlashFaultConfig, rng: simkit::DetRng) {
+        self.array.arm_faults(cfg, rng);
+    }
+
+    /// Raw flash-array statistics (programs/reads/erases plus the injected
+    /// fault counters — retries, grown bad blocks).
+    pub fn flash_stats(&self) -> flash::FlashStats {
+        self.array.stats()
+    }
+
     /// Change the channel-scheduler policy (an X-SSD vendor command).
     pub fn set_scheduling_mode(&mut self, mode: SchedulingMode) {
         self.sched.set_mode(mode);
@@ -410,8 +426,14 @@ impl ConventionalSsd {
     /// Take internal-read completions at or before `t`.
     pub fn drain_internal_reads(&mut self, t: SimTime) -> Vec<(SimTime, u64)> {
         let mut ready = Vec::new();
-        Self::drain_tokens_into(&mut self.internal_reads_done, t, &mut ready);
+        self.drain_internal_reads_into(t, &mut ready);
         ready
+    }
+
+    /// Append internal-read completions at or before `t` to `out` without
+    /// allocating.
+    pub fn drain_internal_reads_into(&mut self, t: SimTime, out: &mut Vec<(SimTime, u64)>) {
+        Self::drain_tokens_into(&mut self.internal_reads_done, t, out);
     }
 
     /// Stable in-place split of a `(time, token)` queue: due entries append
@@ -647,7 +669,18 @@ impl ConventionalSsd {
                     );
                     self.replace_outstanding(c.id, new_id);
                 }
-                Err(e) => panic!("unexpected host-write flash error: {e}"),
+                Err(e) => panic!(
+                    "{}",
+                    simkit::SimError::invariant(
+                        "ssd host-write path",
+                        simkit::DiagnosticSnapshot::new(c.at, self.pending.len())
+                            .queue(
+                                "outstanding_host_programs",
+                                self.outstanding_host_programs.len() as u64
+                            )
+                            .detail(format!("flash op {} (lpn {lpn}) failed: {e}", c.id)),
+                    )
+                ),
             },
             PendingOp::HostReadPage { cid } => {
                 if let Some(state) = self.reads.get_mut(&cid) {
@@ -686,7 +719,18 @@ impl ConventionalSsd {
                         PendingOp::DestageWrite { token, lpn, data },
                     );
                 }
-                Err(e) => panic!("unexpected destage flash error: {e}"),
+                Err(e) => panic!(
+                    "{}",
+                    simkit::SimError::invariant(
+                        "ssd destage path",
+                        simkit::DiagnosticSnapshot::new(c.at, self.pending.len())
+                            .queue("destage_done", self.destage_done.len() as u64)
+                            .detail(format!(
+                                "flash op {} (lpn {lpn}, token {token}) failed: {e}",
+                                c.id
+                            )),
+                    )
+                ),
             },
             PendingOp::InternalRead { token } => {
                 self.internal_reads_done.push((c.at, token));
@@ -821,14 +865,25 @@ impl ConventionalSsd {
     /// which only the host can consume. Event-loop steppers use this;
     /// drivers use [`NvmeController::next_event_at`].
     pub fn next_device_event(&self) -> Option<SimTime> {
-        let mut next = self.events.next_time();
-        if let Some(t) = self.sched.next_start_hint(&self.array) {
-            next = Some(next.map_or(t, |e: SimTime| e.min(t)));
-        }
+        let mut next = self.next_flash_event();
         // Undelivered fast-side completions are pending work for the upper
         // layer (the destage module / recovery reader).
         for t in self.destage_done.iter().chain(self.internal_reads_done.iter()).map(|(at, _)| *at)
         {
+            next = Some(next.map_or(t, |e: SimTime| e.min(t)));
+        }
+        next
+    }
+
+    /// Earliest instant the flash pipeline itself moves (a scheduled
+    /// event fires or queued flash work can start) — excluding the
+    /// fast-side completion queues, which sit at their posting time until
+    /// their owner drains them. Waiters driving one specific flash op use
+    /// this: the global [`ConventionalSsd::next_device_event`] can be
+    /// pinned below their op by a completion a *different* loop owns.
+    pub fn next_flash_event(&self) -> Option<SimTime> {
+        let mut next = self.events.next_time();
+        if let Some(t) = self.sched.next_start_hint(&self.array) {
             next = Some(next.map_or(t, |e: SimTime| e.min(t)));
         }
         next

@@ -13,4 +13,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test --workspace --quiet
 
-echo "ok: fmt, clippy, tests all clean"
+echo "== chaos_tpcc smoke (3 seeds)"
+cargo build --release -p xssd-bench --bin chaos_tpcc --quiet
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+for seed in 7 1234 99991; do
+  XSSD_RESULTS_DIR="$smoke_dir" ./target/release/chaos_tpcc "$seed" > /dev/null
+done
+
+echo "ok: fmt, clippy, tests, chaos smoke all clean"

@@ -21,6 +21,7 @@ HARNESSES=(
   ablation_replicated_tpcc
   ablation_replication_policy
   ablation_transport
+  chaos_tpcc
 )
 
 echo "== cargo build --release"
@@ -45,6 +46,18 @@ fi
 untracked=$(git ls-files --others --exclude-standard -- 'results/*.json')
 if [ -n "$untracked" ]; then
   echo "FAIL: new untracked results files: $untracked"
+  exit 1
+fi
+
+# Fault-injection determinism: the chaos run must be replayable from its
+# seed alone — a second run of the default seed into a scratch directory
+# must be byte-identical to the committed golden.
+echo "== chaos_tpcc determinism (same seed twice)"
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+XSSD_RESULTS_DIR="$scratch" ./target/release/chaos_tpcc > /dev/null
+if ! cmp results/chaos_tpcc.json "$scratch/chaos_tpcc.json"; then
+  echo "FAIL: two chaos_tpcc runs of the same seed diverged."
   exit 1
 fi
 
