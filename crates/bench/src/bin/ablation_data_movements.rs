@@ -12,7 +12,7 @@
 //! carries both paths' snapshots.
 
 use simkit::{Bandwidth, MetricsRegistry, SimTime, Snapshot};
-use xssd_bench::{section, Measurement, Report};
+use xssd_bench::{section, sweep, Measurement, Report};
 use xssd_core::{Cluster, VillarsConfig, XLogFile};
 
 struct Movements {
@@ -93,14 +93,19 @@ fn main() {
         "paper §5.1: four movements vs. two; only host-side movements burn host bandwidth",
     );
     let total: u64 = 64 << 20;
-    let h = host_managed(total);
-    let v = villars(total);
+    // Two independent cells: the analytic host-managed model and the
+    // simulated Villars path.
+    let paths = [("host-managed-pm", 0.0), ("villars", 1.0)];
+    let snaps = sweep::run(paths.len(), |i| match i {
+        0 => host_managed(total),
+        _ => villars(total),
+    });
     section("host cost per logged byte");
     println!(
         "{:<24} {:>22} {:>16} {:>16}",
         "path", "host_bus_bytes/byte", "bus_us_per_MiB", "e2e_us_per_MiB"
     );
-    for (label, snap, x) in [("host-managed-pm", h, 0.0), ("villars", v, 1.0)] {
+    for (&(label, x), snap) in paths.iter().zip(snaps) {
         let m = derive(&snap);
         report.row(
             &format!(

@@ -12,7 +12,7 @@
 //! snapshots land in `results/ablation_destage_deadline.json`.
 
 use simkit::{MetricsRegistry, SimDuration, SimTime, Snapshot};
-use xssd_bench::{section, Measurement, Report};
+use xssd_bench::{section, sweep, Measurement, Report};
 use xssd_core::{Cluster, DestageConfig, VillarsConfig, XLogFile};
 
 fn device(max_latency: SimDuration) -> (Cluster, usize) {
@@ -83,8 +83,9 @@ fn main() {
     );
     section("per-deadline outcome");
     println!("{:<14} {:>16} {:>20}", "deadline_us", "filler_frac", "read_freshness_us");
-    for deadline_us in [50u64, 200, 1000, 5000] {
-        let snap = run(SimDuration::from_micros(deadline_us));
+    let deadlines = [50u64, 200, 1000, 5000];
+    let snaps = sweep::map(&deadlines, |&us| run(SimDuration::from_micros(us)));
+    for (&deadline_us, snap) in deadlines.iter().zip(snaps) {
         let (filler_fraction, freshness_us) = derive(&snap);
         report.row(
             &format!("{:<14} {:>16.3} {:>20.1}", deadline_us, filler_fraction, freshness_us),

@@ -13,7 +13,7 @@
 use memdb::{run_workload, RunnerConfig, WalConfig, WalManager, XssdLog};
 use simkit::{MetricValue, MetricsRegistry, SimDuration, SimTime, Snapshot};
 use tpcc::{setup, TpccConfig};
-use xssd_bench::{section, Measurement, Report};
+use xssd_bench::{section, sweep, Measurement, Report};
 use xssd_core::{Cluster, VillarsConfig};
 
 fn run(secondaries: usize) -> Snapshot {
@@ -65,8 +65,9 @@ fn main() {
     );
     section("throughput and commit latency vs. replica count");
     println!("{:<14} {:>12} {:>16}", "secondaries", "ktxn/s", "mean_lat_us");
-    for n in [0usize, 1, 2] {
-        let snap = run(n);
+    let replica_counts = [0usize, 1, 2];
+    let snaps = sweep::map(&replica_counts, |&n| run(n));
+    for (&n, snap) in replica_counts.iter().zip(snaps) {
         let (tps, lat) = derive(&snap);
         report.row(
             &format!("{:<14} {:>12.1} {:>16.1}", n, tps / 1e3, lat),

@@ -12,7 +12,7 @@
 use simkit::{
     Histogram, MetricValue, MetricsRegistry, SampleSeries, SimDuration, SimTime, Snapshot,
 };
-use xssd_bench::{section, Measurement, Report};
+use xssd_bench::{section, sweep, Measurement, Report};
 use xssd_core::{Cluster, ReplicationPolicy, VillarsConfig, XLogFile};
 
 fn run(policy: ReplicationPolicy, secondaries: usize) -> Snapshot {
@@ -82,21 +82,26 @@ fn main() {
         "{:<12} {:>14} {:>14} {:>14}",
         "policy", "1 secondary", "2 secondaries", "3 secondaries"
     );
-    for (label, policy) in [
+    let policies = [
         ("eager", ReplicationPolicy::Eager),
         ("lazy", ReplicationPolicy::Lazy),
         ("chain", ReplicationPolicy::Chain),
         ("quorum2", ReplicationPolicy::Quorum(2)),
-    ] {
-        let snaps = [run(policy, 1), run(policy, 2), run(policy, 3)];
+    ];
+    // Full (policy, secondaries) grid: 12 isolated cells, three per row.
+    let grid: Vec<(&str, ReplicationPolicy, usize)> =
+        policies.iter().flat_map(|&(l, p)| (1..=3).map(move |n| (l, p, n))).collect();
+    let cells = sweep::map(&grid, |&(_, policy, n)| run(policy, n));
+    for (row, snaps) in policies.iter().zip(cells.chunks_exact(3)) {
+        let (label, _) = *row;
         let [l1, l2, l3] = [mean_us(&snaps[0]), mean_us(&snaps[1]), mean_us(&snaps[2])];
         report.row(
             &format!("{:<12} {:>14.2} {:>14.2} {:>14.2}", label, l1, l2, l3),
             Measurement::point("ablation_policy", label, 1.0, "secondaries", l1, "latency_us")
                 .with_extra(l3),
         );
-        for (i, snap) in snaps.into_iter().enumerate() {
-            report.telemetry(format!("{label}.{}sec", i + 1), snap);
+        for (i, snap) in snaps.iter().enumerate() {
+            report.telemetry(format!("{label}.{}sec", i + 1), snap.clone());
         }
     }
     println!();

@@ -10,7 +10,7 @@
 
 use pcie::{NtbConfig, NtbPort, RdmaConfig, RdmaTransport, TranslationWindow};
 use simkit::{MetricsRegistry, SimTime, Snapshot};
-use xssd_bench::{section, Measurement, Report};
+use xssd_bench::{section, sweep, Measurement, Report};
 
 fn ntb_one_way(chunk: u64) -> (f64, NtbPort) {
     let mut port = NtbPort::new(NtbConfig::default(), pcie::HostId(1));
@@ -60,8 +60,9 @@ fn main() {
         "{:<12} {:>12} {:>16} {:>16}",
         "chunk_B", "ntb_us", "rdma_visible_us", "rdma_persist_us"
     );
-    for chunk in [64u64, 256, 1024, 4096, 16384, 65536] {
-        let snap = run(chunk);
+    let chunks = [64u64, 256, 1024, 4096, 16384, 65536];
+    let snaps = sweep::map(&chunks, |&chunk| run(chunk));
+    for (&chunk, snap) in chunks.iter().zip(snaps) {
         let ntb = snap.gauge("bench.ntb_us");
         let vis = snap.gauge("bench.rdma_visible_us");
         let per = snap.gauge("bench.rdma_persist_us");

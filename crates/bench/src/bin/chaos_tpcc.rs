@@ -15,9 +15,13 @@
 //! completions, lost completions → timeout/abort/backoff-retry) against the
 //! conventional SSD, since the Villars fast path bypasses the NVMe queue.
 //!
-//! Usage: `chaos_tpcc [seed]` (default seed `0xC0C5` is the committed
+//! Usage: `chaos_tpcc [seed...]` (default seed `0xC0C5` is the committed
 //! golden). The same seed always produces the same faults at the same
 //! virtual instants and a byte-identical `results/chaos_tpcc.json`.
+//! Multiple seeds run as independent cells on the [`sweep`] pool
+//! (`XSSD_BENCH_THREADS`), reported in argument order; each seed's report
+//! overwrites `results/chaos_tpcc.json` in turn, so the last seed's file
+//! survives — exactly what running the seeds sequentially produced.
 
 use memdb::{durable_log_stream, encode_txn, fail_over, recover, rejoin_secondary};
 use nvme::{drive_to_completion, CommandKind, IoCommand, IoPort, NvmeDriver};
@@ -25,9 +29,9 @@ use simkit::faults::{
     FaultKind, FlashFaultConfig, LinkDownWindow, NvmeFaultConfig, ScheduledFault,
     TransportFaultConfig,
 };
-use simkit::{FaultPlan, MetricsRegistry, SimDuration, SimTime};
+use simkit::{FaultPlan, MetricsRegistry, SimDuration, SimTime, Snapshot};
 use tpcc::{setup, TpccConfig, TpccWorkload};
-use xssd_bench::{section, Measurement, Report};
+use xssd_bench::{section, sweep, Measurement, Report};
 use xssd_core::{Cluster, VillarsConfig, XLogFile};
 
 /// Transactions per fsync group (the host's group-commit cadence).
@@ -157,21 +161,32 @@ fn nvme_fault_section(plan: &FaultPlan) -> (u64, u64, u64, u64) {
     (s.retries(), s.timeouts(), s.error_completions(), s.dropped_completions())
 }
 
-fn main() {
-    let seed: u64 =
-        std::env::args().nth(1).map(|s| s.parse().expect("seed must be a u64")).unwrap_or(0xC0C5);
+/// Everything one seed's run produces — the silent simulation half of the
+/// harness. `main` turns this into the printed sections, rows, and the
+/// results file, in seed order.
+struct ChaosOutcome {
+    seed: u64,
+    tally: Tally,
+    fo_stall: SimDuration,
+    fo_status_polls: u64,
+    s1: usize,
+    s2: usize,
+    recovered: [u64; 2],
+    flash_transient_retries: u64,
+    flash_bad_blocks: u64,
+    ntb_replays: u64,
+    ntb_deferrals: u64,
+    nvme_retries: u64,
+    nvme_timeouts: u64,
+    nvme_errors: u64,
+    nvme_dropped: u64,
+    pre_crash: Snapshot,
+}
 
-    let knobs = format!(
-        "seed={seed} devices=3 policy=eager phases={}/{}/{} group={GROUP}",
-        PHASES[0], PHASES[1], PHASES[2]
-    );
-    let mut report = Report::new(
-        "chaos_tpcc",
-        "chaos",
-        "replicated TPC-C under a cross-stack fault plan",
-        &knobs,
-    );
-
+/// Run the full chaos scenario for one fault seed. This is a [`sweep`]
+/// cell: it builds its own cluster/database/workload worlds, prints
+/// nothing, and asserts its recovery invariants in place.
+fn run_seed(seed: u64) -> ChaosOutcome {
     // --- Cluster + workload setup -------------------------------------
     let (mut db, mut workload, mut wrng) = setup(TpccConfig::small(), WORKLOAD_SEED);
     let mut cluster = Cluster::new();
@@ -195,7 +210,6 @@ fn main() {
     let mut tally = Tally::default();
 
     // --- Phase 1: healthy replication through the link-down window ----
-    section("phase 1: full replica set, TLP drops + link-down window");
     let mut now = run_phase(
         &mut cluster,
         &mut file,
@@ -212,7 +226,6 @@ fn main() {
     assert!(ntb_phase1.deferrals >= 1, "the link-down window parked at least one mirror burst");
 
     // --- Crash a secondary; the primary notices and fails over --------
-    section("phase 2: secondary crash, failover, degraded replication");
     cluster.power_fail(s2, now);
     let fo = fail_over(&mut cluster, now, p, &[s1]);
     assert!(
@@ -234,7 +247,6 @@ fn main() {
     let ntb_phase2 = cluster.device(p).transport().flow_fault_stats();
 
     // --- Rejoin the crashed secondary via log re-sync ------------------
-    section("phase 3: rejoin via re-sync, full set again");
     now = rejoin_secondary(&mut cluster, now, p, s2, &[s1, s2]);
     assert_eq!(
         cluster.device(s2).log_tail(0),
@@ -256,7 +268,6 @@ fn main() {
     assert!(replays >= 1, "the TLP drop hook fired at least once");
 
     // --- Whole-cluster power loss + recovery ---------------------------
-    section("recovery: total power loss, replay from each surviving copy");
     let settle = now + SimDuration::from_millis(2);
     cluster.advance(settle);
     let pre_crash_snapshot = {
@@ -309,12 +320,52 @@ fn main() {
     }
 
     // --- NVMe command-level faults (conventional path) ------------------
-    section("nvme: error completions, lost completions, timeout + retry");
     let (nvme_retries, nvme_timeouts, nvme_errors, nvme_dropped) = nvme_fault_section(&plan);
     assert!(nvme_retries >= 1, "the NVMe retry machinery engaged");
     assert!(nvme_timeouts >= 1, "at least one lost completion timed out");
 
-    // --- Report ---------------------------------------------------------
+    ChaosOutcome {
+        seed,
+        tally,
+        fo_stall: fo.stall(),
+        fo_status_polls: fo.status_polls,
+        s1,
+        s2,
+        recovered,
+        flash_transient_retries: flash_total.transient_read_retries
+            + flash_total.transient_program_retries,
+        flash_bad_blocks: flash_total.injected_program_failures,
+        ntb_replays: replays,
+        ntb_deferrals: ntb_phase1.deferrals + ntb_phase2.deferrals + ntb_phase3.deferrals,
+        nvme_retries,
+        nvme_timeouts,
+        nvme_errors,
+        nvme_dropped,
+        pre_crash: pre_crash_snapshot,
+    }
+}
+
+/// Print one seed's sections, rows, and results file — the presentation
+/// half, run in seed order on the main thread.
+fn emit(o: ChaosOutcome) {
+    let seed = o.seed;
+    let knobs = format!(
+        "seed={seed} devices=3 policy=eager phases={}/{}/{} group={GROUP}",
+        PHASES[0], PHASES[1], PHASES[2]
+    );
+    let mut report = Report::new(
+        "chaos_tpcc",
+        "chaos",
+        "replicated TPC-C under a cross-stack fault plan",
+        &knobs,
+    );
+    section("phase 1: full replica set, TLP drops + link-down window");
+    section("phase 2: secondary crash, failover, degraded replication");
+    section("phase 3: rejoin via re-sync, full set again");
+    section("recovery: total power loss, replay from each surviving copy");
+    section("nvme: error completions, lost completions, timeout + retry");
+
+    let tally = o.tally;
     let sd = seed as f64;
     report.row(
         &format!(
@@ -332,63 +383,63 @@ fn main() {
     report.row(
         &format!(
             "failover stall {} us ({} status polls)",
-            fo.stall().as_nanos() as f64 / 1e3,
-            fo.status_polls
+            o.fo_stall.as_nanos() as f64 / 1e3,
+            o.fo_status_polls
         ),
         Measurement::point(
             "chaos",
             "failover.stall",
             sd,
             "seed",
-            fo.stall().as_nanos() as f64 / 1e3,
+            o.fo_stall.as_nanos() as f64 / 1e3,
             "us",
         )
-        .with_extra(fo.status_polls as f64),
+        .with_extra(o.fo_status_polls as f64),
     );
     report.row(
         &format!(
             "recovered {} txns from dev{} and {} from dev{}",
-            recovered[0], s1, recovered[1], s2
+            o.recovered[0], o.s1, o.recovered[1], o.s2
         ),
-        Measurement::point("chaos", "recovery.txns", sd, "seed", recovered[0] as f64, "txns")
-            .with_extra(recovered[1] as f64),
+        Measurement::point("chaos", "recovery.txns", sd, "seed", o.recovered[0] as f64, "txns")
+            .with_extra(o.recovered[1] as f64),
     );
     report.row(
         &format!(
             "flash: {} transient retries, {} bad blocks retired",
-            flash_total.transient_read_retries + flash_total.transient_program_retries,
-            flash_total.injected_program_failures
+            o.flash_transient_retries, o.flash_bad_blocks
         ),
         Measurement::point(
             "chaos",
             "fault.flash_retries",
             sd,
             "seed",
-            (flash_total.transient_read_retries + flash_total.transient_program_retries) as f64,
+            o.flash_transient_retries as f64,
             "retries",
         )
-        .with_extra(flash_total.injected_program_failures as f64),
+        .with_extra(o.flash_bad_blocks as f64),
+    );
+    report.row(
+        &format!("ntb: {} TLP replays, {} link-down deferrals", o.ntb_replays, o.ntb_deferrals),
+        Measurement::point("chaos", "fault.ntb_replays", sd, "seed", o.ntb_replays as f64, "tlps")
+            .with_extra(o.ntb_deferrals as f64),
     );
     report.row(
         &format!(
-            "ntb: {} TLP replays, {} link-down deferrals",
-            replays,
-            ntb_phase1.deferrals + ntb_phase2.deferrals + ntb_phase3.deferrals
+            "nvme: {} retries ({} error completions, {} dropped -> {} timeouts)",
+            o.nvme_retries, o.nvme_errors, o.nvme_dropped, o.nvme_timeouts
         ),
-        Measurement::point("chaos", "fault.ntb_replays", sd, "seed", replays as f64, "tlps")
-            .with_extra(
-                (ntb_phase1.deferrals + ntb_phase2.deferrals + ntb_phase3.deferrals) as f64,
-            ),
+        Measurement::point(
+            "chaos",
+            "fault.nvme_retries",
+            sd,
+            "seed",
+            o.nvme_retries as f64,
+            "cmds",
+        )
+        .with_extra(o.nvme_timeouts as f64),
     );
-    report.row(
-        &format!(
-            "nvme: {nvme_retries} retries ({nvme_errors} error completions, \
-             {nvme_dropped} dropped -> {nvme_timeouts} timeouts)"
-        ),
-        Measurement::point("chaos", "fault.nvme_retries", sd, "seed", nvme_retries as f64, "cmds")
-            .with_extra(nvme_timeouts as f64),
-    );
-    report.telemetry("pre_crash", pre_crash_snapshot);
+    report.telemetry("pre_crash", o.pre_crash);
     report.finish().expect("write results");
 
     println!();
@@ -397,4 +448,16 @@ fn main() {
          a secondary crash, and a full-cluster power loss",
         tally.logged
     );
+}
+
+fn main() {
+    let seeds: Vec<u64> =
+        std::env::args().skip(1).map(|s| s.parse().expect("seed must be a u64")).collect();
+    let seeds = if seeds.is_empty() { vec![0xC0C5] } else { seeds };
+    // Each seed is an isolated cell; the sweep runs them on all cores and
+    // hands the outcomes back in argument order for reporting.
+    let outcomes = sweep::map(&seeds, |&seed| run_seed(seed));
+    for o in outcomes {
+        emit(o);
+    }
 }

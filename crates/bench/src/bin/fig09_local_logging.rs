@@ -17,7 +17,7 @@ use memdb::{
 use simkit::{MetricValue, MetricsRegistry, SimDuration, Snapshot};
 use ssd::{ConventionalSsd, SsdConfig};
 use tpcc::{setup, TpccConfig, TpccWorkload};
-use xssd_bench::{section, Measurement, Report};
+use xssd_bench::{section, sweep, Measurement, Report};
 use xssd_core::{Cluster, VillarsConfig};
 
 /// The five Fig. 9 logging setups.
@@ -141,29 +141,32 @@ fn main() {
     );
     let setups = [Setup::NoLog, Setup::Memory, Setup::Nvme, Setup::VillarsSram, Setup::VillarsDram];
     let workers = [1usize, 2, 4, 8];
+    // The (setup, workers) grid in row order; each cell is an isolated
+    // simulation, so the sweep runs them on all cores and hands the
+    // snapshots back in this exact order.
+    let grid: Vec<(Setup, usize)> =
+        setups.iter().flat_map(|&s| workers.iter().map(move |&w| (s, w))).collect();
+    let snaps = sweep::map(&grid, |&(s, w)| run(s, w));
     section("throughput (committed txn/s) and mean latency (us)");
     println!(
         "{:<20} {:>8} {:>14} {:>14} {:>14}",
         "setup", "workers", "ktxn/s", "mean_lat_us", "p99_lat_us"
     );
-    for s in setups {
-        for w in workers {
-            let snap = run(s, w);
-            let (tps, mean_us, p99_us) = derive(&snap);
-            report.row(
-                &format!(
-                    "{:<20} {:>8} {:>14.1} {:>14.1} {:>14.1}",
-                    s.label(),
-                    w,
-                    tps / 1e3,
-                    mean_us,
-                    p99_us
-                ),
-                Measurement::point("fig09", s.label(), w as f64, "workers", tps, "txn_per_sec")
-                    .with_extra(mean_us),
-            );
-            report.telemetry(format!("{}.w{}", s.label(), w), snap);
-        }
+    for (&(s, w), snap) in grid.iter().zip(snaps) {
+        let (tps, mean_us, p99_us) = derive(&snap);
+        report.row(
+            &format!(
+                "{:<20} {:>8} {:>14.1} {:>14.1} {:>14.1}",
+                s.label(),
+                w,
+                tps / 1e3,
+                mean_us,
+                p99_us
+            ),
+            Measurement::point("fig09", s.label(), w as f64, "workers", tps, "txn_per_sec")
+                .with_extra(mean_us),
+        );
+        report.telemetry(format!("{}.w{}", s.label(), w), snap);
     }
     println!();
     println!("expected shape (paper §6.1):");

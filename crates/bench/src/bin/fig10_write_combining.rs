@@ -12,7 +12,7 @@
 
 use pcie::MmioMode;
 use simkit::{MetricsRegistry, SimTime, Snapshot};
-use xssd_bench::{section, Measurement, Report};
+use xssd_bench::{section, sweep, Measurement, Report};
 use xssd_core::{Cluster, VillarsConfig, XLogFile};
 
 /// Push `total` bytes of `write_size` stores under `mode` and snapshot the
@@ -60,15 +60,22 @@ fn main() {
         [("sram", VillarsConfig::villars_sram()), ("dram", VillarsConfig::villars_dram())]
     {
         section(&format!("{backing}-backed CMB"));
-        // Collect raw throughputs first, then normalize to the best.
-        let mut results = Vec::new();
-        for &s in &sizes {
-            for mode in [MmioMode::WriteCombining, MmioMode::Uncached] {
-                let snap = run(cfg.clone(), s, mode);
+        // Sweep the (size, mode) grid for this backing in parallel, then
+        // normalize to the best — a cross-cell reduction, which is why it
+        // happens here in the ordered collection loop, not in a cell.
+        let grid: Vec<(usize, MmioMode)> = sizes
+            .iter()
+            .flat_map(|&s| [MmioMode::WriteCombining, MmioMode::Uncached].map(|m| (s, m)))
+            .collect();
+        let snaps = sweep::map(&grid, |&(s, mode)| run(cfg.clone(), s, mode));
+        let results: Vec<(usize, MmioMode, f64, Snapshot)> = grid
+            .iter()
+            .zip(snaps)
+            .map(|(&(s, mode), snap)| {
                 let t = derive_mbps(&snap);
-                results.push((s, mode, t, snap));
-            }
-        }
+                (s, mode, t, snap)
+            })
+            .collect();
         let best = results.iter().map(|(_, _, t, _)| *t).fold(0.0, f64::max);
         println!(
             "{:<8} {:>10} {:>6} {:>12} {:>12}",

@@ -12,7 +12,7 @@
 //! paper's queue-size effect is made of.
 
 use simkit::{Histogram, MetricsRegistry, SampleSeries, SimTime, Snapshot};
-use xssd_bench::{section, Measurement, Report};
+use xssd_bench::{section, sweep, Measurement, Report};
 use xssd_core::{Cluster, VillarsConfig, XLogFile};
 
 /// Run `count` write+fsync cycles of `write_size` with an intake queue of
@@ -63,28 +63,30 @@ fn main() {
     );
     let queues = [1u64 << 10, 4 << 10, 16 << 10, 32 << 10];
     let writes = [1usize << 10, 4 << 10, 16 << 10, 32 << 10, 64 << 10];
+    let grid: Vec<(u64, usize)> =
+        queues.iter().flat_map(|&q| writes.iter().map(move |&w| (q, w))).collect();
+    let snaps = sweep::map(&grid, |&(q, wsize)| run(q, wsize, 300));
     section("latency (us) and throughput (MB/s) per (queue, write) pair");
     println!("{:<12} {:>12} {:>14} {:>14}", "queue_KiB", "write_KiB", "latency_us", "MB/s");
-    for &q in &queues {
-        for &wsize in &writes {
-            let snap = run(q, wsize, 300);
-            let (lat_us, mbps) = derive(&snap);
-            let series = format!("queue-{}KiB", q >> 10);
-            report.row(
-                &format!("{:<12} {:>12} {:>14.2} {:>14.1}", q >> 10, wsize >> 10, lat_us, mbps),
-                Measurement::point(
-                    "fig11",
-                    series.clone(),
-                    (wsize >> 10) as f64,
-                    "group_commit_KiB",
-                    lat_us,
-                    "latency_us",
-                )
-                .with_extra(mbps),
-            );
-            report.telemetry(format!("{series}.write{}KiB", wsize >> 10), snap);
+    for (&(q, wsize), snap) in grid.iter().zip(snaps) {
+        let (lat_us, mbps) = derive(&snap);
+        let series = format!("queue-{}KiB", q >> 10);
+        report.row(
+            &format!("{:<12} {:>12} {:>14.2} {:>14.1}", q >> 10, wsize >> 10, lat_us, mbps),
+            Measurement::point(
+                "fig11",
+                series.clone(),
+                (wsize >> 10) as f64,
+                "group_commit_KiB",
+                lat_us,
+                "latency_us",
+            )
+            .with_extra(mbps),
+        );
+        report.telemetry(format!("{series}.write{}KiB", wsize >> 10), snap);
+        if wsize == writes[writes.len() - 1] {
+            println!();
         }
-        println!();
     }
     println!("expected shape (paper §6.3):");
     println!("  - latency dominated by the write size once queue >= write size");

@@ -13,7 +13,7 @@
 use nvme::{CommandKind, IoCommand};
 use simkit::bytes::Bytes;
 use simkit::{MetricsRegistry, SimDuration, SimTime, Snapshot};
-use xssd_bench::{section, Measurement, Report};
+use xssd_bench::{section, sweep, Measurement, Report};
 use xssd_core::{Cluster, VillarsConfig, XLogFile};
 
 /// Drive both workloads for `duration`; snapshot the device stack after.
@@ -121,32 +121,38 @@ fn main() {
     // The paper shows neutral and conventional priority and notes the
     // destage-priority result is symmetric ("we obtained a similar result
     // when using destage priority"); all three run here.
-    for (mode_code, mode_label) in
-        [(0u32, "neutral"), (2u32, "conventional-priority"), (1u32, "destage-priority")]
-    {
-        section(mode_label);
-        println!("{:<24} {:>12} {:>16} {:>16}", "mode", "fast_off_%", "conv_MB/s", "fast_MB/s");
-        for fast_pct in [0.30, 0.40, 0.50, 0.60] {
-            let snap = run(mode_code, fast_pct, duration);
-            let (offered_pct, conv_mbps, fast_mbps) = derive(&snap);
-            report.row(
-                &format!(
-                    "{:<24} {:>12.0} {:>16.1} {:>16.1}",
-                    mode_label, offered_pct, conv_mbps, fast_mbps
-                ),
-                Measurement::point(
-                    "fig12",
-                    format!("{mode_label}-conventional"),
-                    offered_pct,
-                    "fast_offered_pct",
-                    conv_mbps,
-                    "conv_MBps",
-                )
-                .with_extra(fast_mbps),
-            );
-            report.telemetry(format!("{mode_label}.fast{:.0}pct", fast_pct * 100.0), snap);
+    let modes = [(0u32, "neutral"), (2u32, "conventional-priority"), (1u32, "destage-priority")];
+    let fractions = [0.30, 0.40, 0.50, 0.60];
+    let grid: Vec<(u32, &str, f64)> = modes
+        .iter()
+        .flat_map(|&(code, label)| fractions.iter().map(move |&f| (code, label, f)))
+        .collect();
+    let snaps = sweep::map(&grid, |&(code, _, fast_pct)| run(code, fast_pct, duration));
+    for (&(_, mode_label, fast_pct), snap) in grid.iter().zip(snaps) {
+        if fast_pct == fractions[0] {
+            section(mode_label);
+            println!("{:<24} {:>12} {:>16} {:>16}", "mode", "fast_off_%", "conv_MB/s", "fast_MB/s");
         }
-        println!();
+        let (offered_pct, conv_mbps, fast_mbps) = derive(&snap);
+        report.row(
+            &format!(
+                "{:<24} {:>12.0} {:>16.1} {:>16.1}",
+                mode_label, offered_pct, conv_mbps, fast_mbps
+            ),
+            Measurement::point(
+                "fig12",
+                format!("{mode_label}-conventional"),
+                offered_pct,
+                "fast_offered_pct",
+                conv_mbps,
+                "conv_MBps",
+            )
+            .with_extra(fast_mbps),
+        );
+        report.telemetry(format!("{mode_label}.fast{:.0}pct", fast_pct * 100.0), snap);
+        if fast_pct == fractions[fractions.len() - 1] {
+            println!();
+        }
     }
     println!("expected shape (paper §6.4):");
     println!("  - neutral: once conventional+fast demand exceeds the device, both");

@@ -12,7 +12,7 @@
 
 use pcie::MmioMode;
 use simkit::{MetricsRegistry, SampleSeries, SimDuration, SimTime, Snapshot};
-use xssd_bench::{section, Measurement, Report};
+use xssd_bench::{section, sweep, Measurement, Report};
 use xssd_core::{vendor, Cluster, VillarsConfig};
 
 /// One period setting: returns the latency candlestick (exact samples) and
@@ -93,9 +93,9 @@ fn main() {
         "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10}",
         "period_us", "min", "p25", "p50", "p75", "max", "bw_%"
     );
-    for period_us in [0.4f64, 0.8, 1.2, 1.6] {
-        let period = SimDuration::from_micros_f64(period_us);
-        let (c, snap) = run(period, 400);
+    let periods = [0.4f64, 0.8, 1.2, 1.6];
+    let cells = sweep::map(&periods, |&us| run(SimDuration::from_micros_f64(us), 400));
+    for (&period_us, (c, snap)) in periods.iter().zip(cells) {
         let bw_pct = derive_bw_pct(&snap);
         report.row(
             &format!(

@@ -1,16 +1,31 @@
 //! # xssd-bench — figure-regeneration harnesses
 //!
 //! One binary per paper figure (`fig09_*` … `fig13_*`, plus the ablation
-//! studies DESIGN.md lists). Each prints the series the paper plots — as an
-//! aligned table on stdout and as JSON rows (one object per line, prefixed
-//! `JSON `) — and, through [`Report`], writes a machine-readable
-//! `results/<name>.json` that bundles every row with the telemetry
-//! [`Snapshot`]s the numbers were derived from. `docs/OBSERVABILITY.md`
-//! documents the schema and a worked example.
+//! studies DESIGN.md lists, the `chaos_tpcc` fault capstone, and the
+//! `all_figures` driver that runs everything). Each prints the series the
+//! paper plots — as an aligned table on stdout and as JSON rows (one
+//! object per line, prefixed `JSON `) — and, through [`Report`], writes a
+//! machine-readable `results/<name>.json` that bundles every row with the
+//! telemetry [`Snapshot`]s the numbers were derived from.
+//! `docs/OBSERVABILITY.md` documents the schema and a worked example;
+//! `docs/HARNESSES.md` documents every harness, every environment knob,
+//! and the goldens workflow.
+//!
+//! Every harness runs its figure grid through [`sweep`]: independent
+//! `(config, seed)` cells execute on a scoped thread pool sized by
+//! `XSSD_BENCH_THREADS` (default: all host cores; `1` is the sequential
+//! oracle), and rows/telemetry are collected in grid order so the output —
+//! stdout and `results/*.json` alike — is byte-identical at any thread
+//! count. Environment knobs:
+//!
+//! - `XSSD_BENCH_THREADS` — sweep worker count (see [`sweep::threads`]).
+//! - `XSSD_RESULTS_DIR` — where [`Report::finish`] writes the results
+//!   JSON (default `results/`).
 
 #![warn(missing_docs)]
 
 pub mod kernels;
+pub mod sweep;
 
 use simkit::telemetry::json::Json;
 use simkit::telemetry::Snapshot;

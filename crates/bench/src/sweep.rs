@@ -1,0 +1,190 @@
+//! Parallel sweep runner: every figure grid on all host cores, with
+//! results collected in deterministic grid order.
+//!
+//! Every figure/ablation harness is a grid of independent *cells* — one
+//! `(config, seed)` simulation with its own world and its own
+//! [`MetricsRegistry`](simkit::MetricsRegistry) snapshot. Nothing crosses
+//! cell boundaries, so the sweep is embarrassingly parallel; the only thing
+//! that must stay sequential is the *presentation*: rows, telemetry labels,
+//! and `results/*.json` contents are emitted in grid order, whatever order
+//! the cells finished in.
+//!
+//! # The determinism contract
+//!
+//! 1. **Cell isolation.** A cell closure builds everything it simulates —
+//!    cluster, database, RNGs — from its grid index alone. It must not
+//!    read or write shared mutable state, and it must not print (stdout
+//!    belongs to the collection loop, which runs after the sweep).
+//! 2. **Ordered collection.** [`run`] returns cell results indexed by grid
+//!    position. Completion order is irrelevant: a harness that iterates
+//!    the returned `Vec` emits rows exactly as the sequential loop did.
+//! 3. **The sequential oracle.** `XSSD_BENCH_THREADS=1` runs every cell
+//!    in-order on the calling thread with no pool at all — the reference
+//!    execution. Because cells are isolated and collection is ordered,
+//!    `results/*.json` is byte-identical at any thread count; the
+//!    `sweep_determinism` integration test and `scripts/check_results.sh`
+//!    enforce exactly that.
+//!
+//! `docs/HARNESSES.md` walks through porting a harness onto this module.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment knob selecting the sweep worker count.
+pub const THREADS_ENV: &str = "XSSD_BENCH_THREADS";
+
+/// The worker count sweeps run with: `XSSD_BENCH_THREADS` if set (must be
+/// a positive integer; `1` selects the sequential oracle path), otherwise
+/// the host's available parallelism.
+pub fn threads() -> usize {
+    threads_from(std::env::var(THREADS_ENV).ok().as_deref())
+}
+
+/// [`threads`] with the environment value passed explicitly (unit-testable
+/// without mutating process-global state).
+fn threads_from(var: Option<&str>) -> usize {
+    match var {
+        Some(raw) => {
+            let n: usize = raw.trim().parse().unwrap_or_else(|_| {
+                panic!("{THREADS_ENV} must be a positive integer, got {raw:?}")
+            });
+            assert!(n >= 1, "{THREADS_ENV} must be >= 1, got {raw:?}");
+            n
+        }
+        None => std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1),
+    }
+}
+
+/// Run `cells` independent grid cells — `f(0)` … `f(cells - 1)` — on a
+/// scoped worker pool of [`threads`] threads and return the results in
+/// grid order (`out[i] == f(i)`).
+///
+/// The closure must uphold the cell-isolation contract (see the module
+/// docs): self-contained worlds, no shared mutable state, no printing.
+/// A panicking cell propagates to the caller after the pool drains.
+pub fn run<T, F>(cells: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_on(threads(), cells, f)
+}
+
+/// [`run`] with an explicit worker count. `threads <= 1` is the sequential
+/// oracle: cells execute in grid order on the calling thread, no pool.
+pub fn run_on<T, F>(threads: usize, cells: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || cells <= 1 {
+        return (0..cells).map(f).collect();
+    }
+    // One pre-allocated slot per cell: workers race only on the shared
+    // index counter, never on a slot, and collection reads the slots in
+    // grid order regardless of which worker finished when.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..cells).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(cells) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells {
+                    break;
+                }
+                let out = f(i);
+                *slots[i].lock().expect("sweep slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner().expect("sweep slot poisoned").unwrap_or_else(|| {
+                panic!("sweep cell {i} produced no result (worker died without panicking?)")
+            })
+        })
+        .collect()
+}
+
+/// Convenience wrapper: map `f` over a parameter slice, returning results
+/// in slice order. Equivalent to `run(cells.len(), |i| f(&cells[i]))`.
+pub fn map<C, T, F>(cells: &[C], f: F) -> Vec<T>
+where
+    C: Sync,
+    T: Send,
+    F: Fn(&C) -> T + Sync,
+{
+    run(cells.len(), |i| f(&cells[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn grid_order_survives_out_of_order_completion() {
+        // Later cells finish first (decreasing sleeps), so on a real pool
+        // the completion order is roughly the reverse of the grid order.
+        let out = run_on(4, 8, |i| {
+            std::thread::sleep(Duration::from_millis((8 - i as u64) * 3));
+            i * i
+        });
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn sequential_oracle_matches_parallel() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+        assert_eq!(run_on(1, 32, f), run_on(6, 32, f));
+    }
+
+    #[test]
+    fn pool_larger_than_grid() {
+        assert_eq!(run_on(16, 3, |i| i + 1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_grid() {
+        assert_eq!(run_on(4, 0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn map_preserves_slice_order() {
+        let cells = ["a", "bb", "ccc"];
+        assert_eq!(map(&cells, |c| c.len()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn threads_env_parsing() {
+        assert_eq!(threads_from(Some("1")), 1);
+        assert_eq!(threads_from(Some(" 12 ")), 12);
+        assert!(threads_from(None) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 1")]
+    fn threads_env_rejects_zero() {
+        threads_from(Some("0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a positive integer")]
+    fn threads_env_rejects_garbage() {
+        threads_from(Some("many"));
+    }
+
+    #[test]
+    fn panicking_cell_propagates() {
+        let res = std::panic::catch_unwind(|| {
+            run_on(4, 8, |i| {
+                assert!(i != 5, "cell 5 exploded");
+                i
+            })
+        });
+        assert!(res.is_err(), "a cell panic must reach the caller");
+    }
+}

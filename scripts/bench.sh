@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Wall-clock benchmark gate: build release, run every figure/ablation
-# harness once, time each, and write BENCH_harness_wallclock.json at the
-# repository root.
+# harness once (plus the all_figures parallel driver), time each, and write
+# BENCH_harness_wallclock.json at the repository root.
 #
 # The simulated results are a separate concern (results/*.json, byte-stable
-# across runs); this script measures how long the simulator takes to produce
-# them. Compare the JSON against a baseline from `main` to check a claimed
-# speedup — docs/PERFORMANCE.md walks through the workflow.
+# across runs and thread counts); this script measures how long the
+# simulator takes to produce them. Compare the JSON against a baseline from
+# `main` to check a claimed speedup — docs/PERFORMANCE.md walks through the
+# workflow. Thread count matters now that the harnesses sweep their grids
+# in parallel: the JSON records the XSSD_BENCH_THREADS in effect and the
+# host's core count so numbers are only compared like with like.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,6 +24,8 @@ HARNESSES=(
   ablation_replicated_tpcc
   ablation_replication_policy
   ablation_transport
+  chaos_tpcc
+  all_figures
 )
 
 echo "== cargo build --release"
@@ -28,18 +33,22 @@ cargo build --release --bins -p xssd-bench
 
 OUT="BENCH_harness_wallclock.json"
 GIT_REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+HOST_CORES=$(nproc 2>/dev/null || echo 1)
+THREADS="${XSSD_BENCH_THREADS:-$HOST_CORES}"
 
 {
   echo '{'
-  echo '  "schema": "xssd-bench-wallclock/v1",'
+  echo '  "schema": "xssd-bench-wallclock/v2",'
   echo "  \"git_rev\": \"${GIT_REV}\","
   echo '  "unit": "milliseconds",'
+  echo "  \"threads\": ${THREADS},"
+  echo "  \"host_cores\": ${HOST_CORES},"
   echo '  "harnesses": {'
 } > "$OUT"
 
 first=1
 for h in "${HARNESSES[@]}"; do
-  echo "== $h"
+  echo "== $h (threads=${THREADS})"
   start=$(date +%s%N)
   ./target/release/"$h" > /dev/null
   end=$(date +%s%N)
@@ -59,4 +68,4 @@ done
 } >> "$OUT"
 
 echo
-echo "wrote $OUT"
+echo "wrote $OUT (threads=${THREADS}, host_cores=${HOST_CORES})"

@@ -13,12 +13,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test --workspace --quiet
 
-echo "== chaos_tpcc smoke (3 seeds)"
+echo "== chaos_tpcc smoke (3 seeds, swept in parallel)"
 cargo build --release -p xssd-bench --bin chaos_tpcc --quiet
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
-for seed in 7 1234 99991; do
-  XSSD_RESULTS_DIR="$smoke_dir" ./target/release/chaos_tpcc "$seed" > /dev/null
-done
+# One invocation: the seeds run as independent cells on the bench::sweep
+# pool (XSSD_BENCH_THREADS), reported in argument order.
+XSSD_RESULTS_DIR="$smoke_dir" ./target/release/chaos_tpcc 7 1234 99991 > /dev/null
 
 echo "ok: fmt, clippy, tests, chaos smoke all clean"

@@ -7,8 +7,20 @@
 # machines — any diff means a simulation-visible behaviour change, which
 # must be an intentional, reviewed regeneration (commit the new goldens in
 # the same change that explains them).
+#
+# Usage: check_results.sh [threads]
+#   With no argument the harnesses sweep their grids at the ambient
+#   XSSD_BENCH_THREADS (default: all host cores). Pass `1` to force the
+#   sequential oracle path; CI runs both and the goldens must be
+#   byte-identical either way — that equality IS the sweep determinism
+#   contract (docs/HARNESSES.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "$#" -ge 1 ]; then
+  export XSSD_BENCH_THREADS="$1"
+fi
+echo "== thread mode: XSSD_BENCH_THREADS=${XSSD_BENCH_THREADS:-<unset: all host cores>}"
 
 HARNESSES=(
   fig09_local_logging
