@@ -327,6 +327,13 @@ impl VillarsDevice {
         }
     }
 
+    /// Secondary: bound shadow-update catch-up work at `bound` — see
+    /// [`crate::transport::TransportModule::catch_up_shadow_clock`]. The
+    /// cluster calls this once per advance horizon, before any emission.
+    pub fn catch_up_shadow_clock(&mut self, bound: SimTime) {
+        self.transport.catch_up_shadow_clock(bound);
+    }
+
     /// Secondary: emit shadow-counter updates up to `now` for the cluster.
     pub fn take_shadow_updates(&mut self, now: SimTime, me: DeviceIndex) -> Vec<Outbound> {
         let lane = &mut self.lanes[0];

@@ -73,6 +73,15 @@ pub enum Outbound {
     },
 }
 
+impl Outbound {
+    /// Destination device of the delivery.
+    pub fn dst(&self) -> DeviceIndex {
+        match self {
+            Outbound::Mirror { dst, .. } | Outbound::Shadow { dst, .. } => *dst,
+        }
+    }
+}
+
 /// Transport statistics.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TransportStats {
@@ -296,8 +305,33 @@ impl TransportModule {
         out
     }
 
+    /// Secondary: bound the shadow-update catch-up work at `bound`. After a
+    /// long idle stretch nothing changed between the missed cycles, so
+    /// replaying each one individually is pure waste — skip ahead, keeping
+    /// the cycle phase, and leave only the recent window for
+    /// [`TransportModule::take_shadow_updates`] to emit.
+    ///
+    /// The cluster calls this once per `advance` horizon (sequential and
+    /// parallel modes alike, with the same `bound`) so the skip decision is
+    /// independent of how finely the horizon is carved into delivery
+    /// barriers or lookahead windows.
+    pub fn catch_up_shadow_clock(&mut self, bound: SimTime) {
+        if !matches!(self.role, Role::Secondary { .. }) {
+            return;
+        }
+        const MAX_CATCHUP: u64 = 10_000;
+        let period = self.config.shadow_update_period;
+        let behind =
+            bound.saturating_since(self.next_update_at).as_nanos() / period.as_nanos().max(1);
+        if behind > MAX_CATCHUP {
+            self.next_update_at += period.saturating_mul(behind - MAX_CATCHUP);
+        }
+    }
+
     /// Secondary: emit periodic shadow-counter updates up to `now`.
     /// `credit_at` queries the local CMB credit at a given instant.
+    /// Callers spanning a large idle gap should bound the work first via
+    /// [`TransportModule::catch_up_shadow_clock`].
     pub fn take_shadow_updates(
         &mut self,
         now: SimTime,
@@ -307,17 +341,6 @@ impl TransportModule {
         let Role::Secondary { primary } = self.role else {
             return Vec::new();
         };
-        // Catch-up bound: after a long idle stretch nothing changed between
-        // the missed cycles, so replaying each one individually is pure
-        // waste — skip ahead, keeping the cycle phase, and emit only the
-        // recent window.
-        const MAX_CATCHUP: u64 = 10_000;
-        let period = self.config.shadow_update_period;
-        let behind =
-            now.saturating_since(self.next_update_at).as_nanos() / period.as_nanos().max(1);
-        if behind > MAX_CATCHUP {
-            self.next_update_at += period.saturating_mul(behind - MAX_CATCHUP);
-        }
         let mut out = Vec::new();
         while self.next_update_at <= now {
             let at = self.next_update_at;
@@ -479,6 +502,35 @@ mod tests {
         }
         // No double emission.
         assert!(t.take_shadow_updates(SimTime::from_micros(5), 1, |_| 0).is_empty());
+    }
+
+    #[test]
+    fn catch_up_clock_bounds_idle_replay() {
+        let mut t = TransportModule::new(TransportConfig {
+            shadow_update_period: SimDuration::from_micros(1),
+            counter_payload_bytes: 8,
+            staleness_window: SimDuration::from_micros(100),
+        });
+        t.set_secondary(0, NtbConfig::default(), SimTime::ZERO);
+        // A 100 ms idle gap is 100k periods; the catch-up clamp leaves only
+        // the last ~10k cycles to replay, keeping the cycle phase.
+        let far = SimTime::from_millis(100);
+        t.catch_up_shadow_clock(far);
+        let updates = t.take_shadow_updates(far, 1, |_| 0);
+        assert_eq!(updates.len(), 10_001);
+        // Phase preserved: next update is one period past the horizon grid.
+        assert_eq!(t.next_update_at(), Some(far + SimDuration::from_micros(1)));
+        // A short gap is untouched by the clamp.
+        let near = far + SimDuration::from_micros(5);
+        t.catch_up_shadow_clock(near);
+        assert_eq!(t.take_shadow_updates(near, 1, |_| 0).len(), 5);
+    }
+
+    #[test]
+    fn catch_up_clock_is_inert_off_secondary_role() {
+        let mut t = primary_of(vec![1]);
+        t.catch_up_shadow_clock(SimTime::from_secs(10));
+        assert_eq!(t.next_update_at(), None);
     }
 
     #[test]

@@ -330,6 +330,42 @@ mod tests {
         assert_eq!(p.forwarded_tlps(), 200);
     }
 
+    /// The conservative-PDES lookahead contract (`simkit::DomainScheduler`,
+    /// `xssd_core::Cluster` parallel mode): every cross-device delivery
+    /// arrives at least `hop_latency` after its emission instant, no matter
+    /// what faults or outages are armed — faults only ever *add* delay.
+    /// This lower bound is what makes `hop_latency` a safe lookahead
+    /// horizon.
+    #[test]
+    fn every_delivery_respects_the_hop_latency_lookahead() {
+        let mut rng = DetRng::new(0x10C4_AEAD);
+        let mut p = port();
+        p.arm_faults(
+            TransportFaultConfig { tlp_drop: 0.5, replay_timeout: SimDuration::from_micros(10) },
+            DetRng::new(11),
+        );
+        p.schedule_link_down(LinkDownWindow {
+            from: SimTime::from_micros(20),
+            until: SimTime::from_micros(60),
+        });
+        let hop = p.hop_latency();
+        let mut now = SimTime::ZERO;
+        for i in 0..500u64 {
+            now += SimDuration::from_nanos(rng.uniform(0, 300));
+            let g = if i % 3 == 0 {
+                p.forward_burst(now, 0x8000_0000, 64, 1 + rng.uniform(0, 4)).unwrap()
+            } else {
+                p.forward(now, &Tlp::write(0x8000_0040, 64)).unwrap().1
+            };
+            assert!(
+                g.end >= now + hop,
+                "delivery at {} beat the lookahead bound {} (sent {now}, step {i})",
+                g.end,
+                now + hop,
+            );
+        }
+    }
+
     #[test]
     fn tlp_drop_pays_replay_timer_not_loss() {
         let mut clean = port();

@@ -22,6 +22,11 @@ pub struct DiagnosticSnapshot {
     pub in_flight: usize,
     /// Named queue depths (ring occupancy, pending events, …).
     pub queue_depths: Vec<(&'static str, u64)>,
+    /// Per-domain next-event times (`None` = idle): in a multi-device
+    /// simulation the *global* frontier alone cannot distinguish "everyone
+    /// is idle" from "domain 3 is wedged while the others wait on it", so
+    /// stall reports list every domain's frontier.
+    pub domain_frontiers: Vec<(usize, Option<SimTime>)>,
     /// Free-form context from the failure site.
     pub detail: String,
 }
@@ -29,7 +34,13 @@ pub struct DiagnosticSnapshot {
 impl DiagnosticSnapshot {
     /// Snapshot at `at` with `in_flight` commands outstanding.
     pub fn new(at: SimTime, in_flight: usize) -> Self {
-        DiagnosticSnapshot { at, in_flight, queue_depths: Vec::new(), detail: String::new() }
+        DiagnosticSnapshot {
+            at,
+            in_flight,
+            queue_depths: Vec::new(),
+            domain_frontiers: Vec::new(),
+            detail: String::new(),
+        }
     }
 
     /// Attach a named queue depth.
@@ -38,9 +49,28 @@ impl DiagnosticSnapshot {
         self
     }
 
+    /// Attach one domain's next-event time (`None` = idle).
+    pub fn domain_frontier(mut self, domain: usize, next: Option<SimTime>) -> Self {
+        self.domain_frontiers.push((domain, next));
+        self
+    }
+
     /// Attach free-form context.
     pub fn detail(mut self, detail: impl Into<String>) -> Self {
         self.detail = detail.into();
+        self
+    }
+
+    /// Append further free-form context, preserving what the original
+    /// failure site recorded (used by wrappers enriching a propagated
+    /// error).
+    pub fn detail_suffix(mut self, detail: impl Into<String>) -> Self {
+        if self.detail.is_empty() {
+            self.detail = detail.into();
+        } else {
+            self.detail.push_str("; ");
+            self.detail.push_str(&detail.into());
+        }
         self
     }
 }
@@ -50,6 +80,12 @@ impl fmt::Display for DiagnosticSnapshot {
         write!(f, "t={}us, {} in flight", self.at.as_micros_f64(), self.in_flight)?;
         for (name, depth) in &self.queue_depths {
             write!(f, ", {name}={depth}")?;
+        }
+        for (dom, next) in &self.domain_frontiers {
+            match next {
+                Some(t) => write!(f, ", dom{dom}.next={}us", t.as_micros_f64())?,
+                None => write!(f, ", dom{dom}.next=idle")?,
+            }
         }
         if !self.detail.is_empty() {
             write!(f, "; {}", self.detail)?;
@@ -129,6 +165,8 @@ mod tests {
     fn display_carries_diagnostics() {
         let snap = DiagnosticSnapshot::new(SimTime::from_micros(42), 3)
             .queue("sq", 7)
+            .domain_frontier(0, Some(SimTime::from_micros(50)))
+            .domain_frontier(1, None)
             .detail("cid=9 never completed");
         let e = SimError::stall("test port", SimTime::from_micros(10), snap);
         let s = e.to_string();
@@ -136,6 +174,8 @@ mod tests {
         assert!(s.contains("t=42us"), "{s}");
         assert!(s.contains("3 in flight"), "{s}");
         assert!(s.contains("sq=7"), "{s}");
+        assert!(s.contains("dom0.next=50us"), "{s}");
+        assert!(s.contains("dom1.next=idle"), "{s}");
         assert!(s.contains("cid=9"), "{s}");
     }
 

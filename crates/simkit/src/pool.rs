@@ -1,0 +1,340 @@
+//! A persistent worker pool for intra-simulation parallelism.
+//!
+//! [`crate::events::DomainScheduler`] advances all event domains of one
+//! simulation concurrently inside each lookahead window. Windows are short
+//! (microseconds of virtual time, microseconds of host work), and a
+//! simulation issues *millions* of them — spawning OS threads per window
+//! (or per `advance` call) would dominate the work being parallelized.
+//! [`WorkerPool`] therefore keeps its workers alive for the lifetime of the
+//! simulation: between batches they park on a condvar, and a batch hand-off
+//! costs two uncontended mutex hops per item instead of a thread spawn.
+//!
+//! # Execution model
+//!
+//! A *batch* is `n` independent items; [`WorkerPool::run_mut`] runs
+//! `f(i, &mut items[i])` for every item exactly once, distributing indexes
+//! over the workers **and the calling thread** (a pool of `workers` threads
+//! executes batches at `workers + 1`-way parallelism). The call returns
+//! only when every item has finished, so borrowed state in `f` and `items`
+//! stays valid for exactly as long as the pool can touch it.
+//!
+//! # Determinism
+//!
+//! The pool intentionally provides **no ordering** within a batch — callers
+//! must only submit items that are independent of each other (the domain
+//! scheduler guarantees this via the lookahead window). Which thread runs
+//! which item, and in what order, varies run to run; anything order- or
+//! wall-clock-dependent must live outside the batch.
+//!
+//! # Panics
+//!
+//! A panic inside an item is caught on the worker, the batch is drained to
+//! completion, and the first payload is re-raised on the calling thread —
+//! exactly like `std::thread::scope`. Invariant panics from device models
+//! (e.g. a stall report) therefore surface to the caller unchanged.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Type-erased batch closure: callers hand `run` a `&dyn Fn(usize)` whose
+/// borrows outlive the batch; the pointer is only dereferenced between
+/// batch publication and the last item's completion, both of which happen
+/// inside the caller's `run` frame.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from many threads are fine)
+// and `run` guarantees it outlives every dereference (it blocks until
+// `done == n`, and workers only dereference while holding an index < n).
+unsafe impl Send for JobPtr {}
+
+struct State {
+    /// Batch generation; bumped on publication so parked workers can tell
+    /// a new batch from a spurious wakeup.
+    epoch: u64,
+    /// The current batch closure; `None` between batches.
+    job: Option<JobPtr>,
+    /// Item count of the current batch.
+    n: usize,
+    /// Next item index to hand out.
+    next: usize,
+    /// Items completed (success or panic).
+    done: usize,
+    /// Panic payloads captured from items, re-raised by the caller.
+    panics: Vec<Box<dyn std::any::Any + Send>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers park here between batches.
+    work_cv: Condvar,
+    /// The caller parks here waiting for stragglers.
+    done_cv: Condvar,
+}
+
+/// A fixed-size pool of parked worker threads executing batches of
+/// independent items (see the module docs for the execution model).
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("workers", &self.handles.len()).finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `workers` parked threads. `workers` is the number of
+    /// *extra* threads: batches run at `workers + 1`-way parallelism
+    /// because the calling thread participates.
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                n: 0,
+                next: 0,
+                done: 0,
+                panics: Vec::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("simkit-domain-{i}"))
+                    .spawn(move || Self::worker_loop(&shared))
+                    .expect("spawn simkit worker")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Number of worker threads (the caller adds one more executor).
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    fn worker_loop(shared: &Shared) {
+        let mut seen = 0u64;
+        let mut st = shared.state.lock().expect("pool state poisoned");
+        loop {
+            while !st.shutdown && (st.epoch == seen || st.job.is_none()) {
+                st = shared.work_cv.wait(st).expect("pool state poisoned");
+            }
+            if st.shutdown {
+                return;
+            }
+            seen = st.epoch;
+            st = Self::participate(shared, st);
+        }
+    }
+
+    /// Pull indexes from the current batch until none remain, running each
+    /// item with the state lock released. Shared by workers and the caller.
+    fn participate<'a>(shared: &'a Shared, mut st: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+        loop {
+            if st.next >= st.n {
+                return st;
+            }
+            let i = st.next;
+            st.next += 1;
+            // `job` is Some whenever `next < n`: it is only cleared after
+            // `done == n`, which requires every index to have been handed
+            // out first.
+            let job = st.job.expect("batch job cleared while items remain");
+            drop(st);
+            // SAFETY: `run` keeps the closure alive until `done == n`, and
+            // this item's completion is counted only below.
+            let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(i) }));
+            st = shared.state.lock().expect("pool state poisoned");
+            if let Err(payload) = result {
+                st.panics.push(payload);
+            }
+            st.done += 1;
+            if st.done == st.n {
+                st.job = None;
+                shared.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// Run `f(0) .. f(n - 1)`, each exactly once, across the workers and
+    /// the calling thread. Returns the wall-clock nanoseconds the caller
+    /// spent waiting for straggling workers after finishing its own share —
+    /// the barrier-stall diagnostic the domain scheduler reports.
+    ///
+    /// Panics from items are re-raised here after the batch drains. Must
+    /// not be called reentrantly (an item must not call back into `run`).
+    pub fn run(&self, n: usize, f: &(dyn Fn(usize) + Sync)) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        // Erase the borrow lifetime: see `JobPtr` — we do not return until
+        // every dereference has happened.
+        let job = JobPtr(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(f as *const _)
+        });
+        let mut st = self.shared.state.lock().expect("pool state poisoned");
+        assert!(st.job.is_none(), "WorkerPool::run is not reentrant");
+        st.epoch += 1;
+        st.job = Some(job);
+        st.n = n;
+        st.next = 0;
+        st.done = 0;
+        self.shared.work_cv.notify_all();
+        st = Self::participate(&self.shared, st);
+        // Our share is done; wait for stragglers, measuring the stall.
+        let waited = if st.done < st.n {
+            let t0 = Instant::now();
+            while st.done < st.n {
+                st = self.shared.done_cv.wait(st).expect("pool state poisoned");
+            }
+            t0.elapsed().as_nanos() as u64
+        } else {
+            st.job = None;
+            0
+        };
+        let panics = std::mem::take(&mut st.panics);
+        drop(st);
+        if let Some(payload) = panics.into_iter().next() {
+            resume_unwind(payload);
+        }
+        waited
+    }
+
+    /// Run `f(i, &mut items[i])` for every item, each exactly once, across
+    /// the workers and the calling thread. Returns the caller's
+    /// barrier-stall nanoseconds (see [`WorkerPool::run`]).
+    pub fn run_mut<T, F>(&self, items: &mut [T], f: F) -> u64
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        struct SharedItems<'a, T>(&'a [std::cell::UnsafeCell<T>]);
+        // SAFETY: each index is handed to exactly one executor (the pool's
+        // `next` counter is monotonic under the lock), so no `&mut` aliases.
+        unsafe impl<T: Send> Sync for SharedItems<'_, T> {}
+        impl<T> SharedItems<'_, T> {
+            /// SAFETY: caller must be the only executor holding index `i`.
+            #[allow(clippy::mut_from_ref)]
+            unsafe fn get(&self, i: usize) -> &mut T {
+                unsafe { &mut *self.0[i].get() }
+            }
+        }
+
+        // `&mut [T] -> &[UnsafeCell<T>]` is sound: UnsafeCell<T> has the
+        // same layout as T and we hold the unique borrow for the duration.
+        let cells = unsafe {
+            std::slice::from_raw_parts(
+                items.as_ptr().cast::<std::cell::UnsafeCell<T>>(),
+                items.len(),
+            )
+        };
+        let shared = &SharedItems(cells);
+        self.run(items.len(), &|i| {
+            // SAFETY: unique index per executor, see above.
+            f(i, unsafe { shared.get(i) });
+        })
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let pool = WorkerPool::new(3);
+        for round in 0..50 {
+            let n = 1 + (round % 17);
+            let mut hits = vec![0u32; n];
+            pool.run_mut(&mut hits, |_, h| *h += 1);
+            assert!(hits.iter().all(|&h| h == 1), "round {round}: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn caller_participates_with_zero_workers() {
+        let pool = WorkerPool::new(0);
+        let mut out = vec![0usize; 8];
+        pool.run_mut(&mut out, |i, v| *v = i * i);
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn batches_reuse_parked_workers() {
+        let pool = WorkerPool::new(2);
+        let total = AtomicUsize::new(0);
+        for _ in 0..200 {
+            pool.run(5, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn item_panic_reaches_the_caller_after_drain() {
+        let pool = WorkerPool::new(2);
+        let survivors = AtomicUsize::new(0);
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, &|i| {
+                if i == 3 {
+                    panic!("item 3 exploded");
+                }
+                survivors.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(res.is_err(), "item panic must propagate");
+        // The batch drained: all other items still ran.
+        assert_eq!(survivors.load(Ordering::Relaxed), 7);
+        // And the pool is reusable afterwards.
+        let mut v = vec![0u8; 4];
+        pool.run_mut(&mut v, |_, x| *x = 9);
+        assert_eq!(v, vec![9; 4]);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.run(0, &|_| unreachable!("no items")), 0);
+    }
+
+    #[test]
+    fn borrowed_state_is_visible_after_run() {
+        // The lifetime-erased closure writes through borrows that live on
+        // the caller's stack; run() must not return before they complete.
+        let pool = WorkerPool::new(3);
+        let mut sums = vec![0u64; 64];
+        let inputs: Vec<u64> = (0..64).map(|i| i * 3 + 1).collect();
+        pool.run_mut(&mut sums, |i, s| *s = inputs[i] * 2);
+        for (i, s) in sums.iter().enumerate() {
+            assert_eq!(*s, (i as u64 * 3 + 1) * 2);
+        }
+    }
+}

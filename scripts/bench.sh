@@ -7,9 +7,13 @@
 # across runs and thread counts); this script measures how long the
 # simulator takes to produce them. Compare the JSON against a baseline from
 # `main` to check a claimed speedup — docs/PERFORMANCE.md walks through the
-# workflow. Thread count matters now that the harnesses sweep their grids
-# in parallel: the JSON records the XSSD_BENCH_THREADS in effect and the
-# host's core count so numbers are only compared like with like.
+# workflow. Thread counts matter on two axes now: the JSON records the
+# XSSD_BENCH_THREADS (grid-sweep parallelism) and XSSD_SIM_THREADS
+# (conservative parallel cluster core) in effect plus the host's core
+# count, so numbers are only compared like with like. The multi-device
+# harnesses are additionally timed at XSSD_SIM_THREADS = 1/2/4/8 into the
+# "sim_modes" section — the speedup-vs-threads series docs/PERFORMANCE.md
+# tracks.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,28 +35,49 @@ HARNESSES=(
 echo "== cargo build --release"
 cargo build --release --bins -p xssd-bench
 
+# The harnesses whose simulation cells contain multiple devices (a
+# replicated cluster): only these can benefit from the conservative
+# parallel core, so only these get the per-mode timing sweep.
+MULTI_DEVICE=(
+  fig13_replication_delay
+  ablation_replicated_tpcc
+  chaos_tpcc
+)
+SIM_MODE_SWEEP=(1 2 4 8)
+
 OUT="BENCH_harness_wallclock.json"
 GIT_REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 HOST_CORES=$(nproc 2>/dev/null || echo 1)
 THREADS="${XSSD_BENCH_THREADS:-$HOST_CORES}"
+SIM_THREADS="${XSSD_SIM_THREADS:-1}"
+
+time_harness_ms() { # harness [sim_threads]
+  local start end
+  start=$(date +%s%N)
+  if [ "$#" -ge 2 ]; then
+    XSSD_SIM_THREADS="$2" ./target/release/"$1" > /dev/null
+  else
+    ./target/release/"$1" > /dev/null
+  fi
+  end=$(date +%s%N)
+  echo $(( (end - start) / 1000000 ))
+}
 
 {
   echo '{'
-  echo '  "schema": "xssd-bench-wallclock/v2",'
+  echo '  "schema": "xssd-bench-wallclock/v3",'
   echo "  \"git_rev\": \"${GIT_REV}\","
   echo '  "unit": "milliseconds",'
   echo "  \"threads\": ${THREADS},"
+  echo "  \"sim_threads\": ${SIM_THREADS},"
   echo "  \"host_cores\": ${HOST_CORES},"
   echo '  "harnesses": {'
 } > "$OUT"
 
 first=1
 for h in "${HARNESSES[@]}"; do
-  echo "== $h (threads=${THREADS})"
-  start=$(date +%s%N)
-  ./target/release/"$h" > /dev/null
-  end=$(date +%s%N)
-  ms=$(( (end - start) / 1000000 ))
+  echo "== $h (threads=${THREADS}, sim_threads=${SIM_THREADS})"
+  ms=$(time_harness_ms "$h")
   echo "   ${ms} ms"
   if [ "$first" -eq 0 ]; then
     echo ',' >> "$OUT"
@@ -63,9 +88,36 @@ done
 
 {
   echo ''
+  echo '  },'
+  echo '  "sim_modes": {'
+} >> "$OUT"
+
+first=1
+for h in "${MULTI_DEVICE[@]}"; do
+  if [ "$first" -eq 0 ]; then
+    echo ',' >> "$OUT"
+  fi
+  first=0
+  printf '    "%s": {' "$h" >> "$OUT"
+  inner_first=1
+  for st in "${SIM_MODE_SWEEP[@]}"; do
+    echo "== $h (sim_threads=${st})"
+    ms=$(time_harness_ms "$h" "$st")
+    echo "   ${ms} ms"
+    if [ "$inner_first" -eq 0 ]; then
+      printf ', ' >> "$OUT"
+    fi
+    inner_first=0
+    printf '"%s": %s' "$st" "$ms" >> "$OUT"
+  done
+  printf '}' >> "$OUT"
+done
+
+{
+  echo ''
   echo '  }'
   echo '}'
 } >> "$OUT"
 
 echo
-echo "wrote $OUT (threads=${THREADS}, host_cores=${HOST_CORES})"
+echo "wrote $OUT (threads=${THREADS}, sim_threads=${SIM_THREADS}, host_cores=${HOST_CORES})"
