@@ -12,7 +12,8 @@
 //! carries both paths' snapshots.
 
 use simkit::{Bandwidth, MetricsRegistry, SimTime, Snapshot};
-use xssd_bench::{section, sweep, Measurement, Report};
+use xssd_bench::table::{Cell, Col, Table};
+use xssd_bench::{cli, section, sweep, Measurement, Report};
 use xssd_core::{Cluster, VillarsConfig, XLogFile};
 
 struct Movements {
@@ -86,6 +87,7 @@ fn derive(snap: &Snapshot) -> Movements {
 }
 
 fn main() {
+    cli::no_args("ablation_data_movements", "Host memory-bus traffic: host-managed PM vs. Villars");
     let mut report = Report::new(
         "ablation_data_movements",
         "Ablation: data movements",
@@ -101,17 +103,22 @@ fn main() {
         _ => villars(total),
     });
     section("host cost per logged byte");
-    println!(
-        "{:<24} {:>22} {:>16} {:>16}",
-        "path", "host_bus_bytes/byte", "bus_us_per_MiB", "e2e_us_per_MiB"
-    );
+    let table = Table::new(&[
+        Col::left("path", 24),
+        Col::right("host_bus_bytes/byte", 22),
+        Col::right("bus_us_per_MiB", 16),
+        Col::right("e2e_us_per_MiB", 16),
+    ]);
+    println!("{}", table.header());
     for (&(label, x), snap) in paths.iter().zip(snaps) {
         let m = derive(&snap);
         report.row(
-            &format!(
-                "{:<24} {:>22.1} {:>16.1} {:>16.1}",
-                label, m.host_bus_bytes_per_logged, m.bus_us_per_mib, m.e2e_us_per_mib
-            ),
+            &table.row(&[
+                Cell::str(label),
+                Cell::Float(m.host_bus_bytes_per_logged, 1),
+                Cell::Float(m.bus_us_per_mib, 1),
+                Cell::Float(m.e2e_us_per_mib, 1),
+            ]),
             Measurement::point(
                 "ablation_movements",
                 label,

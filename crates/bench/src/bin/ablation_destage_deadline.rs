@@ -12,7 +12,8 @@
 //! snapshots land in `results/ablation_destage_deadline.json`.
 
 use simkit::{MetricsRegistry, SimDuration, SimTime, Snapshot};
-use xssd_bench::{section, sweep, Measurement, Report};
+use xssd_bench::table::{Cell, Col, Table};
+use xssd_bench::{cli, section, sweep, Measurement, Report};
 use xssd_core::{Cluster, DestageConfig, VillarsConfig, XLogFile};
 
 fn device(max_latency: SimDuration) -> (Cluster, usize) {
@@ -75,6 +76,7 @@ fn derive(snap: &Snapshot) -> (f64, f64) {
 }
 
 fn main() {
+    cli::no_args("ablation_destage_deadline", "Filler waste vs. tail-read freshness");
     let mut report = Report::new(
         "ablation_destage_deadline",
         "Ablation: destage latency threshold",
@@ -82,13 +84,22 @@ fn main() {
         "512 B appends every 100 us; deadline swept 50 us - 5 ms",
     );
     section("per-deadline outcome");
-    println!("{:<14} {:>16} {:>20}", "deadline_us", "filler_frac", "read_freshness_us");
+    let table = Table::new(&[
+        Col::left("deadline_us", 14),
+        Col::right("filler_frac", 16),
+        Col::right("read_freshness_us", 20),
+    ]);
+    println!("{}", table.header());
     let deadlines = [50u64, 200, 1000, 5000];
     let snaps = sweep::map(&deadlines, |&us| run(SimDuration::from_micros(us)));
     for (&deadline_us, snap) in deadlines.iter().zip(snaps) {
         let (filler_fraction, freshness_us) = derive(&snap);
         report.row(
-            &format!("{:<14} {:>16.3} {:>20.1}", deadline_us, filler_fraction, freshness_us),
+            &table.row(&[
+                Cell::Int(deadline_us),
+                Cell::Float(filler_fraction, 3),
+                Cell::Float(freshness_us, 1),
+            ]),
             Measurement::point(
                 "ablation_deadline",
                 "destage-deadline",

@@ -10,10 +10,12 @@
 //! snapshot per replica count — including per-device (`dev0.`, `dev1.` …)
 //! CMB, destage, and transport counters.
 
-use memdb::{run_workload, RunnerConfig, WalConfig, WalManager, XssdLog};
+use memdb::{WalConfig, WalManager, XssdLog};
 use simkit::{MetricValue, MetricsRegistry, SimDuration, SimTime, Snapshot};
 use tpcc::{setup, TpccConfig};
-use xssd_bench::{section, sweep, Measurement, Report};
+use xssd_bench::driver::{self, DriverConfig};
+use xssd_bench::table::{Cell, Col, Table};
+use xssd_bench::{cli, section, sweep, Measurement, Report};
 use xssd_core::{Cluster, VillarsConfig};
 
 fn run(secondaries: usize) -> Snapshot {
@@ -27,15 +29,15 @@ fn run(secondaries: usize) -> Snapshot {
     let (mut db, mut workload, _rng) = setup(TpccConfig::bench(), 0xAB5);
     let mut wal =
         WalManager::new(XssdLog::new(cluster, p, "villars-replicated"), WalConfig::default());
-    let report = run_workload(
+    let report = driver::run(
         &mut db,
         &mut wal,
-        RunnerConfig {
+        &mut workload,
+        &DriverConfig {
             workers: 4,
-            duration: SimDuration::from_millis(100),
-            ..RunnerConfig::default()
+            measure: SimDuration::from_millis(100),
+            ..DriverConfig::default()
         },
-        |db, rng, _| workload.execute(db, rng, 0),
     );
     let mut reg = MetricsRegistry::new();
     reg.collect("", &report);
@@ -57,6 +59,10 @@ fn derive(snap: &Snapshot) -> (f64, f64) {
 }
 
 fn main() {
+    cli::no_args(
+        "ablation_replicated_tpcc",
+        "TPC-C throughput/latency with device-level eager log shipping",
+    );
     let mut report = Report::new(
         "ablation_replicated_tpcc",
         "Ablation: replicated TPC-C",
@@ -64,13 +70,18 @@ fn main() {
         "TPC-C, 4 workers, 16 KiB group commit; 0/1/2 secondaries over NTB",
     );
     section("throughput and commit latency vs. replica count");
-    println!("{:<14} {:>12} {:>16}", "secondaries", "ktxn/s", "mean_lat_us");
+    let table = Table::new(&[
+        Col::left("secondaries", 14),
+        Col::right("ktxn/s", 12),
+        Col::right("mean_lat_us", 16),
+    ]);
+    println!("{}", table.header());
     let replica_counts = [0usize, 1, 2];
     let snaps = sweep::map(&replica_counts, |&n| run(n));
     for (&n, snap) in replica_counts.iter().zip(snaps) {
         let (tps, lat) = derive(&snap);
         report.row(
-            &format!("{:<14} {:>12.1} {:>16.1}", n, tps / 1e3, lat),
+            &table.row(&[Cell::from(n), Cell::Float(tps / 1e3, 1), Cell::Float(lat, 1)]),
             Measurement::point(
                 "ablation_replicated",
                 format!("{n}-secondaries"),

@@ -12,7 +12,8 @@
 use simkit::{
     Histogram, MetricValue, MetricsRegistry, SampleSeries, SimDuration, SimTime, Snapshot,
 };
-use xssd_bench::{section, sweep, Measurement, Report};
+use xssd_bench::table::{Cell, Col, Table};
+use xssd_bench::{cli, section, sweep, Measurement, Report};
 use xssd_core::{Cluster, ReplicationPolicy, VillarsConfig, XLogFile};
 
 fn run(policy: ReplicationPolicy, secondaries: usize) -> Snapshot {
@@ -71,6 +72,7 @@ fn mean_us(snap: &Snapshot) -> f64 {
 }
 
 fn main() {
+    cli::no_args("ablation_replication_policy", "Commit latency per counter-combination policy");
     let mut report = Report::new(
         "ablation_replication_policy",
         "Ablation: replication policy",
@@ -78,10 +80,13 @@ fn main() {
         "Eager (min over all) / Lazy (local) / Chain (last secondary) / Quorum(2)",
     );
     section("mean x_pwrite+x_fsync latency (us)");
-    println!(
-        "{:<12} {:>14} {:>14} {:>14}",
-        "policy", "1 secondary", "2 secondaries", "3 secondaries"
-    );
+    let table = Table::new(&[
+        Col::left("policy", 12),
+        Col::right("1 secondary", 14),
+        Col::right("2 secondaries", 14),
+        Col::right("3 secondaries", 14),
+    ]);
+    println!("{}", table.header());
     let policies = [
         ("eager", ReplicationPolicy::Eager),
         ("lazy", ReplicationPolicy::Lazy),
@@ -96,7 +101,12 @@ fn main() {
         let (label, _) = *row;
         let [l1, l2, l3] = [mean_us(&snaps[0]), mean_us(&snaps[1]), mean_us(&snaps[2])];
         report.row(
-            &format!("{:<12} {:>14.2} {:>14.2} {:>14.2}", label, l1, l2, l3),
+            &table.row(&[
+                Cell::str(label),
+                Cell::Float(l1, 2),
+                Cell::Float(l2, 2),
+                Cell::Float(l3, 2),
+            ]),
             Measurement::point("ablation_policy", label, 1.0, "secondaries", l1, "latency_us")
                 .with_extra(l3),
         );

@@ -10,7 +10,8 @@
 
 use pcie::{NtbConfig, NtbPort, RdmaConfig, RdmaTransport, TranslationWindow};
 use simkit::{MetricsRegistry, SimTime, Snapshot};
-use xssd_bench::{section, sweep, Measurement, Report};
+use xssd_bench::table::{Cell, Col, Table};
+use xssd_bench::{cli, section, sweep, Measurement, Report};
 
 fn ntb_one_way(chunk: u64) -> (f64, NtbPort) {
     let mut port = NtbPort::new(NtbConfig::default(), pcie::HostId(1));
@@ -49,6 +50,7 @@ fn run(chunk: u64) -> Snapshot {
 }
 
 fn main() {
+    cli::no_args("ablation_transport", "NTB vs. RDMA latency to remote persistence");
     let mut report = Report::new(
         "ablation_transport",
         "Ablation: transport",
@@ -56,10 +58,13 @@ fn main() {
         "NTB: Dolphin-class daisy chain; RDMA: 100 Gb/s RoCE with DDIO persistence flush",
     );
     section("latency to remote persistence (us)");
-    println!(
-        "{:<12} {:>12} {:>16} {:>16}",
-        "chunk_B", "ntb_us", "rdma_visible_us", "rdma_persist_us"
-    );
+    let table = Table::new(&[
+        Col::left("chunk_B", 12),
+        Col::right("ntb_us", 12),
+        Col::right("rdma_visible_us", 16),
+        Col::right("rdma_persist_us", 16),
+    ]);
+    println!("{}", table.header());
     let chunks = [64u64, 256, 1024, 4096, 16384, 65536];
     let snaps = sweep::map(&chunks, |&chunk| run(chunk));
     for (&chunk, snap) in chunks.iter().zip(snaps) {
@@ -67,7 +72,12 @@ fn main() {
         let vis = snap.gauge("bench.rdma_visible_us");
         let per = snap.gauge("bench.rdma_persist_us");
         report.row(
-            &format!("{:<12} {:>12.2} {:>16.2} {:>16.2}", chunk, ntb, vis, per),
+            &table.row(&[
+                Cell::Int(chunk),
+                Cell::Float(ntb, 2),
+                Cell::Float(vis, 2),
+                Cell::Float(per, 2),
+            ]),
             Measurement::point(
                 "ablation_transport",
                 "ntb",

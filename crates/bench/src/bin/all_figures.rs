@@ -1,7 +1,7 @@
 //! Run every figure harness and print a combined report.
 //!
 //! `cargo run --release -p xssd-bench --bin all_figures` regenerates the
-//! full evaluation in one go. The eleven harness binaries are independent
+//! full evaluation in one go. The twelve harness binaries are independent
 //! processes, so they run *concurrently* — up to `XSSD_BENCH_THREADS` at a
 //! time (default: all host cores) on the same [`sweep`] pool the harnesses
 //! use internally for their own grids. Each child's stdout/stderr is
@@ -16,15 +16,16 @@
 use std::io::Write;
 use std::process::{Command, Output};
 use std::time::{Duration, Instant};
-use xssd_bench::sweep;
+use xssd_bench::{cli, sweep};
 
 /// Every harness binary, in report order.
-const BINS: [&str; 11] = [
+const BINS: [&str; 12] = [
     "fig09_local_logging",
     "fig10_write_combining",
     "fig11_queue_size",
     "fig12_destage_priority",
     "fig13_replication_delay",
+    "fig_ycsb",
     "ablation_transport",
     "ablation_data_movements",
     "ablation_replication_policy",
@@ -34,6 +35,7 @@ const BINS: [&str; 11] = [
 ];
 
 fn main() {
+    cli::no_args("all_figures", "run every figure harness and print a combined report");
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir").to_path_buf();
     let threads = sweep::threads();

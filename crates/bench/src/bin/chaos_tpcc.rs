@@ -31,7 +31,7 @@ use simkit::faults::{
 };
 use simkit::{FaultPlan, MetricsRegistry, SimDuration, SimTime, Snapshot};
 use tpcc::{setup, TpccConfig, TpccWorkload};
-use xssd_bench::{section, sweep, Measurement, Report};
+use xssd_bench::{cli, section, sweep, Measurement, Report};
 use xssd_core::{Cluster, VillarsConfig, XLogFile};
 
 /// Transactions per fsync group (the host's group-commit cadence).
@@ -451,9 +451,12 @@ fn emit(o: ChaosOutcome) {
 }
 
 fn main() {
-    let seeds: Vec<u64> =
-        std::env::args().skip(1).map(|s| s.parse().expect("seed must be a u64")).collect();
-    let seeds = if seeds.is_empty() { vec![0xC0C5] } else { seeds };
+    let seeds = cli::seed_list(
+        "chaos_tpcc",
+        "replicated TPC-C under a cross-stack fault plan",
+        "fault seed(s); each runs the full scenario (default 0xC0C5 = 49349, the golden)",
+        0xC0C5,
+    );
     // Each seed is an isolated cell; the sweep runs them on all cores and
     // hands the outcomes back in argument order for reporting.
     let outcomes = sweep::map(&seeds, |&seed| run_seed(seed));

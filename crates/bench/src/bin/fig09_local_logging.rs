@@ -6,18 +6,21 @@
 //! / Villars-SRAM / Villars-DRAM, each swept over 1–8 workers running
 //! TPC-C with a 16 KiB group-commit threshold.
 //!
+//! Each cell is one `bench::driver` run: the TPC-C workload under the
+//! standard mix, closed-loop, measured for 150 ms of simulated time.
 //! Every printed number is derived from the telemetry [`Snapshot`] captured
 //! after each run — the same snapshot the `results/fig09_local_logging.json`
 //! file embeds — so the table and the export cannot drift apart.
 
 use memdb::{
-    run_workload, Database, LogBackend, NoLog, NvmeLog, PmConfig, PmLog, RunnerConfig, WalConfig,
-    WalManager, XssdLog,
+    Database, LogBackend, NoLog, NvmeLog, PmConfig, PmLog, WalConfig, WalManager, XssdLog,
 };
 use simkit::{MetricValue, MetricsRegistry, SimDuration, Snapshot};
 use ssd::{ConventionalSsd, SsdConfig};
 use tpcc::{setup, TpccConfig, TpccWorkload};
-use xssd_bench::{section, sweep, Measurement, Report};
+use xssd_bench::driver::{self, DriverConfig};
+use xssd_bench::table::{Cell, Col, Table};
+use xssd_bench::{cli, section, sweep, Measurement, Report};
 use xssd_core::{Cluster, VillarsConfig};
 
 /// The five Fig. 9 logging setups.
@@ -69,12 +72,11 @@ fn run_one<B: LogBackend + simkit::Instrument>(
     db: &mut Database,
     workload: &mut TpccWorkload,
     backend: B,
-    runner: RunnerConfig,
-    wal_cfg: WalConfig,
+    cfg: &DriverConfig,
 ) -> Snapshot {
-    let mut wal = WalManager::new(backend, wal_cfg);
-    let mut report = run_workload(db, &mut wal, runner, |db, rng, _| workload.execute(db, rng, 0));
-    let exact_p99 = report.latency_us.percentile(99.0);
+    let mut wal = WalManager::new(backend, WalConfig::default()); // 16 KiB group threshold
+    let mut report = driver::run(db, &mut wal, workload, cfg);
+    let exact_p99 = report.exact_p99_us();
     let mut reg = MetricsRegistry::new();
     reg.collect("", &report);
     reg.collect("", &wal);
@@ -87,34 +89,27 @@ fn run_one<B: LogBackend + simkit::Instrument>(
 
 fn run(setup_kind: Setup, workers: usize) -> Snapshot {
     let (mut db, mut workload, _rng) = setup(TpccConfig::bench(), 0x716 + workers as u64);
-    let runner = RunnerConfig {
+    let cfg = DriverConfig {
         workers,
-        duration: SimDuration::from_millis(150),
+        measure: SimDuration::from_millis(150),
         seed: 0xF160_9000 + workers as u64,
-        ..RunnerConfig::default()
+        ..DriverConfig::default()
     };
-    let wal_cfg = WalConfig::default(); // 16 KiB group threshold
     match setup_kind {
-        Setup::NoLog => run_one(&mut db, &mut workload, NoLog::new(), runner, wal_cfg),
-        Setup::Memory => {
-            run_one(&mut db, &mut workload, PmLog::new(PmConfig::default()), runner, wal_cfg)
-        }
-        Setup::Nvme => {
-            run_one(&mut db, &mut workload, NvmeLog::new(log_ssd(), 0, 8192), runner, wal_cfg)
-        }
+        Setup::NoLog => run_one(&mut db, &mut workload, NoLog::new(), &cfg),
+        Setup::Memory => run_one(&mut db, &mut workload, PmLog::new(PmConfig::default()), &cfg),
+        Setup::Nvme => run_one(&mut db, &mut workload, NvmeLog::new(log_ssd(), 0, 8192), &cfg),
         Setup::VillarsSram => run_one(
             &mut db,
             &mut workload,
             XssdLog::new(villars_cluster(true), 0, "villars-sram"),
-            runner,
-            wal_cfg,
+            &cfg,
         ),
         Setup::VillarsDram => run_one(
             &mut db,
             &mut workload,
             XssdLog::new(villars_cluster(false), 0, "villars-dram"),
-            runner,
-            wal_cfg,
+            &cfg,
         ),
     }
 }
@@ -133,6 +128,7 @@ fn derive(snap: &Snapshot) -> (f64, f64, f64) {
 }
 
 fn main() {
+    cli::no_args("fig09_local_logging", "TPC-C latency & throughput per local-logging setup");
     let mut report = Report::new(
         "fig09_local_logging",
         "Figure 9",
@@ -148,21 +144,24 @@ fn main() {
         setups.iter().flat_map(|&s| workers.iter().map(move |&w| (s, w))).collect();
     let snaps = sweep::map(&grid, |&(s, w)| run(s, w));
     section("throughput (committed txn/s) and mean latency (us)");
-    println!(
-        "{:<20} {:>8} {:>14} {:>14} {:>14}",
-        "setup", "workers", "ktxn/s", "mean_lat_us", "p99_lat_us"
-    );
+    let table = Table::new(&[
+        Col::left("setup", 20),
+        Col::right("workers", 8),
+        Col::right("ktxn/s", 14),
+        Col::right("mean_lat_us", 14),
+        Col::right("p99_lat_us", 14),
+    ]);
+    println!("{}", table.header());
     for (&(s, w), snap) in grid.iter().zip(snaps) {
         let (tps, mean_us, p99_us) = derive(&snap);
         report.row(
-            &format!(
-                "{:<20} {:>8} {:>14.1} {:>14.1} {:>14.1}",
-                s.label(),
-                w,
-                tps / 1e3,
-                mean_us,
-                p99_us
-            ),
+            &table.row(&[
+                Cell::str(s.label()),
+                Cell::from(w),
+                Cell::Float(tps / 1e3, 1),
+                Cell::Float(mean_us, 1),
+                Cell::Float(p99_us, 1),
+            ]),
             Measurement::point("fig09", s.label(), w as f64, "workers", tps, "txn_per_sec")
                 .with_extra(mean_us),
         );

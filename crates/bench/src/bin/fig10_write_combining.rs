@@ -12,7 +12,8 @@
 
 use pcie::MmioMode;
 use simkit::{MetricsRegistry, SimTime, Snapshot};
-use xssd_bench::{section, sweep, Measurement, Report};
+use xssd_bench::table::{Cell, Col, Table};
+use xssd_bench::{cli, section, sweep, Measurement, Report};
 use xssd_core::{Cluster, VillarsConfig, XLogFile};
 
 /// Push `total` bytes of `write_size` stores under `mode` and snapshot the
@@ -49,6 +50,7 @@ fn derive_mbps(snap: &Snapshot) -> f64 {
 }
 
 fn main() {
+    cli::no_args("fig10_write_combining", "Write sizes under WC vs. UC, SRAM and DRAM backing");
     let mut report = Report::new(
         "fig10_write_combining",
         "Figure 10",
@@ -56,6 +58,13 @@ fn main() {
         "synthetic store stream, 1-256 B writes, throughput normalized to the per-backing best",
     );
     let sizes = [1usize, 2, 4, 8, 16, 32, 64, 128, 256];
+    let table = Table::new(&[
+        Col::left("backing", 8),
+        Col::right("write_B", 10),
+        Col::right("mode", 6),
+        Col::right("MB/s", 12),
+        Col::right("normalized", 12),
+    ]);
     for (backing, cfg) in
         [("sram", VillarsConfig::villars_sram()), ("dram", VillarsConfig::villars_dram())]
     {
@@ -77,10 +86,7 @@ fn main() {
             })
             .collect();
         let best = results.iter().map(|(_, _, t, _)| *t).fold(0.0, f64::max);
-        println!(
-            "{:<8} {:>10} {:>6} {:>12} {:>12}",
-            "backing", "write_B", "mode", "MB/s", "normalized"
-        );
+        println!("{}", table.header());
         for (s, mode, t, snap) in results {
             let mode_label = match mode {
                 MmioMode::WriteCombining => "wc",
@@ -88,14 +94,13 @@ fn main() {
             };
             let series = format!("{backing}-{mode_label}");
             report.row(
-                &format!(
-                    "{:<8} {:>10} {:>6} {:>12.1} {:>12.3}",
-                    backing,
-                    s,
-                    mode_label,
-                    t,
-                    t / best
-                ),
+                &table.row(&[
+                    Cell::str(backing),
+                    Cell::from(s),
+                    Cell::str(mode_label),
+                    Cell::Float(t, 1),
+                    Cell::Float(t / best, 3),
+                ]),
                 Measurement::point(
                     "fig10",
                     series.clone(),

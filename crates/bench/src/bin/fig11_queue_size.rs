@@ -12,7 +12,8 @@
 //! paper's queue-size effect is made of.
 
 use simkit::{Histogram, MetricsRegistry, SampleSeries, SimTime, Snapshot};
-use xssd_bench::{section, sweep, Measurement, Report};
+use xssd_bench::table::{Cell, Col, Table};
+use xssd_bench::{cli, section, sweep, Measurement, Report};
 use xssd_core::{Cluster, VillarsConfig, XLogFile};
 
 /// Run `count` write+fsync cycles of `write_size` with an intake queue of
@@ -55,6 +56,7 @@ fn derive(snap: &Snapshot) -> (f64, f64) {
 }
 
 fn main() {
+    cli::no_args("fig11_queue_size", "Group-commit size vs. CMB intake-queue size (SRAM)");
     let mut report = Report::new(
         "fig11_queue_size",
         "Figure 11",
@@ -67,12 +69,23 @@ fn main() {
         queues.iter().flat_map(|&q| writes.iter().map(move |&w| (q, w))).collect();
     let snaps = sweep::map(&grid, |&(q, wsize)| run(q, wsize, 300));
     section("latency (us) and throughput (MB/s) per (queue, write) pair");
-    println!("{:<12} {:>12} {:>14} {:>14}", "queue_KiB", "write_KiB", "latency_us", "MB/s");
+    let table = Table::new(&[
+        Col::left("queue_KiB", 12),
+        Col::right("write_KiB", 12),
+        Col::right("latency_us", 14),
+        Col::right("MB/s", 14),
+    ]);
+    println!("{}", table.header());
     for (&(q, wsize), snap) in grid.iter().zip(snaps) {
         let (lat_us, mbps) = derive(&snap);
         let series = format!("queue-{}KiB", q >> 10);
         report.row(
-            &format!("{:<12} {:>12} {:>14.2} {:>14.1}", q >> 10, wsize >> 10, lat_us, mbps),
+            &table.row(&[
+                Cell::Int(q >> 10),
+                Cell::from(wsize >> 10),
+                Cell::Float(lat_us, 2),
+                Cell::Float(mbps, 1),
+            ]),
             Measurement::point(
                 "fig11",
                 series.clone(),

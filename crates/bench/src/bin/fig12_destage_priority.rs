@@ -13,7 +13,8 @@
 use nvme::{CommandKind, IoCommand};
 use simkit::bytes::Bytes;
 use simkit::{MetricsRegistry, SimDuration, SimTime, Snapshot};
-use xssd_bench::{section, sweep, Measurement, Report};
+use xssd_bench::table::{Cell, Col, Table};
+use xssd_bench::{cli, section, sweep, Measurement, Report};
 use xssd_core::{Cluster, VillarsConfig, XLogFile};
 
 /// Drive both workloads for `duration`; snapshot the device stack after.
@@ -111,6 +112,7 @@ fn derive(snap: &Snapshot) -> (f64, f64, f64) {
 }
 
 fn main() {
+    cli::no_args("fig12_destage_priority", "Opportunistic destaging: scheduler policy sweep");
     let mut report = Report::new(
         "fig12_destage_priority",
         "Figure 12",
@@ -128,17 +130,25 @@ fn main() {
         .flat_map(|&(code, label)| fractions.iter().map(move |&f| (code, label, f)))
         .collect();
     let snaps = sweep::map(&grid, |&(code, _, fast_pct)| run(code, fast_pct, duration));
+    let table = Table::new(&[
+        Col::left("mode", 24),
+        Col::right("fast_off_%", 12),
+        Col::right("conv_MB/s", 16),
+        Col::right("fast_MB/s", 16),
+    ]);
     for (&(_, mode_label, fast_pct), snap) in grid.iter().zip(snaps) {
         if fast_pct == fractions[0] {
             section(mode_label);
-            println!("{:<24} {:>12} {:>16} {:>16}", "mode", "fast_off_%", "conv_MB/s", "fast_MB/s");
+            println!("{}", table.header());
         }
         let (offered_pct, conv_mbps, fast_mbps) = derive(&snap);
         report.row(
-            &format!(
-                "{:<24} {:>12.0} {:>16.1} {:>16.1}",
-                mode_label, offered_pct, conv_mbps, fast_mbps
-            ),
+            &table.row(&[
+                Cell::str(mode_label),
+                Cell::Float(offered_pct, 0),
+                Cell::Float(conv_mbps, 1),
+                Cell::Float(fast_mbps, 1),
+            ]),
             Measurement::point(
                 "fig12",
                 format!("{mode_label}-conventional"),

@@ -12,7 +12,8 @@
 
 use pcie::MmioMode;
 use simkit::{MetricsRegistry, SampleSeries, SimDuration, SimTime, Snapshot};
-use xssd_bench::{section, sweep, Measurement, Report};
+use xssd_bench::table::{Cell, Col, Table};
+use xssd_bench::{cli, section, sweep, Measurement, Report};
 use xssd_core::{vendor, Cluster, VillarsConfig};
 
 /// One period setting: returns the latency candlestick (exact samples) and
@@ -82,6 +83,7 @@ fn derive_bw_pct(snap: &Snapshot) -> f64 {
 }
 
 fn main() {
+    cli::no_args("fig13_replication_delay", "Shadow-counter refresh latency vs. frequency");
     let mut report = Report::new(
         "fig13_replication_delay",
         "Figure 13",
@@ -89,19 +91,30 @@ fn main() {
         "primary/secondary Villars pair over NTB; 64 B CMB writes; period 0.4-1.6 us",
     );
     section("latency candlesticks (us) and update-bandwidth share (%)");
-    println!(
-        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10}",
-        "period_us", "min", "p25", "p50", "p75", "max", "bw_%"
-    );
+    let table = Table::new(&[
+        Col::left("period_us", 12),
+        Col::right("min", 8),
+        Col::right("p25", 8),
+        Col::right("p50", 8),
+        Col::right("p75", 8),
+        Col::right("max", 8),
+        Col::right("bw_%", 10),
+    ]);
+    println!("{}", table.header());
     let periods = [0.4f64, 0.8, 1.2, 1.6];
     let cells = sweep::map(&periods, |&us| run(SimDuration::from_micros_f64(us), 400));
     for (&period_us, (c, snap)) in periods.iter().zip(cells) {
         let bw_pct = derive_bw_pct(&snap);
         report.row(
-            &format!(
-                "{:<12.1} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>10.2}",
-                period_us, c.min, c.p25, c.p50, c.p75, c.max, bw_pct
-            ),
+            &table.row(&[
+                Cell::Float(period_us, 1),
+                Cell::Float(c.min, 2),
+                Cell::Float(c.p25, 2),
+                Cell::Float(c.p50, 2),
+                Cell::Float(c.p75, 2),
+                Cell::Float(c.max, 2),
+                Cell::Float(bw_pct, 2),
+            ]),
             Measurement::point(
                 "fig13",
                 "shadow-refresh",

@@ -1,0 +1,184 @@
+//! YCSB mixes × log backends, on the declarative driver.
+//!
+//! The YCSB companion to Fig. 9: where TPC-C fills 16 KiB commit groups
+//! with multi-row transactions, YCSB commits one small random update at
+//! a time — the small-append regime of the log path. The A–F mixes run
+//! against three logging backends (NVDIMM memory, conventional NVMe,
+//! Villars-SRAM) with a 4 KiB group threshold so group commits form from
+//! single-row records rather than one transaction's worth of pages.
+//!
+//! Unlike the legacy harnesses this one uses the driver's full measured
+//! surface: a 50 ms ramp-up excluded from every statistic, and 50 ms
+//! time-series buckets across the 250 ms measured window. Each cell's
+//! telemetry carries the legacy `db.*` aggregates plus the extended
+//! `db.mix.<kind>.*`, `db.series.t NNNN.*`, `db.ramp_excluded`, and the
+//! workload's own `db.ycsb.*` counters (docs/OBSERVABILITY.md).
+
+use memdb::{Database, LogBackend, NvmeLog, PmConfig, PmLog, WalConfig, WalManager, XssdLog};
+use simkit::{MetricValue, MetricsRegistry, SimDuration, Snapshot};
+use ssd::{ConventionalSsd, SsdConfig};
+use xssd_bench::driver::{self, DriverConfig};
+use xssd_bench::table::{Cell, Col, Table};
+use xssd_bench::ycsb::{self, YcsbConfig, YcsbMix};
+use xssd_bench::{cli, section, sweep, Measurement, Report};
+use xssd_core::{Cluster, VillarsConfig};
+
+/// The three log backends each mix runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    Memory,
+    Nvme,
+    VillarsSram,
+}
+
+impl Backend {
+    const ALL: [Backend; 3] = [Backend::Memory, Backend::Nvme, Backend::VillarsSram];
+
+    fn label(self) -> &'static str {
+        match self {
+            Backend::Memory => "memory-nvdimm",
+            Backend::Nvme => "nvme-conventional",
+            Backend::VillarsSram => "villars-sram",
+        }
+    }
+}
+
+/// The log-dedicated conventional device (fast-page program, as in Fig. 9).
+fn log_ssd() -> ConventionalSsd {
+    let mut cfg = SsdConfig::default();
+    cfg.timing.t_prog = SimDuration::from_micros(200);
+    ConventionalSsd::new(cfg)
+}
+
+fn villars_cluster() -> Cluster {
+    let mut config = VillarsConfig::villars_sram();
+    config.cmb.intake_queue_bytes = 32 << 10;
+    let mut cl = Cluster::new();
+    cl.add_device(config);
+    cl
+}
+
+/// Small-append group commit: 4 KiB threshold instead of the TPC-C 16 KiB,
+/// so single-row YCSB records still form multi-record groups.
+fn wal_config() -> WalConfig {
+    WalConfig { group_threshold: 4 << 10, ..WalConfig::default() }
+}
+
+/// One (mix, backend) cell: drive the mix through the backend and collect
+/// the aggregate + extended + WAL + workload telemetry.
+fn run_one<B: LogBackend + simkit::Instrument>(
+    db: &mut Database,
+    workload: &mut ycsb::YcsbWorkload,
+    backend: B,
+    cfg: &DriverConfig,
+) -> Snapshot {
+    let mut wal = WalManager::new(backend, wal_config());
+    let mut report = driver::run(db, &mut wal, workload, cfg);
+    let exact_p99 = report.exact_p99_us();
+    let mut reg = MetricsRegistry::new();
+    reg.collect("", &report);
+    reg.collect("", &report.extended());
+    reg.collect("", &wal);
+    reg.collect("", &*workload);
+    reg.gauge("db.commit_latency_p99_us_exact", exact_p99);
+    reg.snapshot()
+}
+
+fn run(mix: YcsbMix, backend: Backend, cell: usize) -> Snapshot {
+    let (mut db, mut workload, _rng) =
+        ycsb::setup(YcsbConfig { mix, ..YcsbConfig::default() }, 0x7C5B + cell as u64);
+    let cfg = DriverConfig {
+        workers: 4,
+        ramp_up: SimDuration::from_millis(50),
+        measure: SimDuration::from_millis(250),
+        seed: 0x7C5B_0000 + cell as u64,
+        series_bucket: Some(SimDuration::from_millis(50)),
+        ..DriverConfig::default()
+    };
+    match backend {
+        Backend::Memory => run_one(&mut db, &mut workload, PmLog::new(PmConfig::default()), &cfg),
+        Backend::Nvme => run_one(&mut db, &mut workload, NvmeLog::new(log_ssd(), 0, 8192), &cfg),
+        Backend::VillarsSram => run_one(
+            &mut db,
+            &mut workload,
+            XssdLog::new(villars_cluster(), 0, "villars-sram"),
+            &cfg,
+        ),
+    }
+}
+
+/// (ktxn/s, mean µs, exact p99 µs) from a cell's snapshot.
+fn derive(snap: &Snapshot) -> (f64, f64, f64) {
+    let commits = snap.counter("db.commits") as f64;
+    let elapsed_s = snap.counter("db.elapsed_ns") as f64 / 1e9;
+    let tps = if elapsed_s > 0.0 { commits / elapsed_s } else { 0.0 };
+    let mean_us = match snap.get("db.commit_latency_us") {
+        Some(MetricValue::Latency { mean_us, .. }) => *mean_us,
+        _ => 0.0,
+    };
+    (tps / 1e3, mean_us, snap.gauge("db.commit_latency_p99_us_exact"))
+}
+
+fn main() {
+    cli::no_args("fig_ycsb", "YCSB A-F mixes x log backends on the workload driver");
+    let mut report = Report::new(
+        "fig_ycsb",
+        "YCSB",
+        "YCSB A-F throughput & latency per logging backend",
+        "8192 rows, zipfian theta 0.8, 4 KiB group commit, 4 workers; 50 ms ramp + 250 ms measured in 50 ms buckets",
+    );
+    // The (mix, backend) grid in row order; each cell is an isolated
+    // simulation, so the sweep runs them on all cores and hands the
+    // snapshots back in this exact order.
+    let grid: Vec<(usize, YcsbMix, Backend)> = YcsbMix::ALL
+        .iter()
+        .flat_map(|&m| Backend::ALL.iter().map(move |&b| (m, b)))
+        .enumerate()
+        .map(|(i, (m, b))| (i, m, b))
+        .collect();
+    let snaps = sweep::map(&grid, |&(cell, m, b)| run(m, b, cell));
+    section("throughput (committed ktxn/s) and commit latency (us), measured window");
+    let table = Table::new(&[
+        Col::left("mix", 4),
+        Col::left("backend", 20),
+        Col::right("ktxn/s", 12),
+        Col::right("mean_lat_us", 14),
+        Col::right("p99_lat_us", 14),
+    ]);
+    println!("{}", table.header());
+    for (&(i, m, b), snap) in grid.iter().zip(snaps) {
+        let (ktps, mean_us, p99_us) = derive(&snap);
+        report.row(
+            &table.row(&[
+                Cell::str(m.label()),
+                Cell::str(b.label()),
+                Cell::Float(ktps, 1),
+                Cell::Float(mean_us, 1),
+                Cell::Float(p99_us, 1),
+            ]),
+            Measurement::point(
+                "fig_ycsb",
+                format!("{}-{}", m.label(), b.label()),
+                (i / Backend::ALL.len()) as f64,
+                "mix_index",
+                ktps * 1e3,
+                "txn_per_sec",
+            )
+            .with_extra(mean_us),
+        );
+        report.telemetry(format!("{}.{}", m.label(), b.label()), snap);
+        if b == Backend::ALL[Backend::ALL.len() - 1] {
+            println!();
+        }
+    }
+    println!("expected shape:");
+    println!("  - throughput is CPU-bound in the closed loop: every (mix, backend)");
+    println!("    lands at the same txn/s; the log path moves latency, not throughput");
+    println!("  - commit latency tracks group-fill time: update-heavy A ships ~100 B");
+    println!("    per commit and fills the 4 KiB group fastest (lowest latency);");
+    println!("    read-mostly B/C ship only txn headers and wait the longest");
+    println!("  - the backend stacks its flush cost on top: memory-nvdimm ~");
+    println!("    villars-sram, while the NVMe path adds its program latency to");
+    println!("    every group (the small-append regime of Fig. 9's right side)");
+    report.finish().expect("write results json");
+}

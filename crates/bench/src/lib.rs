@@ -24,8 +24,12 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
+pub mod driver;
 pub mod kernels;
 pub mod sweep;
+pub mod table;
+pub mod ycsb;
 
 use simkit::telemetry::json::Json;
 use simkit::telemetry::Snapshot;

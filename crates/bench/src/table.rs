@@ -1,0 +1,157 @@
+//! Shared aligned-table printing for the harness binaries.
+//!
+//! Reproduces the `format!("{:<20} {:>8} {:>14.1} …")` tables the
+//! harnesses printed by hand, from a declarative column list — so every
+//! binary aligns its header and rows the same way, and stdout stays
+//! byte-identical with the pre-refactor format strings.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Pad on the right (labels).
+    Left,
+    /// Pad on the left (numbers).
+    Right,
+}
+
+/// One table column: header, width, alignment.
+#[derive(Debug, Clone, Copy)]
+pub struct Col {
+    /// Header text.
+    pub head: &'static str,
+    /// Minimum field width.
+    pub width: usize,
+    /// Field alignment (applies to the header too).
+    pub align: Align,
+}
+
+impl Col {
+    /// A left-aligned column (labels).
+    pub const fn left(head: &'static str, width: usize) -> Self {
+        Col { head, width, align: Align::Left }
+    }
+
+    /// A right-aligned column (numbers).
+    pub const fn right(head: &'static str, width: usize) -> Self {
+        Col { head, width, align: Align::Right }
+    }
+}
+
+/// One formatted cell.
+#[derive(Debug, Clone)]
+pub enum Cell {
+    /// Verbatim text.
+    Str(String),
+    /// An unsigned integer.
+    Int(u64),
+    /// A float printed with the given number of decimals.
+    Float(f64, usize),
+}
+
+impl Cell {
+    /// Label cell.
+    pub fn str(s: impl Into<String>) -> Self {
+        Cell::Str(s.into())
+    }
+
+    fn render(&self) -> String {
+        match self {
+            Cell::Str(s) => s.clone(),
+            Cell::Int(v) => v.to_string(),
+            Cell::Float(v, prec) => format!("{v:.prec$}"),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Str(s.to_string())
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(v: u64) -> Self {
+        Cell::Int(v)
+    }
+}
+
+impl From<usize> for Cell {
+    fn from(v: usize) -> Self {
+        Cell::Int(v as u64)
+    }
+}
+
+/// A column layout; renders a header line and data rows.
+#[derive(Debug, Clone)]
+pub struct Table {
+    cols: Vec<Col>,
+}
+
+impl Table {
+    /// Build a layout from its columns.
+    pub fn new(cols: &[Col]) -> Self {
+        assert!(!cols.is_empty());
+        Table { cols: cols.to_vec() }
+    }
+
+    fn pad(out: &mut String, text: &str, col: &Col) {
+        match col.align {
+            Align::Left => {
+                let _ = write!(out, "{text:<width$}", width = col.width);
+            }
+            Align::Right => {
+                let _ = write!(out, "{text:>width$}", width = col.width);
+            }
+        }
+    }
+
+    /// The header line (column names, aligned like their cells).
+    pub fn header(&self) -> String {
+        let mut out = String::new();
+        for (i, c) in self.cols.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            Self::pad(&mut out, c.head, c);
+        }
+        out
+    }
+
+    /// One data row; `cells` must match the column count.
+    pub fn row(&self, cells: &[Cell]) -> String {
+        assert_eq!(cells.len(), self.cols.len(), "row width mismatch");
+        let mut out = String::new();
+        for (i, (cell, col)) in cells.iter().zip(&self.cols).enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            Self::pad(&mut out, &cell.render(), col);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_legacy_format_strings() {
+        let t = Table::new(&[
+            Col::left("setup", 20),
+            Col::right("workers", 8),
+            Col::right("ktxn/s", 14),
+        ]);
+        assert_eq!(t.header(), format!("{:<20} {:>8} {:>14}", "setup", "workers", "ktxn/s"));
+        let row = t.row(&[Cell::str("villars-sram"), Cell::Int(4), Cell::Float(123.456, 1)]);
+        assert_eq!(row, format!("{:<20} {:>8} {:>14.1}", "villars-sram", 4, 123.456));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_checked() {
+        Table::new(&[Col::left("a", 4)]).row(&[]);
+    }
+}

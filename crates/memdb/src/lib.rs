@@ -35,6 +35,9 @@ pub use checkpoint::{
 pub use log::{decode_one, decode_stream, DecodeError, LogOp, LogRecord, TableId};
 pub use recovery::{encode_txn, recover, RecoveryReport};
 pub use replica::Replica;
-pub use runner::{run_workload, RunReport, RunnerConfig, TxnOutcome};
+pub use runner::{
+    run_observed, run_workload, KindCounts, ObserveConfig, ObservedRun, RunReport, RunnerConfig,
+    SeriesBucket, TxnOutcome,
+};
 pub use storage::{keys, Database, Key, Row, Table, TxnCtx, TxnError};
 pub use wal::{FlushReport, Lsn, WalConfig, WalManager};

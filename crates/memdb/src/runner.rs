@@ -113,6 +113,68 @@ impl simkit::Instrument for RunReport {
 /// applied to the database) or an abort.
 pub type TxnOutcome = Result<Vec<LogRecord>, TxnError>;
 
+/// Extra observation settings for [`run_observed`] — everything the
+/// benchmark driver layer (`xssd-bench`'s `driver` module) needs beyond
+/// the plain [`RunnerConfig`]: transaction kinds, a ramp-up window
+/// excluded from statistics, and optional time-series bucketing.
+#[derive(Debug, Clone, Copy)]
+pub struct ObserveConfig {
+    /// Number of distinct transaction kinds the workload closure may
+    /// return; sizes [`ObservedRun::per_kind`].
+    pub kinds: usize,
+    /// Warm-up window at the start of the run: transactions *started*
+    /// before this offset are executed (they heat caches and fill the
+    /// log) but appear in no counter, latency series, or bucket — only
+    /// in [`ObservedRun::ramp_excluded`].
+    pub ramp_up: SimDuration,
+    /// When set, committed transactions are additionally bucketed by
+    /// durability instant into fixed windows of this width (offset from
+    /// the end of the ramp) — the per-simulated-second time-series.
+    pub series_bucket: Option<SimDuration>,
+}
+
+impl Default for ObserveConfig {
+    fn default() -> Self {
+        ObserveConfig { kinds: 1, ramp_up: SimDuration::ZERO, series_bucket: None }
+    }
+}
+
+/// Measured-window statistics for one transaction kind.
+#[derive(Debug, Default)]
+pub struct KindCounts {
+    /// Committed transactions of this kind (measured window only).
+    pub committed: u64,
+    /// Aborted transactions of this kind (measured window only).
+    pub aborted: u64,
+    /// Commit-to-durable latency samples of this kind, µs.
+    pub latency_us: SampleSeries,
+}
+
+/// One time-series bucket (see [`ObserveConfig::series_bucket`]).
+#[derive(Debug, Default)]
+pub struct SeriesBucket {
+    /// Transactions that became durable inside this bucket.
+    pub committed: u64,
+    /// Their commit-to-durable latency samples, µs.
+    pub latency_us: SampleSeries,
+}
+
+/// What [`run_observed`] measured: the classic [`RunReport`] (counters
+/// restricted to the measured window) plus the per-kind and time-series
+/// breakdowns.
+#[derive(Debug)]
+pub struct ObservedRun {
+    /// Aggregate report over the measured window. With a zero ramp this
+    /// is byte-identical to what [`run_workload`] returns.
+    pub report: RunReport,
+    /// Per-kind breakdown, indexed by the kind the closure returned.
+    pub per_kind: Vec<KindCounts>,
+    /// Time-series buckets (empty unless `series_bucket` was set).
+    pub series: Vec<SeriesBucket>,
+    /// Committed transactions excluded because they started in the ramp.
+    pub ramp_excluded: u64,
+}
+
 /// Drive `workers` simulated cores over `txn_fn` for the configured
 /// duration. `txn_fn` executes exactly one transaction against `db` and
 /// returns its log records.
@@ -120,30 +182,134 @@ pub fn run_workload<B, F>(
     db: &mut Database,
     wal: &mut WalManager<B>,
     cfg: RunnerConfig,
-    txn_fn: F,
+    mut txn_fn: F,
 ) -> RunReport
 where
     B: LogBackend,
     F: FnMut(&mut Database, &mut DetRng, usize) -> TxnOutcome,
 {
+    run_observed(db, wal, cfg, ObserveConfig::default(), |db, rng, w, _t0| (0, txn_fn(db, rng, w)))
+        .report
+}
+
+/// The kind-aware, ramp-aware generalization of [`run_workload`]. The
+/// closure additionally receives the transaction's start instant and
+/// returns `(kind, outcome)`; the execution schedule (worker timeline,
+/// RNG stream, flush cadence) is *identical* to [`run_workload`] — the
+/// observation settings only change what gets counted.
+pub fn run_observed<B, F>(
+    db: &mut Database,
+    wal: &mut WalManager<B>,
+    cfg: RunnerConfig,
+    obs: ObserveConfig,
+    txn_fn: F,
+) -> ObservedRun
+where
+    B: LogBackend,
+    F: FnMut(&mut Database, &mut DetRng, usize, SimTime) -> (usize, TxnOutcome),
+{
     assert!(cfg.workers >= 1);
     assert!(cfg.log_pipeline_depth >= 1, "the log writer needs at least one slot");
+    assert!(obs.kinds >= 1, "a workload has at least one transaction kind");
+    assert!(obs.ramp_up <= cfg.duration, "ramp-up cannot exceed the run duration");
     if cfg.log_pipeline_depth == 1 {
-        run_blocking(db, wal, cfg, txn_fn)
+        run_blocking(db, wal, cfg, obs, txn_fn)
     } else {
-        run_pipelined(db, wal, cfg, txn_fn)
+        run_pipelined(db, wal, cfg, obs, txn_fn)
+    }
+}
+
+/// Measured-window accounting shared by both runner paths.
+struct Observer {
+    ramp_start: SimTime,
+    bucket: Option<SimDuration>,
+    latency: SampleSeries,
+    per_kind: Vec<KindCounts>,
+    series: Vec<SeriesBucket>,
+    committed: u64,
+    aborted: u64,
+    ramp_excluded: u64,
+}
+
+impl Observer {
+    fn new(obs: &ObserveConfig) -> Self {
+        Observer {
+            ramp_start: SimTime::ZERO + obs.ramp_up,
+            bucket: obs.series_bucket,
+            latency: SampleSeries::new(),
+            per_kind: (0..obs.kinds).map(|_| KindCounts::default()).collect(),
+            series: Vec::new(),
+            committed: 0,
+            aborted: 0,
+            ramp_excluded: 0,
+        }
+    }
+
+    fn on_commit(&mut self, start: SimTime, kind: usize) {
+        if start >= self.ramp_start {
+            self.committed += 1;
+            self.per_kind[kind].committed += 1;
+        } else {
+            self.ramp_excluded += 1;
+        }
+    }
+
+    fn on_abort(&mut self, start: SimTime, kind: usize) {
+        if start >= self.ramp_start {
+            self.aborted += 1;
+            self.per_kind[kind].aborted += 1;
+        }
+    }
+
+    fn on_durable(&mut self, start: SimTime, kind: usize, at: SimTime) {
+        if start < self.ramp_start {
+            return;
+        }
+        let us = at.saturating_since(start).as_micros_f64();
+        self.latency.record(us);
+        self.per_kind[kind].latency_us.record(us);
+        if let Some(width) = self.bucket {
+            let idx = (at.saturating_since(self.ramp_start).as_nanos() / width.as_nanos()) as usize;
+            while self.series.len() <= idx {
+                self.series.push(SeriesBucket::default());
+            }
+            self.series[idx].committed += 1;
+            self.series[idx].latency_us.record(us);
+        }
+    }
+
+    fn finish<B: LogBackend>(
+        self,
+        wal: &WalManager<B>,
+        horizon: SimTime,
+        max_log_inflight: u64,
+    ) -> ObservedRun {
+        ObservedRun {
+            report: RunReport {
+                committed: self.committed,
+                aborted: self.aborted,
+                elapsed: horizon.saturating_since(self.ramp_start),
+                latency_us: self.latency,
+                log_bytes: wal.backend().bytes_written(),
+                flushes: wal.flushes(),
+                max_log_inflight,
+            },
+            per_kind: self.per_kind,
+            series: self.series,
+            ramp_excluded: self.ramp_excluded,
+        }
     }
 }
 
 /// Record latency samples for every waiting transaction a flush covered.
 fn resolve(
     report: &FlushReport,
-    waiting: &mut Vec<(SimTime, crate::wal::Lsn)>,
-    latency: &mut SampleSeries,
+    waiting: &mut Vec<(SimTime, crate::wal::Lsn, usize)>,
+    observer: &mut Observer,
 ) {
-    waiting.retain(|(start, lsn)| {
+    waiting.retain(|(start, lsn, kind)| {
         if *lsn <= report.durable_upto {
-            latency.record(report.at.saturating_since(*start).as_micros_f64());
+            observer.on_durable(*start, *kind, report.at);
             false
         } else {
             true
@@ -157,20 +323,19 @@ fn run_blocking<B, F>(
     db: &mut Database,
     wal: &mut WalManager<B>,
     cfg: RunnerConfig,
+    obs: ObserveConfig,
     mut txn_fn: F,
-) -> RunReport
+) -> ObservedRun
 where
     B: LogBackend,
-    F: FnMut(&mut Database, &mut DetRng, usize) -> TxnOutcome,
+    F: FnMut(&mut Database, &mut DetRng, usize, SimTime) -> (usize, TxnOutcome),
 {
     let mut rng = DetRng::new(cfg.seed);
     let mut worker_rngs: Vec<DetRng> = (0..cfg.workers).map(|i| rng.fork(i as u64)).collect();
     let mut available: Vec<SimTime> = vec![SimTime::ZERO; cfg.workers];
-    // Transactions whose batch has not yet synced: (start, lsn).
-    let mut waiting: Vec<(SimTime, crate::wal::Lsn)> = Vec::new();
-    let mut latency = SampleSeries::new();
-    let mut committed = 0u64;
-    let mut aborted = 0u64;
+    // Transactions whose batch has not yet synced: (start, lsn, kind).
+    let mut waiting: Vec<(SimTime, crate::wal::Lsn, usize)> = Vec::new();
+    let mut observer = Observer::new(&obs);
     let end = SimTime::ZERO + cfg.duration;
     let mut last_flush_at = SimTime::ZERO;
     let mut horizon = SimTime::ZERO;
@@ -188,7 +353,7 @@ where
                 let report = wal.flush(deadline);
                 last_flush_at = report.at;
                 horizon = horizon.max(report.at);
-                resolve(&report, &mut waiting, &mut latency);
+                resolve(&report, &mut waiting, &mut observer);
             }
         }
         // Execute one transaction.
@@ -197,18 +362,19 @@ where
             SimDuration::from_nanos((cfg.cpu_per_txn.as_nanos() as f64 * jitter).round() as u64);
         let t1 = t0 + cpu;
         horizon = horizon.max(t1);
-        match txn_fn(db, &mut worker_rngs[w], w) {
+        let (kind, outcome) = txn_fn(db, &mut worker_rngs[w], w, t0);
+        match outcome {
             Ok(records) => {
-                committed += 1;
+                observer.on_commit(t0, kind);
                 let (lsn, maybe_flush) = wal.append_txn(t1, &records);
-                waiting.push((t0, lsn));
+                waiting.push((t0, lsn, kind));
                 available[w] = t1;
                 if let Some(report) = maybe_flush {
                     // The dedicated log writer performs the flush; the
                     // filling worker moves straight on.
                     last_flush_at = report.at;
                     horizon = horizon.max(report.at);
-                    resolve(&report, &mut waiting, &mut latency);
+                    resolve(&report, &mut waiting, &mut observer);
                 }
                 // Bounded run-ahead: when the log writer's completion
                 // horizon runs too far ahead of the clock, the log buffer
@@ -219,7 +385,7 @@ where
                 let _ = last_flush_at;
             }
             Err(_) => {
-                aborted += 1;
+                observer.on_abort(t0, kind);
                 available[w] = t1;
             }
         }
@@ -228,18 +394,11 @@ where
     // Drain the tail batch so every committed txn gets a latency sample.
     let report = wal.flush(horizon);
     horizon = horizon.max(report.at);
-    resolve(&report, &mut waiting, &mut latency);
+    resolve(&report, &mut waiting, &mut observer);
     debug_assert!(waiting.is_empty(), "all transactions must resolve");
 
-    RunReport {
-        committed,
-        aborted,
-        elapsed: horizon.saturating_since(SimTime::ZERO),
-        latency_us: latency,
-        log_bytes: wal.backend().bytes_written(),
-        flushes: wal.flushes(),
-        max_log_inflight: wal.flushes().min(1),
-    }
+    let max_log_inflight = wal.flushes().min(1);
+    observer.finish(wal, horizon, max_log_inflight)
 }
 
 /// The pipelined path (`log_pipeline_depth > 1`): groups are handed to
@@ -249,21 +408,20 @@ fn run_pipelined<B, F>(
     db: &mut Database,
     wal: &mut WalManager<B>,
     cfg: RunnerConfig,
+    obs: ObserveConfig,
     mut txn_fn: F,
-) -> RunReport
+) -> ObservedRun
 where
     B: LogBackend,
-    F: FnMut(&mut Database, &mut DetRng, usize) -> TxnOutcome,
+    F: FnMut(&mut Database, &mut DetRng, usize, SimTime) -> (usize, TxnOutcome),
 {
     let depth = cfg.log_pipeline_depth;
     let mut rng = DetRng::new(cfg.seed);
     let mut worker_rngs: Vec<DetRng> = (0..cfg.workers).map(|i| rng.fork(i as u64)).collect();
     let mut available: Vec<SimTime> = vec![SimTime::ZERO; cfg.workers];
-    let mut waiting: Vec<(SimTime, crate::wal::Lsn)> = Vec::new();
-    let mut latency = SampleSeries::new();
+    let mut waiting: Vec<(SimTime, crate::wal::Lsn, usize)> = Vec::new();
+    let mut observer = Observer::new(&obs);
     let mut reports: Vec<FlushReport> = Vec::new();
-    let mut committed = 0u64;
-    let mut aborted = 0u64;
     let mut max_inflight = 0usize;
     let end = SimTime::ZERO + cfg.duration;
     let mut horizon = SimTime::ZERO;
@@ -280,7 +438,7 @@ where
         wal.poll_flushes(t0, &mut reports);
         for r in &reports {
             horizon = horizon.max(r.at);
-            resolve(r, &mut waiting, &mut latency);
+            resolve(r, &mut waiting, &mut observer);
         }
         // Group-commit timeout: submit a stale batch (when a slot is
         // free; otherwise it goes out with the next submission window).
@@ -296,11 +454,12 @@ where
             SimDuration::from_nanos((cfg.cpu_per_txn.as_nanos() as f64 * jitter).round() as u64);
         let t1 = t0 + cpu;
         horizon = horizon.max(t1);
-        match txn_fn(db, &mut worker_rngs[w], w) {
+        let (kind, outcome) = txn_fn(db, &mut worker_rngs[w], w, t0);
+        match outcome {
             Ok(records) => {
-                committed += 1;
+                observer.on_commit(t0, kind);
                 let lsn = wal.append_records(t1, &records);
-                waiting.push((t0, lsn));
+                waiting.push((t0, lsn, kind));
                 available[w] = t1;
                 if wal.threshold_reached() {
                     if wal.flushes_in_flight() < depth {
@@ -324,7 +483,7 @@ where
                 }
             }
             Err(_) => {
-                aborted += 1;
+                observer.on_abort(t0, kind);
                 available[w] = t1;
             }
         }
@@ -338,19 +497,11 @@ where
     let t = wal.drain_all(horizon, &mut reports);
     horizon = horizon.max(t);
     for r in &reports {
-        resolve(r, &mut waiting, &mut latency);
+        resolve(r, &mut waiting, &mut observer);
     }
     debug_assert!(waiting.is_empty(), "all transactions must resolve");
 
-    RunReport {
-        committed,
-        aborted,
-        elapsed: horizon.saturating_since(SimTime::ZERO),
-        latency_us: latency,
-        log_bytes: wal.backend().bytes_written(),
-        flushes: wal.flushes(),
-        max_log_inflight: max_inflight as u64,
-    }
+    observer.finish(wal, horizon, max_inflight as u64)
 }
 
 #[cfg(test)]

@@ -129,14 +129,6 @@ impl<E> EventQueue<E> {
         self.heap.first().map(|e| e.at)
     }
 
-    /// Deprecated alias of [`EventQueue::next_time`] (the two methods were
-    /// duplicates; `next_time` is the canonical name, matching the
-    /// `next_event_at`-style frontier chains throughout the workspace).
-    #[deprecated(since = "0.2.0", note = "use `next_time` (same semantics, canonical name)")]
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.next_time()
-    }
-
     /// Pop the next event regardless of time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         if self.heap.is_empty() {
@@ -503,11 +495,6 @@ mod tests {
         q.schedule(t(42), ());
         q.schedule(t(7), ());
         assert_eq!(q.next_time(), Some(t(7)));
-        // The deprecated alias forwards to the same frontier.
-        #[allow(deprecated)]
-        {
-            assert_eq!(q.peek_time(), Some(t(7)));
-        }
     }
 
     #[test]

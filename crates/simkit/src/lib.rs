@@ -56,7 +56,7 @@ pub use events::{Domain, DomainScheduler, DomainStats, EventId, EventQueue, Rout
 pub use faults::{FaultHook, FaultPlan};
 pub use pool::WorkerPool;
 pub use resource::{BankedResource, Grant, Link, LinkStats, SerialResource};
-pub use rng::DetRng;
+pub use rng::{DetRng, Zipfian};
 pub use stats::{Candlestick, Histogram, OnlineStats, SampleSeries, SeriesPoint, ThroughputMeter};
 pub use telemetry::{Instrument, MetricValue, MetricsRegistry, Scope, Snapshot};
 pub use time::{SimDuration, SimTime};

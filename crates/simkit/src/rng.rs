@@ -111,6 +111,63 @@ impl DetRng {
     }
 }
 
+/// Zipfian rank chooser over `[0, n)` — the YCSB hot-key distribution.
+///
+/// Implements the Gray et al. "Quickly generating billion-record synthetic
+/// databases" inverse-CDF approximation (the same construction YCSB's
+/// `ZipfianGenerator` uses): one `unit()` draw per sample, with the
+/// harmonic normalizer computed once at construction. `theta = 0` is the
+/// uniform distribution; YCSB's default skew is `theta = 0.99`. Rank 0 is
+/// the most popular item — callers that want popular items scattered
+/// through the keyspace hash the rank (cf. YCSB's *scrambled* zipfian).
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zeta_n: f64,
+    eta: f64,
+    half_pow_theta: f64,
+}
+
+impl Zipfian {
+    /// Chooser over ranks `[0, n)` with skew `theta` in `[0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n >= 1, "zipfian needs a non-empty universe");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1), got {theta}");
+        let zeta = |upto: u64| (1..=upto).map(|i| 1.0 / (i as f64).powf(theta)).sum::<f64>();
+        let zeta_n = zeta(n);
+        let zeta_2 = zeta(2.min(n));
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta_2 / zeta_n);
+        Zipfian { n, theta, alpha, zeta_n, eta, half_pow_theta: 0.5f64.powf(theta) }
+    }
+
+    /// The universe size the chooser was built for.
+    pub fn universe(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draw one rank in `[0, n)`; rank 0 is the hottest.
+    pub fn next(&mut self, rng: &mut DetRng) -> u64 {
+        let u = rng.unit();
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + self.half_pow_theta {
+            return 1.min(self.n - 1);
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,5 +237,74 @@ mod tests {
             seen[*r.pick(&items) as usize - 1] = true;
         }
         assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn zipfian_is_deterministic_per_seed() {
+        let draw = |seed: u64| -> Vec<u64> {
+            let mut rng = DetRng::new(seed);
+            let mut z = Zipfian::new(1000, 0.9);
+            (0..500).map(|_| z.next(&mut rng)).collect()
+        };
+        let a = draw(0x21bf);
+        assert_eq!(a, draw(0x21bf));
+        // A different seed must produce a different stream.
+        assert_ne!(a, draw(0x21c0));
+    }
+
+    #[test]
+    fn zipfian_stays_in_bounds() {
+        let mut rng = DetRng::new(17);
+        for &n in &[1u64, 2, 3, 1000] {
+            let mut z = Zipfian::new(n, 0.99);
+            for _ in 0..2000 {
+                assert!(z.next(&mut rng) < n);
+            }
+        }
+    }
+
+    /// More skew ⇒ more probability mass on the hottest ranks: the share
+    /// of draws landing in the top 1% of ranks must grow monotonically
+    /// with `theta`.
+    #[test]
+    fn zipfian_skew_is_monotone_in_theta() {
+        let hot_share = |theta: f64| -> f64 {
+            let n = 10_000u64;
+            let mut rng = DetRng::new(0x21bf);
+            let mut z = Zipfian::new(n, theta);
+            let draws = 20_000;
+            let hot = (0..draws).filter(|_| z.next(&mut rng) < n / 100).count();
+            hot as f64 / draws as f64
+        };
+        let shares: Vec<f64> = [0.0, 0.5, 0.8, 0.99].iter().map(|&t| hot_share(t)).collect();
+        for w in shares.windows(2) {
+            assert!(w[0] < w[1], "hot-key share not monotone in theta: {shares:?}");
+        }
+        // theta = 0 is uniform: the top 1% of ranks get ~1% of draws.
+        assert!((0.005..0.02).contains(&shares[0]), "theta=0 share {}", shares[0]);
+    }
+
+    /// Chi-squared sanity check against the uniform chooser: `theta = 0`
+    /// draws must be statistically compatible with a flat histogram, and
+    /// skewed draws must reject it by orders of magnitude.
+    #[test]
+    fn zipfian_chi_squared_vs_uniform() {
+        let chi2 = |theta: f64| -> f64 {
+            let bins = 50u64;
+            let draws = 50_000u64;
+            let mut rng = DetRng::new(0xC417);
+            let mut z = Zipfian::new(bins, theta);
+            let mut counts = vec![0u64; bins as usize];
+            for _ in 0..draws {
+                counts[z.next(&mut rng) as usize] += 1;
+            }
+            let expected = draws as f64 / bins as f64;
+            counts.iter().map(|&c| (c as f64 - expected).powi(2) / expected).sum()
+        };
+        // 49 degrees of freedom: P(chi2 > 90) < 0.0005 for a true uniform.
+        let flat = chi2(0.0);
+        assert!(flat < 90.0, "uniform chooser failed its own chi-squared test: {flat}");
+        let skewed = chi2(0.99);
+        assert!(skewed > 1_000.0, "zipfian draws look uniform: chi2 = {skewed}");
     }
 }

@@ -101,13 +101,8 @@ fn indexed_heap_matches_naive_model_over_random_ops() {
                 let got = real.pop_due(now);
                 assert_eq!(got, expect, "step {step}: pop_due({now}) diverged");
             }
-            // Pure observation (the deprecated alias must stay in lockstep
-            // with the canonical frontier).
+            // Pure observation of the frontier.
             _ => {
-                #[allow(deprecated)]
-                {
-                    assert_eq!(real.peek_time(), model.peek(), "step {step}: peek_time diverged");
-                }
                 assert_eq!(real.next_time(), model.peek(), "step {step}: next_time diverged");
             }
         }

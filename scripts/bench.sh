@@ -13,7 +13,9 @@
 # count, so numbers are only compared like with like. The multi-device
 # harnesses are additionally timed at XSSD_SIM_THREADS = 1/2/4/8 into the
 # "sim_modes" section — the speedup-vs-threads series docs/PERFORMANCE.md
-# tracks.
+# tracks. Schema v4 adds a "workloads" section grouping the closed-loop
+# database harnesses (the bench::driver layer) by the workload they drive
+# (tpcc / ycsb), from the same timings as the "harnesses" section.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,6 +25,7 @@ HARNESSES=(
   fig11_queue_size
   fig12_destage_priority
   fig13_replication_delay
+  fig_ycsb
   ablation_data_movements
   ablation_destage_deadline
   ablation_replicated_tpcc
@@ -65,7 +68,7 @@ time_harness_ms() { # harness [sim_threads]
 
 {
   echo '{'
-  echo '  "schema": "xssd-bench-wallclock/v3",'
+  echo '  "schema": "xssd-bench-wallclock/v4",'
   echo "  \"git_rev\": \"${GIT_REV}\","
   echo '  "unit": "milliseconds",'
   echo "  \"threads\": ${THREADS},"
@@ -74,10 +77,12 @@ time_harness_ms() { # harness [sim_threads]
   echo '  "harnesses": {'
 } > "$OUT"
 
+declare -A HARNESS_MS
 first=1
 for h in "${HARNESSES[@]}"; do
   echo "== $h (threads=${THREADS}, sim_threads=${SIM_THREADS})"
   ms=$(time_harness_ms "$h")
+  HARNESS_MS[$h]=$ms
   echo "   ${ms} ms"
   if [ "$first" -eq 0 ]; then
     echo ',' >> "$OUT"
@@ -86,8 +91,14 @@ for h in "${HARNESSES[@]}"; do
   printf '    "%s": %s' "$h" "$ms" >> "$OUT"
 done
 
+# v4: the closed-loop database-workload harnesses (the bench::driver
+# layer), grouped by the workload they drive — reuses the timings above.
 {
   echo ''
+  echo '  },'
+  echo '  "workloads": {'
+  echo "    \"tpcc\": {\"fig09_local_logging\": ${HARNESS_MS[fig09_local_logging]}, \"ablation_replicated_tpcc\": ${HARNESS_MS[ablation_replicated_tpcc]}, \"chaos_tpcc\": ${HARNESS_MS[chaos_tpcc]}},"
+  echo "    \"ycsb\": {\"fig_ycsb\": ${HARNESS_MS[fig_ycsb]}}"
   echo '  },'
   echo '  "sim_modes": {'
 } >> "$OUT"

@@ -36,6 +36,7 @@ HARNESSES=(
   fig11_queue_size
   fig12_destage_priority
   fig13_replication_delay
+  fig_ycsb
   ablation_data_movements
   ablation_destage_deadline
   ablation_replicated_tpcc
