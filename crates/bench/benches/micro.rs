@@ -163,8 +163,8 @@ fn bench_log_codec() {
             txn_id: i,
             op: LogOp::Update,
             table: (i % 8) as u16,
-            key: vec![i as u8; 12],
-            value: vec![(i * 7) as u8; 160],
+            key: vec![i as u8; 12].into(),
+            value: vec![(i * 7) as u8; 160].into(),
         })
         .collect();
     let mut encoded = Vec::new();
@@ -197,6 +197,52 @@ fn bench_tpcc_txn() {
         |()| {
             let _ = workload.execute(&mut db, &mut rng, 0);
             db.commits()
+        },
+    );
+}
+
+/// The storage-engine hot path in isolation: commit/validate over a mixed
+/// read/write transaction, and the YCSB zipfian point-read path (chooser +
+/// borrowed get + commit marker). These are the loops the allocation budget
+/// in `crates/bench/tests/alloc_budget.rs` guards.
+fn bench_db_hot_path() {
+    use memdb::{keys, Database};
+    let mut db = Database::new();
+    let t = db.create_table("bench");
+    for i in 0..1024u32 {
+        db.install_row(t, keys::composite(&[i]), vec![(i % 251) as u8; 160]);
+    }
+    let mut i = 0u32;
+    bench(
+        "memdb/commit_validate_8r4w",
+        None,
+        || (),
+        |()| {
+            let mut ctx = db.begin();
+            for j in 0..8u32 {
+                let k = keys::composite(&[i.wrapping_mul(13).wrapping_add(j * 97) % 1024]);
+                let _ = db.get(&mut ctx, t, &k);
+            }
+            for j in 0..4u32 {
+                let k = keys::composite(&[i.wrapping_mul(29).wrapping_add(j * 53) % 1024]);
+                db.update(&mut ctx, t, k, simkit::Bytes::copy_from_slice(&[i as u8; 160]));
+            }
+            i = i.wrapping_add(1);
+            db.commit(ctx).map(|recs| recs.len()).unwrap_or(0)
+        },
+    );
+
+    use xssd_bench::driver::Workload;
+    use xssd_bench::ycsb::{setup as ycsb_setup, YcsbConfig, YcsbMix};
+    let cfg = YcsbConfig { mix: YcsbMix::C, theta: 0.99, ..YcsbConfig::default() };
+    let (mut ydb, mut ywl, mut yrng) = ycsb_setup(cfg, 9);
+    bench(
+        "ycsb/zipfian_point_read",
+        None,
+        || (),
+        |()| {
+            let _ = ywl.execute(&mut ydb, &mut yrng, 0, 0);
+            ydb.commits()
         },
     );
 }
@@ -291,6 +337,7 @@ fn main() {
     bench_ftl();
     bench_log_codec();
     bench_tpcc_txn();
+    bench_db_hot_path();
     bench_sim_kernel();
     bench_e2e_kernels();
 }

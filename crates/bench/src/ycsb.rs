@@ -11,7 +11,7 @@
 //! `update`, `insert`, `scan`, `rmw`.
 
 use crate::driver::Workload;
-use memdb::{keys, Database, TableId, TxnOutcome};
+use memdb::{Database, Key, Row, TableId, TxnOutcome};
 use simkit::{DetRng, Zipfian};
 
 /// The six standard YCSB workload letters.
@@ -132,13 +132,28 @@ pub struct YcsbWorkload {
     key_count: u64,
     chooser: Chooser,
     stats: YcsbStats,
+    /// Reusable value scratch: payloads are staged here and frozen into
+    /// one refcounted image per write, so steady state re-allocates
+    /// nothing on the operation path.
+    val_buf: Vec<u8>,
 }
 
 /// 8-byte big-endian key — order-preserving, so scans walk key order.
-fn encode_key(k: u64) -> Vec<u8> {
-    let mut out = Vec::with_capacity(8);
-    keys::push_u64(&mut out, k);
+/// Built inline on the stack (no heap).
+fn encode_key(k: u64) -> Key {
+    let mut out = Key::new();
+    out.push_u64(k);
     out
+}
+
+/// Fill `buf` with a fresh value payload. Deterministic per RNG stream;
+/// the first bytes vary so updates actually change row contents.
+fn fill_value(buf: &mut Vec<u8>, size: usize, rng: &mut DetRng) {
+    buf.clear();
+    buf.resize(size, 0x59u8);
+    let stamp = rng.next_u64().to_be_bytes();
+    let n = stamp.len().min(buf.len());
+    buf[..n].copy_from_slice(&stamp[..n]);
 }
 
 /// Spread zipfian ranks across the keyspace (YCSB's *scrambled* zipfian):
@@ -177,16 +192,6 @@ impl YcsbWorkload {
             }
         }
     }
-
-    /// A fresh value payload. Deterministic per RNG stream; the first
-    /// bytes vary so updates actually change row contents.
-    fn value(&self, rng: &mut DetRng) -> Vec<u8> {
-        let mut v = vec![0x59u8; self.config.value_size];
-        let stamp = rng.next_u64().to_be_bytes();
-        let n = stamp.len().min(v.len());
-        v[..n].copy_from_slice(&stamp[..n]);
-        v
-    }
 }
 
 impl Workload for YcsbWorkload {
@@ -219,31 +224,38 @@ impl Workload for YcsbWorkload {
             1 => {
                 self.stats.update += 1;
                 let key = encode_key(self.choose_key(rng));
-                let row = self.value(rng);
+                fill_value(&mut self.val_buf, self.config.value_size, rng);
                 let mut ctx = db.begin();
-                db.update(&mut ctx, t, key, row);
+                db.update(&mut ctx, t, key, Row::copy_from_slice(&self.val_buf));
                 db.commit(ctx)
             }
             // insert: append a brand-new key.
             2 => {
                 self.stats.insert += 1;
                 let k = self.key_count;
-                let row = self.value(rng);
+                fill_value(&mut self.val_buf, self.config.value_size, rng);
                 let mut ctx = db.begin();
-                db.insert(&mut ctx, t, encode_key(k), row);
+                db.insert(&mut ctx, t, encode_key(k), Row::copy_from_slice(&self.val_buf));
                 let out = db.commit(ctx);
                 if out.is_ok() {
                     self.key_count += 1;
                 }
                 out
             }
-            // scan: a short key-ordered range.
+            // scan: a short key-ordered range, visited without cloning.
             3 => {
                 self.stats.scan += 1;
                 let len = rng.uniform(1, self.config.max_scan_len) as usize;
                 let from = self.choose_key(rng);
                 let mut ctx = db.begin();
-                db.scan(&mut ctx, t, &encode_key(from), &encode_key(u64::MAX), len);
+                db.scan_visit(
+                    &mut ctx,
+                    t,
+                    &encode_key(from),
+                    &encode_key(u64::MAX),
+                    len,
+                    |_k, _v| {},
+                );
                 db.commit(ctx)
             }
             // rmw: read the row, flip a byte, write it back.
@@ -251,9 +263,15 @@ impl Workload for YcsbWorkload {
                 self.stats.rmw += 1;
                 let key = encode_key(self.choose_key(rng));
                 let mut ctx = db.begin();
-                let mut row = db.get(&mut ctx, t, &key).unwrap_or_else(|| self.value(rng));
-                row[0] = row[0].wrapping_add(1);
-                db.update(&mut ctx, t, key, row);
+                match db.get(&mut ctx, t, &key) {
+                    Some(row) => {
+                        self.val_buf.clear();
+                        self.val_buf.extend_from_slice(row);
+                    }
+                    None => fill_value(&mut self.val_buf, self.config.value_size, rng),
+                }
+                self.val_buf[0] = self.val_buf[0].wrapping_add(1);
+                db.update(&mut ctx, t, key, Row::copy_from_slice(&self.val_buf));
                 db.commit(ctx)
             }
             _ => unreachable!("ycsb kind {kind} out of range"),
@@ -296,8 +314,14 @@ pub fn setup(cfg: YcsbConfig, seed: u64) -> (Database, YcsbWorkload, DetRng) {
         Chooser::Zipfian(Zipfian::new(cfg.records, cfg.theta))
     };
     let key_count = cfg.records;
-    let workload =
-        YcsbWorkload { table, config: cfg, key_count, chooser, stats: YcsbStats::default() };
+    let workload = YcsbWorkload {
+        table,
+        config: cfg,
+        key_count,
+        chooser,
+        stats: YcsbStats::default(),
+        val_buf: Vec::new(),
+    };
     (db, workload, rng)
 }
 

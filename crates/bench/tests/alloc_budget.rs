@@ -1,0 +1,133 @@
+//! Allocation-regression guard over the database hot path.
+//!
+//! A counting global allocator (hand-rolled; no crates.io access) wraps the
+//! system allocator and counts every `alloc`/`realloc`/`alloc_zeroed`. The
+//! tests drive warmed-up TPC-C and YCSB workloads and assert the *average*
+//! allocation count per committed transaction stays under an explicit
+//! budget. The budgets are deliberately snug: the hot path pays one
+//! refcounted image per written row plus the commit's record vector, and
+//! amortized BTreeMap node splits — a regression back to per-read clones,
+//! `Vec<u8>` keys, or per-field `String` decoding blows the budget
+//! immediately.
+//!
+//! The averages are taken over enough transactions that test-harness noise
+//! (a few allocations from the runner itself) cannot tip the assertion.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Serializes the measuring sections so the two tests never count each
+/// other's allocations.
+static MEASURE: Mutex<()> = Mutex::new(());
+
+fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn tpcc_transactions_stay_within_allocation_budget() {
+    let guard = MEASURE.lock().unwrap();
+    let (mut db, mut workload, mut rng) = tpcc::setup(tpcc::TpccConfig::small(), 11);
+    // Warm up: fill the context pool and grow every scratch buffer to its
+    // steady-state capacity.
+    for _ in 0..500 {
+        let _ = workload.execute(&mut db, &mut rng, 0);
+    }
+    let before = alloc_count();
+    let mut committed = 0u64;
+    for _ in 0..2000 {
+        if workload.execute(&mut db, &mut rng, 0).is_ok() {
+            committed += 1;
+        }
+    }
+    let allocs = alloc_count() - before;
+    drop(guard);
+    let avg = allocs as f64 / committed.max(1) as f64;
+    // Mixed-profile average. NewOrder writes ~15 rows (one image each),
+    // Delivery ~30; plus the per-commit record vector, occasional BTreeMap
+    // node splits, and the rare last-name String on the customer-selection
+    // path. Measured ~15 avg; the budget leaves headroom for allocator and
+    // split jitter, and a clone-per-read regression (100+ per txn) still
+    // trips it at once.
+    const BUDGET: f64 = 40.0;
+    assert!(
+        avg <= BUDGET,
+        "TPC-C hot path regressed: {avg:.1} allocations per committed txn \
+         (budget {BUDGET}, {allocs} over {committed} txns)"
+    );
+}
+
+#[test]
+fn ycsb_transactions_stay_within_allocation_budget() {
+    let guard = MEASURE.lock().unwrap();
+    let cfg =
+        xssd_bench::ycsb::YcsbConfig { mix: xssd_bench::ycsb::YcsbMix::A, ..Default::default() };
+    let (mut db, mut workload, mut rng) = xssd_bench::ycsb::setup(cfg, 13);
+    use xssd_bench::driver::Workload;
+    let kinds = workload.default_mix().to_vec();
+    let pick = |rng: &mut simkit::DetRng| {
+        let total: u32 = kinds.iter().sum();
+        let mut p = rng.uniform(1, total as u64) as u32;
+        for (i, w) in kinds.iter().enumerate() {
+            if p <= *w {
+                return i;
+            }
+            p -= w;
+        }
+        0
+    };
+    for _ in 0..500 {
+        let kind = pick(&mut rng);
+        let _ = workload.execute(&mut db, &mut rng, kind, 0);
+    }
+    let before = alloc_count();
+    let mut committed = 0u64;
+    for _ in 0..2000 {
+        let kind = pick(&mut rng);
+        if workload.execute(&mut db, &mut rng, kind, 0).is_ok() {
+            committed += 1;
+        }
+    }
+    let allocs = alloc_count() - before;
+    drop(guard);
+    let avg = allocs as f64 / committed.max(1) as f64;
+    // Workload A (50/50 read/update): a read commits with only the record
+    // vector (one allocation); an update adds the frozen value image.
+    // Measured ~1.5 avg; budget 8 leaves room while still catching any
+    // per-operation key or value clone creeping back in.
+    const BUDGET: f64 = 8.0;
+    assert!(
+        avg <= BUDGET,
+        "YCSB hot path regressed: {avg:.1} allocations per committed txn \
+         (budget {BUDGET}, {allocs} over {committed} txns)"
+    );
+}

@@ -69,14 +69,14 @@ pub fn encode_snapshot(db: &Database, generation: u64, log_offset: u64) -> Vec<u
     for (tid, name) in names.iter().enumerate() {
         out.extend_from_slice(&(name.len() as u16).to_le_bytes());
         out.extend_from_slice(name.as_bytes());
-        let rows = db.export_table(tid as u16);
-        out.extend_from_slice(&(rows.len() as u64).to_le_bytes());
-        for (k, v) in rows {
+        let rows = db.table(tid as u16).map(|t| t.len()).unwrap_or(0) as u64;
+        out.extend_from_slice(&rows.to_le_bytes());
+        db.for_each_row(tid as u16, |k, v| {
             out.extend_from_slice(&(k.len() as u32).to_le_bytes());
             out.extend_from_slice(&(v.len() as u32).to_le_bytes());
-            out.extend_from_slice(&k);
-            out.extend_from_slice(&v);
-        }
+            out.extend_from_slice(k);
+            out.extend_from_slice(v);
+        });
     }
     let total = (out.len() + 4) as u64;
     out[8..16].copy_from_slice(&total.to_le_bytes());

@@ -1,0 +1,309 @@
+//! Inline, order-preserving keys.
+//!
+//! Every hot-path TPC-C/YCSB key is a short big-endian composite (4–16
+//! bytes; the widest, the customer-name index entry, is 28). Storing them
+//! as `Vec<u8>` costs a heap allocation per stored row and per lookup
+//! probe. [`SmallKey`] keeps up to [`SmallKey::INLINE`] bytes inline and
+//! spills to a boxed slice only beyond that, while comparing and hashing
+//! exactly like the underlying byte slice — so `BTreeMap<SmallKey, _>`
+//! keeps its order-preserving semantics and can still be probed with a
+//! plain `&[u8]` via `Borrow<[u8]>`.
+
+use std::borrow::Borrow;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+
+#[derive(Clone)]
+enum Repr {
+    /// Up to `INLINE` bytes stored in place.
+    Inline { len: u8, buf: [u8; SmallKey::INLINE] },
+    /// Longer keys spill to the heap (load-time name-index entries only).
+    Spill(Box<[u8]>),
+}
+
+/// An encoded, order-preserving key with inline small-key storage.
+#[derive(Clone)]
+pub struct SmallKey(Repr);
+
+impl SmallKey {
+    /// Bytes stored without a heap allocation.
+    pub const INLINE: usize = 24;
+
+    /// An empty key.
+    pub fn new() -> Self {
+        SmallKey(Repr::Inline { len: 0, buf: [0; Self::INLINE] })
+    }
+
+    /// A key holding a copy of `src`.
+    pub fn from_slice(src: &[u8]) -> Self {
+        if src.len() <= Self::INLINE {
+            let mut buf = [0u8; Self::INLINE];
+            buf[..src.len()].copy_from_slice(src);
+            SmallKey(Repr::Inline { len: src.len() as u8, buf })
+        } else {
+            SmallKey(Repr::Spill(src.into()))
+        }
+    }
+
+    /// Borrow the key bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.0 {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Spill(b) => b,
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        match &self.0 {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Spill(b) => b.len(),
+        }
+    }
+
+    /// True when the key holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append raw bytes, spilling to the heap if the inline buffer fills.
+    pub fn push_bytes(&mut self, src: &[u8]) {
+        match &mut self.0 {
+            Repr::Inline { len, buf } => {
+                let l = *len as usize;
+                if l + src.len() <= Self::INLINE {
+                    buf[l..l + src.len()].copy_from_slice(src);
+                    *len = (l + src.len()) as u8;
+                } else {
+                    let mut v = Vec::with_capacity(l + src.len());
+                    v.extend_from_slice(&buf[..l]);
+                    v.extend_from_slice(src);
+                    self.0 = Repr::Spill(v.into_boxed_slice());
+                }
+            }
+            Repr::Spill(b) => {
+                let mut v = Vec::with_capacity(b.len() + src.len());
+                v.extend_from_slice(b);
+                v.extend_from_slice(src);
+                self.0 = Repr::Spill(v.into_boxed_slice());
+            }
+        }
+    }
+
+    /// Append a `u32` big-endian component.
+    pub fn push_u32(&mut self, v: u32) {
+        self.push_bytes(&v.to_be_bytes());
+    }
+
+    /// Append a `u64` big-endian component.
+    pub fn push_u64(&mut self, v: u64) {
+        self.push_bytes(&v.to_be_bytes());
+    }
+
+    /// Append a fixed-width, zero-padded string component.
+    pub fn push_str(&mut self, s: &str, width: usize) {
+        let bytes = s.as_bytes();
+        let take = bytes.len().min(width);
+        self.push_bytes(&bytes[..take]);
+        for _ in take..width {
+            self.push_bytes(&[0]);
+        }
+    }
+
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [u8] {
+        match &mut self.0 {
+            Repr::Inline { len, buf } => &mut buf[..*len as usize],
+            Repr::Spill(b) => b,
+        }
+    }
+}
+
+impl Default for SmallKey {
+    fn default() -> Self {
+        SmallKey::new()
+    }
+}
+
+impl Deref for SmallKey {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for SmallKey {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for SmallKey {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<&[u8]> for SmallKey {
+    fn from(v: &[u8]) -> Self {
+        SmallKey::from_slice(v)
+    }
+}
+
+impl From<Vec<u8>> for SmallKey {
+    fn from(v: Vec<u8>) -> Self {
+        SmallKey::from_slice(&v)
+    }
+}
+
+impl From<&Vec<u8>> for SmallKey {
+    fn from(v: &Vec<u8>) -> Self {
+        SmallKey::from_slice(v)
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for SmallKey {
+    fn from(v: [u8; N]) -> Self {
+        SmallKey::from_slice(&v)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for SmallKey {
+    fn from(v: &[u8; N]) -> Self {
+        SmallKey::from_slice(v)
+    }
+}
+
+// `Borrow<[u8]>` requires Eq/Ord/Hash to agree with the slice's, so all
+// of them delegate to `as_slice()`.
+impl PartialEq for SmallKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SmallKey {}
+
+impl PartialOrd for SmallKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SmallKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for SmallKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl PartialEq<[u8]> for SmallKey {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for SmallKey {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for SmallKey {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialOrd<Vec<u8>> for SmallKey {
+    fn partial_cmp(&self, other: &Vec<u8>) -> Option<Ordering> {
+        Some(self.as_slice().cmp(other.as_slice()))
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for SmallKey {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl fmt::Debug for SmallKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn inline_and_spill_round_trip() {
+        for n in 0..=64usize {
+            let src: Vec<u8> = (0..n as u8).collect();
+            let k = SmallKey::from_slice(&src);
+            assert_eq!(k.as_slice(), src.as_slice());
+            assert_eq!(k.len(), n);
+            assert_eq!(k.is_empty(), n == 0);
+        }
+    }
+
+    #[test]
+    fn ordering_matches_slices() {
+        let samples: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![0],
+            vec![0, 0],
+            vec![1],
+            vec![1, 2, 3],
+            vec![0xFF; 24],
+            vec![0xFF; 25],
+            (0..30).collect(),
+        ];
+        for a in &samples {
+            for b in &samples {
+                let (ka, kb) = (SmallKey::from_slice(a), SmallKey::from_slice(b));
+                assert_eq!(ka.cmp(&kb), a.as_slice().cmp(b.as_slice()), "{a:?} vs {b:?}");
+                assert_eq!(ka == kb, a == b);
+            }
+        }
+    }
+
+    #[test]
+    fn btreemap_probe_by_slice() {
+        let mut m: BTreeMap<SmallKey, u32> = BTreeMap::new();
+        m.insert(SmallKey::from_slice(b"abc"), 1);
+        m.insert(SmallKey::from_slice(&[9u8; 30]), 2);
+        assert_eq!(m.get(b"abc".as_slice()), Some(&1));
+        assert_eq!(m.get([9u8; 30].as_slice()), Some(&2));
+        assert_eq!(m.get(b"zzz".as_slice()), None);
+    }
+
+    #[test]
+    fn push_crosses_inline_boundary() {
+        let mut k = SmallKey::new();
+        for i in 0..7u32 {
+            k.push_u32(i);
+        }
+        assert_eq!(k.len(), 28);
+        let expect: Vec<u8> = (0..7u32).flat_map(|i| i.to_be_bytes()).collect();
+        assert_eq!(k.as_slice(), expect.as_slice());
+    }
+
+    #[test]
+    fn push_str_pads_to_width() {
+        let mut k = SmallKey::new();
+        k.push_str("ab", 5);
+        assert_eq!(k.as_slice(), &[b'a', b'b', 0, 0, 0]);
+        let mut long = SmallKey::new();
+        long.push_str("abcdef", 3);
+        assert_eq!(long.as_slice(), b"abc");
+    }
+}

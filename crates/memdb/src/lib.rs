@@ -19,6 +19,7 @@
 pub mod backend;
 pub mod checkpoint;
 pub mod failover;
+pub mod key;
 pub mod log;
 pub mod recovery;
 pub mod replica;
@@ -32,6 +33,7 @@ pub use failover::{durable_log_stream, fail_over, rejoin_secondary, FailoverRepo
 pub use checkpoint::{
     decode_snapshot, encode_snapshot, CheckpointMeta, Checkpointer, SnapshotError,
 };
+pub use key::SmallKey;
 pub use log::{decode_one, decode_stream, DecodeError, LogOp, LogRecord, TableId};
 pub use recovery::{encode_txn, recover, RecoveryReport};
 pub use replica::Replica;

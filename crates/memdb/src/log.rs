@@ -5,6 +5,9 @@
 //! Villars device's crash semantics should never produce one (paper §4.1),
 //! the database verifies rather than trusts.
 
+use crate::key::SmallKey;
+use simkit::Bytes;
+
 /// Table identifier within the catalog.
 pub type TableId = u16;
 
@@ -52,16 +55,17 @@ pub struct LogRecord {
     pub op: LogOp,
     /// Target table (0 for commit markers).
     pub table: TableId,
-    /// Row key (empty for commit markers).
-    pub key: Vec<u8>,
-    /// Row image (empty for deletes/commits).
-    pub value: Vec<u8>,
+    /// Row key (empty for commit markers; inline, no heap for ≤ 24 B).
+    pub key: SmallKey,
+    /// Row image (empty for deletes/commits; refcounted, shared with the
+    /// stored table image).
+    pub value: Bytes,
 }
 
 impl LogRecord {
     /// A commit marker for `txn_id`.
     pub fn commit(txn_id: u64) -> Self {
-        LogRecord { txn_id, op: LogOp::Commit, table: 0, key: Vec::new(), value: Vec::new() }
+        LogRecord { txn_id, op: LogOp::Commit, table: 0, key: SmallKey::new(), value: Bytes::new() }
     }
 
     /// Encoded length in bytes.
@@ -128,8 +132,8 @@ pub fn decode_one(buf: &[u8]) -> Result<(LogRecord, usize), DecodeError> {
     if buf.len() < total {
         return Err(DecodeError::Truncated);
     }
-    let key = buf[HEADER_LEN..HEADER_LEN + klen].to_vec();
-    let value = buf[HEADER_LEN + klen..HEADER_LEN + klen + vlen].to_vec();
+    let key = SmallKey::from_slice(&buf[HEADER_LEN..HEADER_LEN + klen]);
+    let value = Bytes::copy_from_slice(&buf[HEADER_LEN + klen..HEADER_LEN + klen + vlen]);
     let stored = u32::from_le_bytes(buf[total - 4..total].try_into().expect("4 bytes"));
     if fnv1a(&buf[..total - 4]) != stored {
         return Err(DecodeError::BadChecksum);
@@ -174,8 +178,8 @@ mod tests {
             txn_id: 42,
             op: LogOp::Update,
             table: 3,
-            key: vec![1, 2, 3],
-            value: vec![9; 100],
+            key: vec![1, 2, 3].into(),
+            value: vec![9; 100].into(),
         }
     }
 
@@ -252,8 +256,8 @@ mod tests {
                 txn_id: rng.next_u64(),
                 op: LogOp::Insert,
                 table: rng.uniform(0, u16::MAX as u64 + 1) as u16,
-                key,
-                value,
+                key: key.into(),
+                value: value.into(),
             };
             let (dec, used) = decode_one(&rec.encode()).unwrap();
             assert_eq!(dec, rec, "seed {seed}");
@@ -274,8 +278,8 @@ mod tests {
                     txn_id: base.wrapping_add(i as u64),
                     op: if i % 2 == 0 { LogOp::Insert } else { LogOp::Update },
                     table: (i % 7) as u16,
-                    key: vec![i as u8; i % 16],
-                    value: vec![(i * 3) as u8; (i * 13) % 200],
+                    key: vec![i as u8; i % 16].into(),
+                    value: vec![(i * 3) as u8; (i * 13) % 200].into(),
                 };
                 rec.encode_into(&mut buf);
                 expect.push(rec);

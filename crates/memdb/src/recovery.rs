@@ -101,8 +101,8 @@ mod tests {
             txn_id: 999,
             op: LogOp::Insert,
             table: t,
-            key: b"ghost".to_vec(),
-            value: b"x".to_vec(),
+            key: b"ghost".to_vec().into(),
+            value: b"x".to_vec().into(),
         };
         stream.extend(orphan.encode());
 

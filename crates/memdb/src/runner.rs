@@ -515,8 +515,8 @@ mod tests {
         let t = 0;
         let mut ctx = db.begin();
         let key = crate::storage::keys::composite(&[rng.uniform(0, 999) as u32]);
-        let existing = db.get(&mut ctx, t, &key);
-        let mut row = existing.unwrap_or_else(|| vec![0u8; 160]);
+        let mut row =
+            db.get(&mut ctx, t, &key).map(|r| r.to_vec()).unwrap_or_else(|| vec![0u8; 160]);
         row[0] = row[0].wrapping_add(1);
         if db.peek(t, &key).is_some() {
             db.update(&mut ctx, t, key, row);

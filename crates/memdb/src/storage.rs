@@ -6,15 +6,25 @@
 //! Tables are `BTreeMap`s over order-preserving encoded keys, so TPC-C's
 //! range lookups (customer-by-last-name, latest order, oldest new-order)
 //! are native scans.
+//!
+//! The steady-state transaction loop is allocation-free on the read side:
+//! reads return borrowed `&[u8]` slices, range lookups go through visitor
+//! APIs ([`Database::scan_visit`]), keys live inline in [`SmallKey`]s, the
+//! read validation set records `(offset, len)` spans into a per-[`TxnCtx`]
+//! bump arena, and finished contexts are recycled through a pool so their
+//! buffers are reused across transactions. Row images are refcounted
+//! [`simkit::Bytes`], shared between the stored table image and the
+//! emitted [`LogRecord`]s.
 
+use crate::key::SmallKey;
 use crate::log::{LogOp, LogRecord, TableId};
 use std::collections::BTreeMap;
 use std::ops::Bound;
 
-/// A row image.
-pub type Row = Vec<u8>;
-/// An encoded, order-preserving key.
-pub type Key = Vec<u8>;
+/// A row image (refcounted; cloning shares the allocation).
+pub type Row = simkit::Bytes;
+/// An encoded, order-preserving key (inline up to 24 bytes).
+pub type Key = SmallKey;
 
 #[derive(Debug, Clone)]
 struct Versioned {
@@ -80,12 +90,27 @@ enum PendingWrite {
     Delete(Key),
 }
 
+/// One validation-set entry: the read key lives as a span in the
+/// context's bump arena, not its own allocation.
+#[derive(Debug, Clone, Copy)]
+struct ReadEntry {
+    table: TableId,
+    start: u32,
+    len: u16,
+    version: Option<u64>,
+}
+
 /// An open transaction: buffered writes + read validation set.
-#[derive(Debug)]
+///
+/// Read keys are appended to an internal bump arena; the context itself is
+/// recycled through the database's pool on commit, so a steady-state
+/// transaction reuses the previous one's buffers instead of allocating.
+#[derive(Debug, Default)]
 pub struct TxnCtx {
     id: u64,
-    reads: Vec<(TableId, Key, Option<u64>)>,
+    reads: Vec<ReadEntry>,
     writes: Vec<(TableId, PendingWrite)>,
+    arena: Vec<u8>,
 }
 
 impl TxnCtx {
@@ -98,7 +123,34 @@ impl TxnCtx {
     pub fn write_count(&self) -> usize {
         self.writes.len()
     }
+
+    /// Validation-set entry count.
+    pub fn read_count(&self) -> usize {
+        self.reads.len()
+    }
+
+    fn record_read(&mut self, table: TableId, key: &[u8], version: Option<u64>) {
+        debug_assert!(key.len() <= u16::MAX as usize);
+        let start = self.arena.len() as u32;
+        self.arena.extend_from_slice(key);
+        self.reads.push(ReadEntry { table, start, len: key.len() as u16, version });
+    }
+
+    fn read_key(&self, e: &ReadEntry) -> &[u8] {
+        &self.arena[e.start as usize..e.start as usize + e.len as usize]
+    }
+
+    fn reset(&mut self, id: u64) {
+        self.id = id;
+        self.reads.clear();
+        self.writes.clear();
+        self.arena.clear();
+    }
 }
+
+/// Recycled contexts kept per database (bounds pool memory under bursty
+/// worker counts).
+const CTX_POOL_CAP: usize = 64;
 
 /// The database: a catalog of tables and the transaction layer.
 #[derive(Debug, Default)]
@@ -108,6 +160,7 @@ pub struct Database {
     next_txn: u64,
     commits: u64,
     aborts: u64,
+    ctx_pool: Vec<TxnCtx>,
 }
 
 impl Database {
@@ -144,37 +197,94 @@ impl Database {
         self.aborts
     }
 
-    /// Begin a transaction.
+    /// Begin a transaction (reusing a pooled context when available).
     pub fn begin(&mut self) -> TxnCtx {
         let id = self.next_txn;
         self.next_txn += 1;
-        TxnCtx { id, reads: Vec::new(), writes: Vec::new() }
+        let mut ctx = self.ctx_pool.pop().unwrap_or_default();
+        ctx.reset(id);
+        ctx
+    }
+
+    /// Return a context's buffers to the pool without committing (explicit
+    /// application-level rollback; does not count as an abort).
+    pub fn rollback(&mut self, mut ctx: TxnCtx) {
+        if self.ctx_pool.len() < CTX_POOL_CAP {
+            ctx.reset(0);
+            self.ctx_pool.push(ctx);
+        }
     }
 
     /// Transactional point read. Records the observed version for commit
-    /// validation. Sees the transaction's own buffered writes.
-    pub fn get(&self, ctx: &mut TxnCtx, table: TableId, key: &[u8]) -> Option<Row> {
-        // Own writes first (read-your-writes).
-        for (t, w) in ctx.writes.iter().rev() {
+    /// validation. Sees the transaction's own buffered writes. The
+    /// returned slice borrows the stored row image — decode what you need
+    /// before the next operation on `ctx`.
+    pub fn get<'a>(&'a self, ctx: &'a mut TxnCtx, table: TableId, key: &[u8]) -> Option<&'a [u8]> {
+        // Own writes first (read-your-writes). Resolve to an index first so
+        // the borrow returned below starts inside its own arm (NLL).
+        let mut own: Option<Option<usize>> = None;
+        for (i, (t, w)) in ctx.writes.iter().enumerate().rev() {
             if *t != table {
                 continue;
             }
             match w {
-                PendingWrite::Insert(k, v) | PendingWrite::Update(k, v) if k == key => {
-                    return Some(v.clone());
+                PendingWrite::Insert(k, _) | PendingWrite::Update(k, _) if *k == *key => {
+                    own = Some(Some(i));
+                    break;
                 }
-                PendingWrite::Delete(k) if k == key => return None,
+                PendingWrite::Delete(k) if *k == *key => {
+                    own = Some(None);
+                    break;
+                }
                 _ => {}
             }
         }
+        match own {
+            Some(Some(i)) => match &ctx.writes[i].1 {
+                PendingWrite::Insert(_, v) | PendingWrite::Update(_, v) => {
+                    return Some(v.as_slice())
+                }
+                PendingWrite::Delete(_) => unreachable!("index resolved to a buffered image"),
+            },
+            Some(None) => return None,
+            None => {}
+        }
         let slot = self.tables.get(table as usize)?.rows.get(key);
-        ctx.reads.push((table, key.to_vec(), slot.map(|s| s.version)));
-        slot.map(|s| s.row.clone())
+        ctx.record_read(table, key, slot.map(|s| s.version));
+        slot.map(|s| s.row.as_slice())
     }
 
-    /// Transactional range scan over `[from, to)`, yielding up to `limit`
-    /// `(key, row)` pairs in key order. (Scans validate at item
-    /// granularity, not phantom-proof — adequate for the workload model.)
+    /// Transactional range scan over `[from, to)`, visiting up to `limit`
+    /// `(key, row)` pairs in key order without cloning either. (Scans
+    /// validate at item granularity, not phantom-proof — adequate for the
+    /// workload model.) Returns the number of rows visited.
+    pub fn scan_visit<F>(
+        &self,
+        ctx: &mut TxnCtx,
+        table: TableId,
+        from: &[u8],
+        to: &[u8],
+        limit: usize,
+        mut visit: F,
+    ) -> usize
+    where
+        F: FnMut(&[u8], &[u8]),
+    {
+        let Some(t) = self.tables.get(table as usize) else { return 0 };
+        let mut n = 0;
+        for (k, v) in t.rows.range::<[u8], _>((Bound::Included(from), Bound::Excluded(to))) {
+            if n >= limit {
+                break;
+            }
+            ctx.record_read(table, k.as_slice(), Some(v.version));
+            visit(k.as_slice(), v.row.as_slice());
+            n += 1;
+        }
+        n
+    }
+
+    /// Allocating convenience form of [`scan_visit`](Database::scan_visit)
+    /// for tests and cold paths: collects up to `limit` cloned pairs.
     pub fn scan(
         &self,
         ctx: &mut TxnCtx,
@@ -189,53 +299,93 @@ impl Database {
             if out.len() >= limit {
                 break;
             }
-            ctx.reads.push((table, k.clone(), Some(v.version)));
+            ctx.record_read(table, k.as_slice(), Some(v.version));
             out.push((k.clone(), v.row.clone()));
         }
         out
     }
 
-    /// Last `(key, row)` in `[from, to)` (e.g. a customer's latest order).
-    pub fn last_in_range(
-        &self,
-        ctx: &mut TxnCtx,
+    /// First `(key, row)` in `[from, to)` (e.g. the oldest new-order),
+    /// borrowed.
+    pub fn first_in_range<'a>(
+        &'a self,
+        ctx: &'a mut TxnCtx,
         table: TableId,
         from: &[u8],
         to: &[u8],
-    ) -> Option<(Key, Row)> {
+    ) -> Option<(&'a [u8], &'a [u8])> {
+        let t = self.tables.get(table as usize)?;
+        let (k, v) =
+            t.rows.range::<[u8], _>((Bound::Included(from), Bound::Excluded(to))).next()?;
+        ctx.record_read(table, k.as_slice(), Some(v.version));
+        Some((k.as_slice(), v.row.as_slice()))
+    }
+
+    /// Last `(key, row)` in `[from, to)` (e.g. a customer's latest order),
+    /// borrowed.
+    pub fn last_in_range<'a>(
+        &'a self,
+        ctx: &'a mut TxnCtx,
+        table: TableId,
+        from: &[u8],
+        to: &[u8],
+    ) -> Option<(&'a [u8], &'a [u8])> {
         let t = self.tables.get(table as usize)?;
         let (k, v) =
             t.rows.range::<[u8], _>((Bound::Included(from), Bound::Excluded(to))).next_back()?;
-        ctx.reads.push((table, k.clone(), Some(v.version)));
-        Some((k.clone(), v.row.clone()))
+        ctx.record_read(table, k.as_slice(), Some(v.version));
+        Some((k.as_slice(), v.row.as_slice()))
     }
 
     /// Buffer an insert.
-    pub fn insert(&self, ctx: &mut TxnCtx, table: TableId, key: Key, row: Row) {
-        ctx.writes.push((table, PendingWrite::Insert(key, row)));
+    pub fn insert(
+        &self,
+        ctx: &mut TxnCtx,
+        table: TableId,
+        key: impl Into<Key>,
+        row: impl Into<Row>,
+    ) {
+        ctx.writes.push((table, PendingWrite::Insert(key.into(), row.into())));
     }
 
     /// Buffer an update.
-    pub fn update(&self, ctx: &mut TxnCtx, table: TableId, key: Key, row: Row) {
-        ctx.writes.push((table, PendingWrite::Update(key, row)));
+    pub fn update(
+        &self,
+        ctx: &mut TxnCtx,
+        table: TableId,
+        key: impl Into<Key>,
+        row: impl Into<Row>,
+    ) {
+        ctx.writes.push((table, PendingWrite::Update(key.into(), row.into())));
     }
 
     /// Buffer a delete.
-    pub fn delete(&self, ctx: &mut TxnCtx, table: TableId, key: Key) {
-        ctx.writes.push((table, PendingWrite::Delete(key)));
+    pub fn delete(&self, ctx: &mut TxnCtx, table: TableId, key: impl Into<Key>) {
+        ctx.writes.push((table, PendingWrite::Delete(key.into())));
     }
 
     /// Validate and apply the transaction. On success the buffered writes
     /// are installed atomically and the WAL records (ending with a commit
-    /// marker) are returned for the log manager to persist.
-    pub fn commit(&mut self, ctx: TxnCtx) -> Result<Vec<LogRecord>, TxnError> {
+    /// marker) are returned for the log manager to persist. Row images in
+    /// the records share their allocation with the installed table rows.
+    pub fn commit(&mut self, mut ctx: TxnCtx) -> Result<Vec<LogRecord>, TxnError> {
+        let result = self.commit_inner(&mut ctx);
+        if self.ctx_pool.len() < CTX_POOL_CAP {
+            ctx.reset(0);
+            self.ctx_pool.push(ctx);
+        }
+        result
+    }
+
+    fn commit_inner(&mut self, ctx: &mut TxnCtx) -> Result<Vec<LogRecord>, TxnError> {
         // Validation: every read version unchanged.
-        for (table, key, version) in &ctx.reads {
-            let t = self.tables.get(*table as usize).ok_or(TxnError::NoSuchTable(*table))?;
+        for e in &ctx.reads {
+            let t = self.tables.get(e.table as usize).ok_or(TxnError::NoSuchTable(e.table))?;
+            let key = ctx.read_key(e);
             let current = t.rows.get(key).map(|s| s.version);
-            if current != *version {
+            if current != e.version {
                 self.aborts += 1;
-                return Err(TxnError::Conflict { table: *table, key: key.clone() });
+                return Err(TxnError::Conflict { table: e.table, key: Key::from_slice(key) });
             }
         }
         // Pre-check writes for structural errors (atomicity: reject before
@@ -263,10 +413,11 @@ impl Database {
                 }
             }
         }
-        // Apply + emit log records.
+        // Apply + emit log records. Inserted/updated images are installed
+        // and logged as the same refcounted buffer.
         let mut records = Vec::with_capacity(ctx.writes.len() + 1);
         let txn_id = ctx.id;
-        for (table, w) in ctx.writes {
+        for (table, w) in ctx.writes.drain(..) {
             let t = &mut self.tables[table as usize];
             match w {
                 PendingWrite::Insert(k, v) => {
@@ -295,7 +446,7 @@ impl Database {
                         op: LogOp::Delete,
                         table,
                         key: k.clone(),
-                        value: Vec::new(),
+                        value: Row::new(),
                     });
                     t.rows.remove(&k);
                 }
@@ -307,7 +458,8 @@ impl Database {
     }
 
     /// Apply one *committed* log record directly (recovery / replica redo).
-    /// Record application is idempotent for inserts/updates.
+    /// Record application is idempotent for inserts/updates; the record's
+    /// row image is installed by refcount bump, not copied.
     pub fn apply_record(&mut self, rec: &LogRecord) {
         match rec.op {
             LogOp::Commit => {}
@@ -323,15 +475,15 @@ impl Database {
             }
             LogOp::Delete => {
                 if let Some(t) = self.tables.get_mut(rec.table as usize) {
-                    t.rows.remove(&rec.key);
+                    t.rows.remove(rec.key.as_slice());
                 }
             }
         }
     }
 
     /// Raw (non-transactional) read, e.g. for verification.
-    pub fn peek(&self, table: TableId, key: &[u8]) -> Option<&Row> {
-        self.tables.get(table as usize)?.rows.get(key).map(|v| &v.row)
+    pub fn peek(&self, table: TableId, key: &[u8]) -> Option<&[u8]> {
+        self.tables.get(table as usize)?.rows.get(key).map(|v| v.row.as_slice())
     }
 
     /// The catalog's table names in id order (checkpoint encoding).
@@ -339,18 +491,23 @@ impl Database {
         &self.names
     }
 
-    /// Export every `(key, row)` of a table in key order (checkpointing).
-    pub fn export_table(&self, table: TableId) -> Vec<(Key, Row)> {
-        self.tables
-            .get(table as usize)
-            .map(|t| t.rows.iter().map(|(k, v)| (k.clone(), v.row.clone())).collect())
-            .unwrap_or_default()
+    /// Visit every `(key, row)` of a table in key order without cloning
+    /// (checkpointing, verification).
+    pub fn for_each_row<F>(&self, table: TableId, mut visit: F)
+    where
+        F: FnMut(&[u8], &[u8]),
+    {
+        if let Some(t) = self.tables.get(table as usize) {
+            for (k, v) in &t.rows {
+                visit(k.as_slice(), v.row.as_slice());
+            }
+        }
     }
 
     /// Install a row directly (checkpoint restore); bypasses transactions.
-    pub fn install_row(&mut self, table: TableId, key: Key, row: Row) {
+    pub fn install_row(&mut self, table: TableId, key: impl Into<Key>, row: impl Into<Row>) {
         let t = self.tables.get_mut(table as usize).expect("install_row into missing table");
-        t.rows.insert(key, Versioned { row, version: 0 });
+        t.rows.insert(key.into(), Versioned { row: row.into(), version: 0 });
     }
 
     /// A stable fingerprint of all content (tables, keys, rows) for
@@ -376,6 +533,8 @@ impl Database {
 
 /// Order-preserving key encoding helpers (big-endian fixed-width fields).
 pub mod keys {
+    use super::Key;
+
     /// Append a `u32` big-endian component.
     pub fn push_u32(out: &mut Vec<u8>, v: u32) {
         out.extend_from_slice(&v.to_be_bytes());
@@ -394,27 +553,28 @@ pub mod keys {
         out.extend(std::iter::repeat_n(0u8, width - take));
     }
 
-    /// Compose a key from `u32` components.
-    pub fn composite(parts: &[u32]) -> Vec<u8> {
-        let mut out = Vec::with_capacity(parts.len() * 4);
+    /// Compose a key from `u32` components (stack-built, no allocation for
+    /// up to six components).
+    pub fn composite(parts: &[u32]) -> Key {
+        let mut out = Key::new();
         for p in parts {
-            push_u32(&mut out, *p);
+            out.push_u32(*p);
         }
         out
     }
 
     /// The smallest key strictly greater than every key with prefix `p`
     /// (for range scans: `[p, successor(p))`).
-    pub fn successor(p: &[u8]) -> Vec<u8> {
-        let mut out = p.to_vec();
-        for i in (0..out.len()).rev() {
-            if out[i] != 0xFF {
-                out[i] += 1;
-                out.truncate(i + 1);
+    pub fn successor(p: &[u8]) -> Key {
+        for i in (0..p.len()).rev() {
+            if p[i] != 0xFF {
+                let mut out = Key::from_slice(&p[..=i]);
+                out.as_mut_slice()[i] += 1;
                 return out;
             }
         }
-        out.push(0);
+        let mut out = Key::from_slice(p);
+        out.push_bytes(&[0]);
         out
     }
 }
@@ -438,7 +598,7 @@ mod tests {
         assert_eq!(recs.len(), 2, "insert + commit marker");
         assert_eq!(recs.last().unwrap().op, LogOp::Commit);
         let mut ctx2 = db.begin();
-        assert_eq!(db.get(&mut ctx2, t, b"k1"), Some(b"v1".to_vec()));
+        assert_eq!(db.get(&mut ctx2, t, b"k1"), Some(&b"v1"[..]));
         assert_eq!(db.commits(), 1);
     }
 
@@ -447,9 +607,9 @@ mod tests {
         let (mut db, t) = db_with_table();
         let mut ctx = db.begin();
         db.insert(&mut ctx, t, b"k".to_vec(), b"v0".to_vec());
-        assert_eq!(db.get(&mut ctx, t, b"k"), Some(b"v0".to_vec()));
+        assert_eq!(db.get(&mut ctx, t, b"k"), Some(&b"v0"[..]));
         db.update(&mut ctx, t, b"k".to_vec(), b"v1".to_vec());
-        assert_eq!(db.get(&mut ctx, t, b"k"), Some(b"v1".to_vec()));
+        assert_eq!(db.get(&mut ctx, t, b"k"), Some(&b"v1"[..]));
         db.delete(&mut ctx, t, b"k".to_vec());
         assert_eq!(db.get(&mut ctx, t, b"k"), None);
     }
@@ -527,7 +687,31 @@ mod tests {
     }
 
     #[test]
-    fn last_in_range_finds_latest() {
+    fn scan_visit_matches_scan() {
+        let (mut db, t) = db_with_table();
+        let mut setup = db.begin();
+        for i in 0..10u32 {
+            db.insert(&mut setup, t, keys::composite(&[i]), vec![i as u8; 4]);
+        }
+        db.commit(setup).unwrap();
+        let mut c1 = db.begin();
+        let cloned = db.scan(&mut c1, t, &keys::composite(&[2]), &keys::composite(&[8]), 4);
+        let mut c2 = db.begin();
+        let mut visited = Vec::new();
+        let n =
+            db.scan_visit(&mut c2, t, &keys::composite(&[2]), &keys::composite(&[8]), 4, |k, v| {
+                visited.push((k.to_vec(), v.to_vec()))
+            });
+        assert_eq!(n, cloned.len());
+        assert_eq!(c1.read_count(), c2.read_count());
+        for ((k1, v1), (k2, v2)) in cloned.iter().zip(&visited) {
+            assert_eq!(k1.as_slice(), k2.as_slice());
+            assert_eq!(v1.as_slice(), v2.as_slice());
+        }
+    }
+
+    #[test]
+    fn first_and_last_in_range() {
         let (mut db, t) = db_with_table();
         let mut setup = db.begin();
         for o in 1..=7u32 {
@@ -539,7 +723,9 @@ mod tests {
         let from = keys::composite(&[1]);
         let to = keys::successor(&from);
         let (_, row) = db.last_in_range(&mut ctx, t, &from, &to).unwrap();
-        assert_eq!(row, vec![7]);
+        assert_eq!(row, [7u8].as_slice());
+        let (_, first) = db.first_in_range(&mut ctx, t, &from, &to).unwrap();
+        assert_eq!(first, [1u8].as_slice());
     }
 
     #[test]
@@ -585,5 +771,31 @@ mod tests {
         db1.insert(&mut ctx, t, b"x".to_vec(), b"y".to_vec());
         db1.commit(ctx).unwrap();
         assert_ne!(db1.fingerprint(), db2.fingerprint());
+    }
+
+    #[test]
+    fn contexts_are_recycled() {
+        let (mut db, t) = db_with_table();
+        for i in 0..5u32 {
+            let mut ctx = db.begin();
+            db.insert(&mut ctx, t, keys::composite(&[i]), vec![1u8]);
+            db.commit(ctx).unwrap();
+        }
+        // A recycled context must start clean.
+        let ctx = db.begin();
+        assert_eq!(ctx.read_count(), 0);
+        assert_eq!(ctx.write_count(), 0);
+        assert_eq!(ctx.id(), 5);
+    }
+
+    #[test]
+    fn shared_row_images_between_table_and_log() {
+        let (mut db, t) = db_with_table();
+        let mut ctx = db.begin();
+        db.insert(&mut ctx, t, b"k".to_vec(), vec![7u8; 64]);
+        let recs = db.commit(ctx).unwrap();
+        let logged = recs[0].value.as_slice().as_ptr();
+        let stored = db.peek(t, b"k").unwrap().as_ptr();
+        assert_eq!(logged, stored, "log record and table row share one buffer");
     }
 }

@@ -169,15 +169,18 @@ impl<B: LogBackend> WalManager<B> {
         if self.pending.is_empty() {
             return FlushReport { durable_upto: self.durable, at: now, bytes: 0 };
         }
-        let batch = std::mem::take(&mut self.pending);
+        let bytes = self.pending.len() as u64;
         self.batch_opened = None;
         let start = now.max(self.log_writer_free);
-        let t1 = self.backend.append(start, &batch);
+        let t1 = self.backend.append(start, &self.pending);
         let t2 = self.backend.sync(t1);
+        // Keep the group buffer's capacity: the next batch encodes into it
+        // instead of growing a fresh allocation.
+        self.pending.clear();
         self.log_writer_free = t2;
         self.durable = Lsn(self.enqueued);
         self.flushes += 1;
-        FlushReport { durable_upto: self.durable, at: t2, bytes: batch.len() as u64 }
+        FlushReport { durable_upto: self.durable, at: t2, bytes }
     }
 
     /// When the log writer finishes its in-flight flush (back-pressure
@@ -196,16 +199,13 @@ impl<B: LogBackend> WalManager<B> {
         if self.pending.is_empty() {
             return None;
         }
-        let batch = std::mem::take(&mut self.pending);
+        let bytes = self.pending.len() as u64;
         self.batch_opened = None;
         let start = now.max(self.log_writer_free);
-        let (tag, handoff) = self.backend.append_submit(start, &batch);
+        let (tag, handoff) = self.backend.append_submit(start, &self.pending);
+        self.pending.clear();
         self.log_writer_free = handoff;
-        self.in_flight.push(PendingFlush {
-            tag,
-            durable_upto: Lsn(self.enqueued),
-            bytes: batch.len() as u64,
-        });
+        self.in_flight.push(PendingFlush { tag, durable_upto: Lsn(self.enqueued), bytes });
         Some(tag)
     }
 
@@ -278,7 +278,13 @@ mod tests {
     use crate::log::{LogOp, LogRecord};
 
     fn rec(txn: u64, len: usize) -> LogRecord {
-        LogRecord { txn_id: txn, op: LogOp::Insert, table: 0, key: vec![0; 8], value: vec![0; len] }
+        LogRecord {
+            txn_id: txn,
+            op: LogOp::Insert,
+            table: 0,
+            key: vec![0; 8].into(),
+            value: vec![0; len].into(),
+        }
     }
 
     #[test]

@@ -69,8 +69,8 @@ fn run_case(seed: u64) {
         txn_id: 0xDEAD_0000 + seed,
         op: LogOp::Insert,
         table: tab,
-        key: b"ghost".to_vec(),
-        value: vec![0xEE; 32],
+        key: b"ghost".to_vec().into(),
+        value: vec![0xEE; 32].into(),
     };
     let t = file.x_pwrite(&mut cluster, now, &ghost.encode()).expect("x_pwrite");
     now = file.x_fsync(&mut cluster, t).expect("x_fsync");

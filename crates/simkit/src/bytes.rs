@@ -7,22 +7,33 @@
 
 use std::fmt;
 use std::ops::Deref;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// An immutable, reference-counted byte buffer.
-#[derive(Clone, Default, PartialEq, Eq, Hash)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Bytes {
     data: Arc<[u8]>,
+}
+
+/// The shared zero-length buffer: empties are an `Arc` bump, never an
+/// allocation (the database hot path builds empty rows and commit-marker
+/// payloads constantly).
+fn empty_arc() -> Arc<[u8]> {
+    static EMPTY: OnceLock<Arc<[u8]>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::from(&[][..])).clone()
 }
 
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
-        Bytes::default()
+        Bytes { data: empty_arc() }
     }
 
     /// Copy `src` into a new buffer.
     pub fn copy_from_slice(src: &[u8]) -> Self {
+        if src.is_empty() {
+            return Bytes::new();
+        }
         Bytes { data: Arc::from(src) }
     }
 
@@ -42,8 +53,17 @@ impl Bytes {
     }
 }
 
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
+        if v.is_empty() {
+            return Bytes::new();
+        }
         Bytes { data: Arc::from(v) }
     }
 }

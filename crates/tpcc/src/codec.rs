@@ -49,6 +49,81 @@ impl RowWriter {
     }
 }
 
+/// Field writer over a borrowed scratch buffer: the hot path builds every
+/// row into the workload's reusable `Vec<u8>` and pays exactly one
+/// allocation per written row (the final refcounted image), instead of a
+/// `RowWriter` `Vec` plus per-field `String`s.
+#[derive(Debug)]
+pub struct RowBuf<'a> {
+    buf: &'a mut Vec<u8>,
+}
+
+impl<'a> RowBuf<'a> {
+    /// A writer over `buf`, cleared first (capacity kept).
+    pub fn new(buf: &'a mut Vec<u8>) -> Self {
+        buf.clear();
+        RowBuf { buf }
+    }
+
+    /// Append a u32.
+    pub fn u32(self, v: u32) -> Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a u64.
+    pub fn u64(self, v: u64) -> Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append an i64 (money in cents).
+    pub fn money(self, v: i64) -> Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a fixed-width field from raw bytes (truncated / zero-padded).
+    /// Copying a field read with [`RowReader::raw`] reproduces its stored
+    /// bytes exactly.
+    pub fn bytes(self, src: &[u8], width: usize) -> Self {
+        let take = src.len().min(width);
+        self.buf.extend_from_slice(&src[..take]);
+        self.buf.extend(std::iter::repeat_n(0u8, width - take));
+        self
+    }
+
+    /// Freeze the scratch contents into a refcounted row image.
+    pub fn finish(self) -> simkit::Bytes {
+        simkit::Bytes::copy_from_slice(self.buf)
+    }
+}
+
+/// Read a little-endian u32 at `off` (in-place row patching).
+pub fn get_u32(row: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(row[off..off + 4].try_into().expect("4 bytes"))
+}
+
+/// Read money (i64 cents) at `off`.
+pub fn get_money(row: &[u8], off: usize) -> i64 {
+    i64::from_le_bytes(row[off..off + 8].try_into().expect("8 bytes"))
+}
+
+/// Overwrite a little-endian u32 at `off`.
+pub fn put_u32(row: &mut [u8], off: usize, v: u32) {
+    row[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Overwrite a little-endian u64 at `off`.
+pub fn put_u64(row: &mut [u8], off: usize, v: u64) {
+    row[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Overwrite money (i64 cents) at `off`.
+pub fn put_money(row: &mut [u8], off: usize, v: i64) {
+    row[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
 /// Field reader over a row image.
 #[derive(Debug)]
 pub struct RowReader<'a> {
@@ -83,12 +158,29 @@ impl<'a> RowReader<'a> {
         v
     }
 
-    /// Read a fixed-width string (trailing zeros trimmed).
+    /// Read a fixed-width string (trailing zeros trimmed). Allocates; kept
+    /// for tests and display — hot paths use
+    /// [`str_bytes`](RowReader::str_bytes).
     pub fn str(&mut self, width: usize) -> String {
+        String::from_utf8_lossy(self.str_bytes(width)).into_owned()
+    }
+
+    /// Read a fixed-width string field as its trimmed bytes, borrowing the
+    /// row (no allocation). Comparisons and copy-throughs want bytes, not
+    /// `String`s.
+    pub fn str_bytes(&mut self, width: usize) -> &'a [u8] {
+        let raw = self.raw(width);
+        let end = raw.iter().position(|b| *b == 0).unwrap_or(width);
+        &raw[..end]
+    }
+
+    /// Read a fixed-width field's raw bytes, padding included. Replaying
+    /// them through [`RowBuf::bytes`] with the same width reproduces the
+    /// stored encoding byte for byte.
+    pub fn raw(&mut self, width: usize) -> &'a [u8] {
         let raw = &self.buf[self.pos..self.pos + width];
         self.pos += width;
-        let end = raw.iter().position(|b| *b == 0).unwrap_or(width);
-        String::from_utf8_lossy(&raw[..end]).into_owned()
+        raw
     }
 
     /// Skip `n` bytes.

@@ -2,7 +2,7 @@
 
 use crate::codec::RowWriter;
 use crate::gen::{astring, loader_last_name, NurandC};
-use memdb::{keys, Database, TableId};
+use memdb::{Database, Key, TableId};
 use simkit::DetRng;
 
 /// Scale parameters. The paper runs 16 warehouses; tests use
@@ -91,79 +91,78 @@ pub const TABLE_NAMES: [&str; 11] = [
     "stock",
 ];
 
-/// Key builders.
+/// Key builders. Every key is stack-built: the widest hot-path composite
+/// (order-line, 16 bytes) fits a [`memdb::SmallKey`] inline; only the
+/// 28-byte customer-name index entry spills, and that is built at load
+/// time and during ~1%-frequency payment-by-name insert paths.
 pub mod key {
     use memdb::keys::composite;
+    use memdb::Key;
 
     /// WAREHOUSE key.
-    pub fn warehouse(w: u32) -> Vec<u8> {
+    pub fn warehouse(w: u32) -> Key {
         composite(&[w])
     }
 
     /// DISTRICT key.
-    pub fn district(w: u32, d: u32) -> Vec<u8> {
+    pub fn district(w: u32, d: u32) -> Key {
         composite(&[w, d])
     }
 
     /// CUSTOMER key.
-    pub fn customer(w: u32, d: u32, c: u32) -> Vec<u8> {
+    pub fn customer(w: u32, d: u32, c: u32) -> Key {
         composite(&[w, d, c])
     }
 
     /// Customer-name index key.
-    pub fn customer_name(w: u32, d: u32, last: &str, c: u32) -> Vec<u8> {
+    pub fn customer_name(w: u32, d: u32, last: &str, c: u32) -> Key {
         let mut k = composite(&[w, d]);
-        super::schema_push_name(&mut k, last);
-        memdb::keys::push_u32(&mut k, c);
+        k.push_str(last, 16);
+        k.push_u32(c);
         k
     }
 
     /// Name-index scan prefix for (w, d, last).
-    pub fn customer_name_prefix(w: u32, d: u32, last: &str) -> Vec<u8> {
+    pub fn customer_name_prefix(w: u32, d: u32, last: &str) -> Key {
         let mut k = composite(&[w, d]);
-        super::schema_push_name(&mut k, last);
+        k.push_str(last, 16);
         k
     }
 
     /// HISTORY key.
-    pub fn history(w: u32, d: u32, c: u32, seq: u32) -> Vec<u8> {
+    pub fn history(w: u32, d: u32, c: u32, seq: u32) -> Key {
         composite(&[w, d, c, seq])
     }
 
     /// ORDER key.
-    pub fn order(w: u32, d: u32, o: u32) -> Vec<u8> {
+    pub fn order(w: u32, d: u32, o: u32) -> Key {
         composite(&[w, d, o])
     }
 
     /// Customer→order index key.
-    pub fn order_customer(w: u32, d: u32, c: u32, o: u32) -> Vec<u8> {
+    pub fn order_customer(w: u32, d: u32, c: u32, o: u32) -> Key {
         composite(&[w, d, c, o])
     }
 
     /// NEW-ORDER key.
-    pub fn new_order(w: u32, d: u32, o: u32) -> Vec<u8> {
+    pub fn new_order(w: u32, d: u32, o: u32) -> Key {
         composite(&[w, d, o])
     }
 
     /// ORDER-LINE key.
-    pub fn order_line(w: u32, d: u32, o: u32, ol: u32) -> Vec<u8> {
+    pub fn order_line(w: u32, d: u32, o: u32, ol: u32) -> Key {
         composite(&[w, d, o, ol])
     }
 
     /// ITEM key.
-    pub fn item(i: u32) -> Vec<u8> {
+    pub fn item(i: u32) -> Key {
         composite(&[i])
     }
 
     /// STOCK key.
-    pub fn stock(w: u32, i: u32) -> Vec<u8> {
+    pub fn stock(w: u32, i: u32) -> Key {
         composite(&[w, i])
     }
-}
-
-/// Push a fixed-width (16-byte) name component onto a key.
-pub(crate) fn schema_push_name(out: &mut Vec<u8>, name: &str) {
-    keys::push_str(out, name, 16);
 }
 
 /// Create the catalog and load the initial population. Returns the table
@@ -286,7 +285,7 @@ pub fn load(db: &mut Database, cfg: &TpccConfig, rng: &mut DetRng, c: &NurandC) 
     tables
 }
 
-fn load_row(db: &mut Database, table: TableId, key: Vec<u8>, row: Vec<u8>) {
+fn load_row(db: &mut Database, table: TableId, key: Key, row: Vec<u8>) {
     let mut ctx = db.begin();
     db.insert(&mut ctx, table, key, row);
     db.commit(ctx).expect("loader rows are conflict-free");

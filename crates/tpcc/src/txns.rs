@@ -4,10 +4,10 @@
 //! Payment carry the write load; OrderStatus, Delivery, and StockLevel add
 //! the read and batch profiles. The standard mix is 45/43/4/4/4.
 
-use crate::codec::{RowReader, RowWriter};
+use crate::codec::{get_money, get_u32, put_money, put_u32, put_u64, RowBuf, RowReader};
 use crate::gen::{customer_id, item_id, random_last_name, NurandC};
 use crate::schema::{key, Tables, TpccConfig};
-use memdb::{keys, Database, TxnError, TxnOutcome};
+use memdb::{keys, Database, Key, Row, TxnError, TxnOutcome};
 use simkit::DetRng;
 
 /// Which profile a draw selected.
@@ -54,6 +54,13 @@ pub struct TpccWorkload {
     /// Monotonic history sequence (history rows need unique keys).
     history_seq: u32,
     stats: MixStats,
+    /// Reusable row scratch: every written row is staged here and frozen
+    /// into one refcounted image, so steady state re-allocates nothing.
+    row_buf: Vec<u8>,
+    /// StockLevel scratch: item ids of the scanned order lines.
+    line_items: Vec<u32>,
+    /// StockLevel scratch: distinct low-stock item ids seen so far.
+    low_items: Vec<u32>,
 }
 
 impl simkit::Instrument for TpccWorkload {
@@ -71,7 +78,16 @@ impl simkit::Instrument for TpccWorkload {
 impl TpccWorkload {
     /// Wrap a loaded schema.
     pub fn new(tables: Tables, config: TpccConfig, nurand: NurandC) -> Self {
-        TpccWorkload { tables, config, nurand, history_seq: 0, stats: MixStats::default() }
+        TpccWorkload {
+            tables,
+            config,
+            nurand,
+            history_seq: 0,
+            stats: MixStats::default(),
+            row_buf: Vec::new(),
+            line_items: Vec::new(),
+            low_items: Vec::new(),
+        }
     }
 
     /// Execution counters.
@@ -123,25 +139,27 @@ impl TpccWorkload {
 
         let mut ctx = db.begin();
         // Warehouse tax.
-        let wrow = db
-            .get(&mut ctx, t.warehouse, &key::warehouse(w))
-            .ok_or_else(|| TxnError::NotFound(key::warehouse(w)))?;
-        let mut wr = RowReader::new(&wrow);
-        wr.skip(10);
-        let w_tax = wr.u32();
+        let w_tax = {
+            let wrow = db
+                .get(&mut ctx, t.warehouse, &key::warehouse(w))
+                .ok_or_else(|| TxnError::NotFound(key::warehouse(w)))?;
+            let mut wr = RowReader::new(wrow);
+            wr.skip(10);
+            wr.u32()
+        };
         // District: tax + next_o_id (incremented).
-        let drow = db
-            .get(&mut ctx, t.district, &key::district(w, d))
-            .ok_or_else(|| TxnError::NotFound(key::district(w, d)))?;
-        let mut dr = RowReader::new(&drow);
-        let d_tax = dr.u32();
-        let d_ytd = dr.money();
-        let o_id = dr.u32();
+        let (d_tax, d_ytd, o_id) = {
+            let drow = db
+                .get(&mut ctx, t.district, &key::district(w, d))
+                .ok_or_else(|| TxnError::NotFound(key::district(w, d)))?;
+            let mut dr = RowReader::new(drow);
+            (dr.u32(), dr.money(), dr.u32())
+        };
         db.update(
             &mut ctx,
             t.district,
             key::district(w, d),
-            RowWriter::new(32).u32(d_tax).money(d_ytd).u32(o_id + 1).finish(),
+            RowBuf::new(&mut self.row_buf).u32(d_tax).money(d_ytd).u32(o_id + 1).finish(),
         );
         // Customer discount.
         let crow = db
@@ -159,13 +177,18 @@ impl TpccWorkload {
             } else {
                 item_id(rng, &self.nurand, self.config.items)
             };
-            let Some(irow) = db.get(&mut ctx, t.item, &key::item(i)) else {
-                self.stats.rollbacks += 1;
-                return Err(TxnError::NotFound(key::item(i)));
+            let price = match db.get(&mut ctx, t.item, &key::item(i)) {
+                Some(irow) => {
+                    let mut ir = RowReader::new(irow);
+                    ir.skip(24);
+                    ir.money()
+                }
+                None => {
+                    self.stats.rollbacks += 1;
+                    db.rollback(ctx);
+                    return Err(TxnError::NotFound(key::item(i)));
+                }
             };
-            let mut ir = RowReader::new(&irow);
-            ir.skip(24);
-            let price = ir.money();
             // 1% of lines are remote (supply warehouse differs).
             let supply_w = if self.config.warehouses > 1 && rng.chance(0.01) {
                 all_local = 0;
@@ -178,30 +201,34 @@ impl TpccWorkload {
                 w
             };
             let qty = rng.uniform(1, 10) as u32;
-            // Stock read + update.
-            let srow = db
-                .get(&mut ctx, t.stock, &key::stock(supply_w, i))
-                .ok_or_else(|| TxnError::NotFound(key::stock(supply_w, i)))?;
-            let mut sr = RowReader::new(&srow);
-            let s_qty = sr.u32();
-            let s_ytd = sr.u32();
-            let s_ord = sr.u32();
-            let s_rem = sr.u32();
-            let dist_info = sr.str(24);
-            let s_data = sr.str(50);
+            // Stock read + in-place update: copy the image once, patch the
+            // four counters, keep dist_info for the order line.
+            let mut dist_info = [0u8; 24];
+            let s_qty = {
+                let srow = db
+                    .get(&mut ctx, t.stock, &key::stock(supply_w, i))
+                    .ok_or_else(|| TxnError::NotFound(key::stock(supply_w, i)))?;
+                let mut sr = RowReader::new(srow);
+                let s_qty = sr.u32();
+                sr.skip(12);
+                dist_info.copy_from_slice(sr.raw(24));
+                self.row_buf.clear();
+                self.row_buf.extend_from_slice(srow);
+                s_qty
+            };
             let new_qty = if s_qty > qty + 10 { s_qty - qty } else { s_qty + 91 - qty };
+            let s_ytd = get_u32(&self.row_buf, 4) + qty;
+            let s_ord = get_u32(&self.row_buf, 8) + 1;
+            let s_rem = get_u32(&self.row_buf, 12) + if supply_w == w { 0 } else { 1 };
+            put_u32(&mut self.row_buf, 0, new_qty);
+            put_u32(&mut self.row_buf, 4, s_ytd);
+            put_u32(&mut self.row_buf, 8, s_ord);
+            put_u32(&mut self.row_buf, 12, s_rem);
             db.update(
                 &mut ctx,
                 t.stock,
                 key::stock(supply_w, i),
-                RowWriter::new(96)
-                    .u32(new_qty)
-                    .u32(s_ytd + qty)
-                    .u32(s_ord + 1)
-                    .u32(s_rem + if supply_w == w { 0 } else { 1 })
-                    .str(&dist_info, 24)
-                    .str(&s_data, 50)
-                    .finish(),
+                Row::copy_from_slice(&self.row_buf),
             );
             let amount = price * qty as i64;
             total += amount;
@@ -209,13 +236,13 @@ impl TpccWorkload {
                 &mut ctx,
                 t.order_line,
                 key::order_line(w, d, o_id, ol),
-                RowWriter::new(64)
+                RowBuf::new(&mut self.row_buf)
                     .u32(i)
                     .u32(supply_w)
                     .u64(0) // undelivered
                     .u32(qty)
                     .money(amount)
-                    .str(&dist_info, 24)
+                    .bytes(&dist_info, 24)
                     .finish(),
             );
         }
@@ -224,10 +251,16 @@ impl TpccWorkload {
             &mut ctx,
             t.order,
             key::order(w, d, o_id),
-            RowWriter::new(32).u32(c).u64(now_ns).u32(0).u32(ol_cnt).u32(all_local).finish(),
+            RowBuf::new(&mut self.row_buf)
+                .u32(c)
+                .u64(now_ns)
+                .u32(0)
+                .u32(ol_cnt)
+                .u32(all_local)
+                .finish(),
         );
-        db.insert(&mut ctx, t.order_customer, key::order_customer(w, d, c, o_id), Vec::new());
-        db.insert(&mut ctx, t.new_order, key::new_order(w, d, o_id), Vec::new());
+        db.insert(&mut ctx, t.order_customer, key::order_customer(w, d, c, o_id), Row::new());
+        db.insert(&mut ctx, t.new_order, key::new_order(w, d, o_id), Row::new());
         db.commit(ctx)
     }
 
@@ -246,13 +279,19 @@ impl TpccWorkload {
             let last = random_last_name(rng, &self.nurand);
             let from = key::customer_name_prefix(w, d, &last);
             let to = keys::successor(&from);
-            let matches = db.scan(ctx, self.tables.customer_name, &from, &to, 100);
-            if matches.is_empty() {
+            // Visit the name index without materializing the matches; the
+            // median rule only needs the customer ids.
+            let mut ids = [0u32; 100];
+            let mut n = 0usize;
+            db.scan_visit(ctx, self.tables.customer_name, &from, &to, 100, |_k, row| {
+                ids[n] = u32::from_le_bytes(row[..4].try_into().expect("c_id payload"));
+                n += 1;
+            });
+            if n == 0 {
                 // Scaled-down loads may miss a name; fall back to an id.
                 return Ok(customer_id(rng, &self.nurand, self.config.customers));
             }
-            let (_, row) = &matches[matches.len() / 2];
-            Ok(u32::from_le_bytes(row[..4].try_into().expect("c_id payload")))
+            Ok(ids[n / 2])
         }
     }
 
@@ -278,73 +317,61 @@ impl TpccWorkload {
         };
         let c = self.select_customer(db, &mut ctx, rng, cw, cd)?;
 
-        // Warehouse ytd.
-        let wrow = db
-            .get(&mut ctx, t.warehouse, &key::warehouse(w))
-            .ok_or_else(|| TxnError::NotFound(key::warehouse(w)))?;
-        let mut wr = RowReader::new(&wrow);
-        let name = wr.str(10);
-        let tax = wr.u32();
-        let ytd = wr.money();
+        // Warehouse ytd. The name's raw bytes ride along on the stack for
+        // the history row.
+        let mut wname = [0u8; 10];
+        let (tax, ytd) = {
+            let wrow = db
+                .get(&mut ctx, t.warehouse, &key::warehouse(w))
+                .ok_or_else(|| TxnError::NotFound(key::warehouse(w)))?;
+            let mut wr = RowReader::new(wrow);
+            wname.copy_from_slice(wr.raw(10));
+            (wr.u32(), wr.money())
+        };
         db.update(
             &mut ctx,
             t.warehouse,
             key::warehouse(w),
-            RowWriter::new(48).str(&name, 10).u32(tax).money(ytd + amount).finish(),
+            RowBuf::new(&mut self.row_buf).bytes(&wname, 10).u32(tax).money(ytd + amount).finish(),
         );
         // District ytd.
-        let drow = db
-            .get(&mut ctx, t.district, &key::district(w, d))
-            .ok_or_else(|| TxnError::NotFound(key::district(w, d)))?;
-        let mut dr = RowReader::new(&drow);
-        let d_tax = dr.u32();
-        let d_ytd = dr.money();
-        let next_o = dr.u32();
+        let (d_tax, d_ytd, next_o) = {
+            let drow = db
+                .get(&mut ctx, t.district, &key::district(w, d))
+                .ok_or_else(|| TxnError::NotFound(key::district(w, d)))?;
+            let mut dr = RowReader::new(drow);
+            (dr.u32(), dr.money(), dr.u32())
+        };
         db.update(
             &mut ctx,
             t.district,
             key::district(w, d),
-            RowWriter::new(32).u32(d_tax).money(d_ytd + amount).u32(next_o).finish(),
+            RowBuf::new(&mut self.row_buf).u32(d_tax).money(d_ytd + amount).u32(next_o).finish(),
         );
-        // Customer balance / ytd / counters.
+        // Customer balance / ytd / counters: copy the image once and patch
+        // the three fields in place (the rest passes through byte-exact).
         let ckey = key::customer(cw, cd, c);
-        let crow =
-            db.get(&mut ctx, t.customer, &ckey).ok_or_else(|| TxnError::NotFound(ckey.clone()))?;
-        let mut cr = RowReader::new(&crow);
-        let first = cr.str(16);
-        let middle = cr.str(2);
-        let last = cr.str(16);
-        let balance = cr.money();
-        let ytd_pay = cr.money();
-        let pay_cnt = cr.u32();
-        let del_cnt = cr.u32();
-        let credit = cr.str(2);
-        let discount = cr.u32();
-        let data = cr.str(100);
-        db.update(
-            &mut ctx,
-            t.customer,
-            ckey,
-            RowWriter::new(192)
-                .str(&first, 16)
-                .str(&middle, 2)
-                .str(&last, 16)
-                .money(balance - amount)
-                .money(ytd_pay + amount)
-                .u32(pay_cnt + 1)
-                .u32(del_cnt)
-                .str(&credit, 2)
-                .u32(discount)
-                .str(&data, 100)
-                .finish(),
-        );
+        {
+            let crow = db
+                .get(&mut ctx, t.customer, &ckey)
+                .ok_or_else(|| TxnError::NotFound(ckey.clone()))?;
+            self.row_buf.clear();
+            self.row_buf.extend_from_slice(crow);
+        }
+        let balance = get_money(&self.row_buf, 34) - amount;
+        let ytd_pay = get_money(&self.row_buf, 42) + amount;
+        let pay_cnt = get_u32(&self.row_buf, 50) + 1;
+        put_money(&mut self.row_buf, 34, balance);
+        put_money(&mut self.row_buf, 42, ytd_pay);
+        put_u32(&mut self.row_buf, 50, pay_cnt);
+        db.update(&mut ctx, t.customer, ckey, Row::copy_from_slice(&self.row_buf));
         // History.
         self.history_seq += 1;
         db.insert(
             &mut ctx,
             t.history,
             key::history(cw, cd, c, self.history_seq),
-            RowWriter::new(48).money(amount).u64(now_ns).str(&name, 24).finish(),
+            RowBuf::new(&mut self.row_buf).money(amount).u64(now_ns).bytes(&wname, 24).finish(),
         );
         db.commit(ctx)
     }
@@ -359,12 +386,14 @@ impl TpccWorkload {
         let c = self.select_customer(db, &mut ctx, rng, w, d)?;
         let from = key::order_customer(w, d, c, 0);
         let to = key::order_customer(w, d, c, u32::MAX);
-        if let Some((okey, _)) = db.last_in_range(&mut ctx, t.order_customer, &from, &to) {
-            // Decode o_id from the tail of the index key.
-            let o_id = u32::from_be_bytes(okey[okey.len() - 4..].try_into().expect("o_id suffix"));
+        // Decode o_id from the tail of the index key; the borrow ends there.
+        let latest = db.last_in_range(&mut ctx, t.order_customer, &from, &to).map(|(okey, _)| {
+            u32::from_be_bytes(okey[okey.len() - 4..].try_into().expect("o_id suffix"))
+        });
+        if let Some(o_id) = latest {
             let lfrom = key::order_line(w, d, o_id, 0);
             let lto = key::order_line(w, d, o_id, u32::MAX);
-            let _lines = db.scan(&mut ctx, t.order_line, &lfrom, &lto, 20);
+            db.scan_visit(&mut ctx, t.order_line, &lfrom, &lto, 20, |_k, _row| {});
         }
         db.commit(ctx)
     }
@@ -379,95 +408,59 @@ impl TpccWorkload {
         for d in 1..=self.config.districts {
             let from = key::new_order(w, d, 0);
             let to = key::new_order(w, d, u32::MAX);
-            let Some((nokey, _)) = db.scan(&mut ctx, t.new_order, &from, &to, 1).into_iter().next()
+            // Oldest undelivered order; the key is copied out (inline, no
+            // heap) so the borrow ends before the delete is buffered.
+            let Some((o_id, nokey)) =
+                db.first_in_range(&mut ctx, t.new_order, &from, &to).map(|(nokey, _)| {
+                    let o_id = u32::from_be_bytes(
+                        nokey[nokey.len() - 4..].try_into().expect("o_id suffix"),
+                    );
+                    (o_id, Key::from_slice(nokey))
+                })
             else {
                 continue; // district fully delivered
             };
-            let o_id =
-                u32::from_be_bytes(nokey[nokey.len() - 4..].try_into().expect("o_id suffix"));
             db.delete(&mut ctx, t.new_order, nokey);
-            // Order: set carrier.
+            // Order: copy the image, patch the carrier field.
             let okey = key::order(w, d, o_id);
-            let orow =
-                db.get(&mut ctx, t.order, &okey).ok_or_else(|| TxnError::NotFound(okey.clone()))?;
-            let mut or = RowReader::new(&orow);
-            let c = or.u32();
-            let entry = or.u64();
-            let _old_carrier = or.u32();
-            let ol_cnt = or.u32();
-            let all_local = or.u32();
-            db.update(
-                &mut ctx,
-                t.order,
-                okey,
-                RowWriter::new(32)
-                    .u32(c)
-                    .u64(entry)
-                    .u32(carrier)
-                    .u32(ol_cnt)
-                    .u32(all_local)
-                    .finish(),
-            );
+            {
+                let orow = db
+                    .get(&mut ctx, t.order, &okey)
+                    .ok_or_else(|| TxnError::NotFound(okey.clone()))?;
+                self.row_buf.clear();
+                self.row_buf.extend_from_slice(orow);
+            }
+            let c = get_u32(&self.row_buf, 0);
+            let ol_cnt = get_u32(&self.row_buf, 16);
+            put_u32(&mut self.row_buf, 12, carrier);
+            db.update(&mut ctx, t.order, okey, Row::copy_from_slice(&self.row_buf));
             // Order lines: stamp delivery date, sum amounts.
             let mut total = 0i64;
             for ol in 1..=ol_cnt {
                 let lkey = key::order_line(w, d, o_id, ol);
-                let Some(lrow) = db.get(&mut ctx, t.order_line, &lkey) else { continue };
-                let mut lr = RowReader::new(&lrow);
-                let i = lr.u32();
-                let sw = lr.u32();
-                let _date = lr.u64();
-                let qty = lr.u32();
-                let amount = lr.money();
-                let dist = lr.str(24);
-                total += amount;
-                db.update(
-                    &mut ctx,
-                    t.order_line,
-                    lkey,
-                    RowWriter::new(64)
-                        .u32(i)
-                        .u32(sw)
-                        .u64(now_ns)
-                        .u32(qty)
-                        .money(amount)
-                        .str(&dist, 24)
-                        .finish(),
-                );
+                {
+                    let Some(lrow) = db.get(&mut ctx, t.order_line, &lkey) else { continue };
+                    self.row_buf.clear();
+                    self.row_buf.extend_from_slice(lrow);
+                }
+                total += get_money(&self.row_buf, 20);
+                put_u64(&mut self.row_buf, 8, now_ns);
+                db.update(&mut ctx, t.order_line, lkey, Row::copy_from_slice(&self.row_buf));
             }
             // Customer: balance += total, delivery_cnt += 1.
             let ckey = key::customer(w, d, c);
-            let crow = db
-                .get(&mut ctx, t.customer, &ckey)
-                .ok_or_else(|| TxnError::NotFound(ckey.clone()))?;
-            let mut cr = RowReader::new(&crow);
-            let first = cr.str(16);
-            let middle = cr.str(2);
-            let last = cr.str(16);
-            let balance = cr.money();
-            let ytd_pay = cr.money();
-            let pay_cnt = cr.u32();
-            let del_cnt = cr.u32();
-            let credit = cr.str(2);
-            let discount = cr.u32();
-            let data = cr.str(100);
-            db.update(
-                &mut ctx,
-                t.customer,
-                ckey,
-                RowWriter::new(192)
-                    .str(&first, 16)
-                    .str(&middle, 2)
-                    .str(&last, 16)
-                    .money(balance + total)
-                    .money(ytd_pay)
-                    .u32(pay_cnt)
-                    .u32(del_cnt + 1)
-                    .str(&credit, 2)
-                    .u32(discount)
-                    .str(&data, 100)
-                    .finish(),
-            );
+            {
+                let crow = db
+                    .get(&mut ctx, t.customer, &ckey)
+                    .ok_or_else(|| TxnError::NotFound(ckey.clone()))?;
+                self.row_buf.clear();
+                self.row_buf.extend_from_slice(crow);
+            }
+            let balance = get_money(&self.row_buf, 34) + total;
+            let del_cnt = get_u32(&self.row_buf, 54) + 1;
+            put_money(&mut self.row_buf, 34, balance);
+            put_u32(&mut self.row_buf, 54, del_cnt);
+            db.update(&mut ctx, t.customer, ckey, Row::copy_from_slice(&self.row_buf));
         }
         db.commit(ctx)
     }
@@ -481,27 +474,34 @@ impl TpccWorkload {
         let d = self.district(rng);
         let threshold = rng.uniform(10, 20) as u32;
         let mut ctx = db.begin();
-        let drow = db
-            .get(&mut ctx, t.district, &key::district(w, d))
-            .ok_or_else(|| TxnError::NotFound(key::district(w, d)))?;
-        let mut dr = RowReader::new(&drow);
-        dr.skip(12);
-        let next_o = dr.u32();
+        let next_o = {
+            let drow = db
+                .get(&mut ctx, t.district, &key::district(w, d))
+                .ok_or_else(|| TxnError::NotFound(key::district(w, d)))?;
+            get_u32(drow, 12)
+        };
         let from_o = next_o.saturating_sub(20);
         let lfrom = key::order_line(w, d, from_o, 0);
         let lto = key::order_line(w, d, next_o, 0);
-        let lines = db.scan(&mut ctx, t.order_line, &lfrom, &lto, 400);
-        let mut low = std::collections::HashSet::new();
-        for (_k, lrow) in lines {
-            let mut lr = RowReader::new(&lrow);
-            let i = lr.u32();
-            if low.contains(&i) {
+        // Collect the line item ids into reusable scratch, then probe stock.
+        // Dedup is a linear scan over the low list — it stays tiny (distinct
+        // low-stock items), and it spares the per-call HashSet.
+        self.line_items.clear();
+        {
+            let items = &mut self.line_items;
+            db.scan_visit(&mut ctx, t.order_line, &lfrom, &lto, 400, |_k, lrow| {
+                items.push(get_u32(lrow, 0));
+            });
+        }
+        self.low_items.clear();
+        for idx in 0..self.line_items.len() {
+            let i = self.line_items[idx];
+            if self.low_items.contains(&i) {
                 continue;
             }
             if let Some(srow) = db.get(&mut ctx, t.stock, &key::stock(w, i)) {
-                let mut sr = RowReader::new(&srow);
-                if sr.u32() < threshold {
-                    low.insert(i);
+                if get_u32(srow, 0) < threshold {
+                    self.low_items.push(i);
                 }
             }
         }

@@ -13,6 +13,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test --workspace --quiet
 
+echo "== allocation budget (release hot path)"
+# The counting-allocator regression gate over the TPC-C / YCSB hot paths
+# (crates/bench/tests/alloc_budget.rs). Runs in release so the measured
+# averages match the configuration the wall-clock gate times.
+cargo test --release -p xssd-bench --test alloc_budget --quiet
+
 echo "== chaos_tpcc smoke (3 seeds, swept in parallel)"
 cargo build --release -p xssd-bench --bin chaos_tpcc --quiet
 smoke_dir=$(mktemp -d)

@@ -74,7 +74,7 @@ fn tpcc_committed_work_survives_crash_and_recovery() {
     let rows = db.scan(&mut probe_ctx, t, &[], &[0xFF; 9], 50);
     assert!(!rows.is_empty());
     for (k, v) in rows {
-        assert_eq!(recovered.peek(t, &k), Some(&v), "district row diverged");
+        assert_eq!(recovered.peek(t, &k), Some(v.as_slice()), "district row diverged");
     }
 }
 
