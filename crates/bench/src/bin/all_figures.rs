@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 use xssd_bench::{cli, sweep};
 
 /// Every harness binary, in report order.
-const BINS: [&str; 12] = [
+const BINS: [&str; 13] = [
     "fig09_local_logging",
     "fig10_write_combining",
     "fig11_queue_size",
@@ -31,6 +31,7 @@ const BINS: [&str; 12] = [
     "ablation_replication_policy",
     "ablation_replicated_tpcc",
     "ablation_destage_deadline",
+    "ablation_recovery",
     "chaos_tpcc",
 ];
 

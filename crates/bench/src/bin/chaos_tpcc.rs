@@ -15,6 +15,11 @@
 //! completions, lost completions → timeout/abort/backoff-retry) against the
 //! conventional SSD, since the Villars fast path bypasses the NVMe queue.
 //!
+//! Non-golden seeds additionally run the segmented-lifecycle crash arcs
+//! ([`lifecycle_arcs`]): a power cut mid-segment-rotation and one
+//! mid-checkpoint, proving zero committed-transaction loss across seal and
+//! snapshot boundaries and ping-pong fallback to the surviving slot.
+//!
 //! Usage: `chaos_tpcc [seed...]` (default seed `0xC0C5` is the committed
 //! golden). The same seed always produces the same faults at the same
 //! virtual instants and a byte-identical `results/chaos_tpcc.json`.
@@ -23,10 +28,13 @@
 //! overwrites `results/chaos_tpcc.json` in turn, so the last seed's file
 //! survives — exactly what running the seeds sequentially produced.
 
-use memdb::{durable_log_stream, encode_txn, fail_over, recover, rejoin_secondary};
+use memdb::{
+    durable_log_stream, encode_txn, fail_over, recover, rejoin_secondary, replay_segments,
+    Checkpointer, Lsn, SegmentConfig, WalConfig, WalManager, XssdLog,
+};
 use nvme::{drive_to_completion, CommandKind, IoCommand, IoPort, NvmeDriver};
 use simkit::faults::{
-    FaultKind, FlashFaultConfig, LinkDownWindow, NvmeFaultConfig, ScheduledFault,
+    site, FaultKind, FlashFaultConfig, LinkDownWindow, NvmeFaultConfig, ScheduledFault,
     TransportFaultConfig,
 };
 use simkit::{FaultPlan, MetricsRegistry, SimDuration, SimTime, Snapshot};
@@ -40,6 +48,10 @@ const GROUP: usize = 4;
 const PHASES: [usize; 3] = [120, 120, 60];
 /// Workload seed — fixed, so the fault seed alone distinguishes runs.
 const WORKLOAD_SEED: u64 = 0xAB5;
+/// The committed-golden fault seed. The segmented-lifecycle crash arcs
+/// run (and report) only for other seeds, keeping the golden
+/// `results/chaos_tpcc.json` byte-identical to the pre-lifecycle runs.
+const GOLDEN_SEED: u64 = 0xC0C5;
 
 /// The replica device: the unit-test Villars config with a conventional
 /// side large enough that the whole run's log stays resident on the
@@ -161,6 +173,209 @@ fn nvme_fault_section(plan: &FaultPlan) -> (u64, u64, u64, u64) {
     (s.retries(), s.timeouts(), s.error_completions(), s.dropped_completions())
 }
 
+/// What the segmented-lifecycle crash arcs measured for one seed.
+struct LifecycleOutcome {
+    /// Segment seals between the anchoring checkpoint and the rotation
+    /// crash (>= 1: the replayed range crosses a seal boundary).
+    rotation_seals: u64,
+    /// Bytes replayed after the rotation crash (snapshot -> durable).
+    rotation_replay_bytes: u64,
+    /// Transactions the rotation replay redid.
+    rotation_txns: u64,
+    /// Committed-but-unflushed transactions the crash dropped (they must
+    /// NOT resurrect — the recovery target is the last durable group).
+    rotation_unflushed: u64,
+    /// Torn-checkpoint prefix size (bytes of generation 2 that reached
+    /// the slot before the power cut).
+    torn_keep: u64,
+    /// Generation restore fell back to (must be 1, the surviving slot).
+    fallback_generation: u64,
+    /// Bytes replayed on top of the surviving snapshot.
+    ckpt_replay_bytes: u64,
+}
+
+/// One single-device lifecycle world: TPC-C through `WalManager<XssdLog>`
+/// with 4 KiB segments, explicit group flushes, and a fingerprint ledger
+/// at every durable boundary (the oracle for what a crash may recover).
+struct LifecycleWorld {
+    db: memdb::Database,
+    workload: TpccWorkload,
+    wrng: simkit::DetRng,
+    wal: WalManager<XssdLog>,
+    dev: usize,
+    ck: Checkpointer,
+    /// `(durable frontier, db fingerprint)` after each group flush.
+    ledger: Vec<(Lsn, u64)>,
+    group: usize,
+}
+
+impl LifecycleWorld {
+    fn new(seed: u64) -> Self {
+        let (db, workload, wrng) = setup(TpccConfig::small(), WORKLOAD_SEED ^ seed);
+        let mut cluster = Cluster::new();
+        let dev = cluster.add_device(chaos_device());
+        let mut wal =
+            WalManager::new(XssdLog::new(cluster, dev, "lifecycle"), WalConfig::default());
+        wal.enable_segments(SegmentConfig { segment_bytes: 4 << 10 });
+        // Ping-pong snapshot slots above the 2048-LBA destage ring (the
+        // conventional side is 4096 LBAs of 4 KiB).
+        let ck = Checkpointer::new(dev, 2048, 1024);
+        LifecycleWorld { db, workload, wrng, wal, dev, ck, ledger: Vec::new(), group: 0 }
+    }
+
+    fn flush_group(&mut self) {
+        if self.group > 0 {
+            let now = self.wal.log_writer_free();
+            self.wal.flush(now);
+            self.ledger.push((self.wal.durable_upto(), self.db.fingerprint()));
+            self.group = 0;
+        }
+    }
+
+    /// Drive the workload until `logged` more write transactions are in
+    /// the log, flushing every [`GROUP`]; a partial trailing group stays
+    /// open (callers decide whether it becomes durable).
+    fn run_logged(&mut self, logged: usize) {
+        let mut done = 0;
+        while done < logged {
+            let now = self.wal.log_writer_free();
+            if let Ok(recs) = self.workload.execute(&mut self.db, &mut self.wrng, now.as_nanos()) {
+                if recs.is_empty() {
+                    continue;
+                }
+                self.wal.append_records(now, &recs);
+                done += 1;
+                self.group += 1;
+                if self.group == GROUP {
+                    self.flush_group();
+                }
+            }
+        }
+    }
+
+    /// Checkpoint at the durable frontier and advance the truncation
+    /// horizon. Returns the snapshot's log offset.
+    fn checkpoint(&mut self) -> u64 {
+        let now = self.wal.log_writer_free();
+        let horizon = self.wal.durable_upto().0;
+        let (_t, meta) =
+            self.ck.checkpoint(self.wal.backend_mut().cluster_mut(), now, &self.db, horizon);
+        self.wal.truncate_below(Lsn(meta.log_offset));
+        meta.log_offset
+    }
+
+    /// Sudden power loss + reboot of the lone device.
+    fn crash(&mut self) {
+        let t = self.wal.log_writer_free() + SimDuration::from_millis(1);
+        let dev = self.dev;
+        let cl = self.wal.backend_mut().cluster_mut();
+        cl.advance(t);
+        cl.power_fail(dev, t);
+        cl.reboot_device(dev);
+    }
+}
+
+/// The segmented-lifecycle crash arcs: two independent single-device
+/// worlds, each ending in a power cut at a lifecycle-critical instant.
+///
+/// **Mid-rotation**: the log crosses at least one segment seal after the
+/// anchoring checkpoint, then crashes with a committed-but-unflushed
+/// transaction in the open group. Recovery (snapshot + bounded segment
+/// replay, clamped to the durable frontier) must land exactly on the last
+/// group-flush fingerprint: every fsynced transaction survives the seal
+/// boundary, the unflushed tail never resurrects.
+///
+/// **Mid-checkpoint**: generation 2 tears partway into its slot
+/// ([`Checkpointer::checkpoint_partial`]) before the power cut. Restore
+/// must fall back to generation 1's intact ping-pong slot, and replay
+/// from there must reproduce the live database with zero committed loss.
+fn lifecycle_arcs(seed: u64) -> LifecycleOutcome {
+    let plan = FaultPlan { seed, ..FaultPlan::disabled() };
+    let mut rng = plan.rng_for(site::SEGMENT_TAIL);
+
+    // --- Arc 1: crash mid segment rotation -----------------------------
+    let mut w = LifecycleWorld::new(seed);
+    w.run_logged(24);
+    w.flush_group();
+    let snap_offset = w.checkpoint();
+    let seals_at_ckpt = w.wal.segments().expect("segments on").seals();
+    // Cross at least one seal boundary with durable transactions.
+    let mut rounds = 0;
+    while w.wal.segments().expect("segments on").seals() == seals_at_ckpt {
+        w.run_logged(GROUP);
+        w.flush_group();
+        rounds += 1;
+        assert!(rounds < 64, "4 KiB segments must seal within a few TPC-C groups");
+    }
+    let durable_fp = w.ledger.last().expect("flushed groups").1;
+    // Leave committed-but-unflushed transactions in the open group: the
+    // crash drops them, and recovery must not bring them back.
+    w.run_logged(2);
+    let unflushed = w.group as u64;
+    assert!(unflushed > 0, "the tail group holds undurable transactions");
+    w.crash();
+    let now = w.wal.log_writer_free();
+    let (_t, meta, mut restored) =
+        w.ck.restore(w.wal.backend_mut().cluster_mut(), now)
+            .expect("the completed checkpoint survives the power cut");
+    assert_eq!(meta.log_offset, snap_offset);
+    let durable = w.wal.durable_upto().0;
+    let views = w.wal.segments().expect("segments on").views();
+    let rotation = replay_segments(&mut restored, meta.log_offset, &views, durable);
+    assert_eq!(
+        restored.fingerprint(),
+        durable_fp,
+        "seed {seed}: rotation crash recovers exactly the durable prefix"
+    );
+    let rotation_seals = w.wal.segments().expect("segments on").seals() - seals_at_ckpt;
+
+    // --- Arc 2: crash mid checkpoint ------------------------------------
+    let mut w = LifecycleWorld::new(seed ^ 0xC4A5);
+    w.run_logged(24);
+    w.flush_group();
+    let gen1_offset = w.checkpoint();
+    w.run_logged(12);
+    w.flush_group();
+    let live_fp = w.db.fingerprint();
+    // Generation 2 tears: only a prefix of its image reaches the slot.
+    let keep = rng.uniform(64, 2048);
+    let now = w.wal.log_writer_free();
+    let horizon = w.wal.durable_upto().0;
+    let (_t, torn_meta) = w.ck.checkpoint_partial(
+        w.wal.backend_mut().cluster_mut(),
+        now,
+        &w.db,
+        horizon,
+        keep as usize,
+    );
+    assert!(keep < torn_meta.bytes, "the torn prefix is a strict subset of the image");
+    w.crash();
+    let now = w.wal.log_writer_free();
+    let (_t, meta, mut restored) =
+        w.ck.restore(w.wal.backend_mut().cluster_mut(), now)
+            .expect("generation 1 survives the torn generation 2");
+    assert_eq!(meta.generation, 1, "seed {seed}: restore falls back to the surviving slot");
+    assert_eq!(meta.log_offset, gen1_offset);
+    let durable = w.wal.durable_upto().0;
+    let views = w.wal.segments().expect("segments on").views();
+    let ckpt = replay_segments(&mut restored, meta.log_offset, &views, durable);
+    assert_eq!(
+        restored.fingerprint(),
+        live_fp,
+        "seed {seed}: mid-checkpoint crash loses no committed transaction"
+    );
+
+    LifecycleOutcome {
+        rotation_seals,
+        rotation_replay_bytes: rotation.replay_bytes,
+        rotation_txns: rotation.txns_committed as u64,
+        rotation_unflushed: unflushed,
+        torn_keep: keep,
+        fallback_generation: meta.generation,
+        ckpt_replay_bytes: ckpt.replay_bytes,
+    }
+}
+
 /// Everything one seed's run produces — the silent simulation half of the
 /// harness. `main` turns this into the printed sections, rows, and the
 /// results file, in seed order.
@@ -181,6 +396,8 @@ struct ChaosOutcome {
     nvme_errors: u64,
     nvme_dropped: u64,
     pre_crash: Snapshot,
+    /// Segmented-lifecycle crash arcs (non-golden seeds only).
+    lifecycle: Option<LifecycleOutcome>,
 }
 
 /// Run the full chaos scenario for one fault seed. This is a [`sweep`]
@@ -324,6 +541,9 @@ fn run_seed(seed: u64) -> ChaosOutcome {
     assert!(nvme_retries >= 1, "the NVMe retry machinery engaged");
     assert!(nvme_timeouts >= 1, "at least one lost completion timed out");
 
+    // --- Segmented-lifecycle crash arcs (non-golden seeds) --------------
+    let lifecycle = (seed != GOLDEN_SEED).then(|| lifecycle_arcs(seed));
+
     ChaosOutcome {
         seed,
         tally,
@@ -342,6 +562,7 @@ fn run_seed(seed: u64) -> ChaosOutcome {
         nvme_errors,
         nvme_dropped,
         pre_crash: pre_crash_snapshot,
+        lifecycle,
     }
 }
 
@@ -439,6 +660,41 @@ fn emit(o: ChaosOutcome) {
         )
         .with_extra(o.nvme_timeouts as f64),
     );
+    if let Some(l) = &o.lifecycle {
+        section("lifecycle: crash mid-rotation and mid-checkpoint, bounded replay");
+        report.row(
+            &format!(
+                "rotation crash: {} seals crossed, {} txns replayed ({} B), \
+                 {} unflushed txns dropped",
+                l.rotation_seals, l.rotation_txns, l.rotation_replay_bytes, l.rotation_unflushed
+            ),
+            Measurement::point(
+                "chaos",
+                "lifecycle.rotation_replay",
+                sd,
+                "seed",
+                l.rotation_replay_bytes as f64,
+                "bytes",
+            )
+            .with_extra(l.rotation_seals as f64),
+        );
+        report.row(
+            &format!(
+                "torn checkpoint ({} B prefix): fell back to generation {}, \
+                 {} B replayed, zero committed loss",
+                l.torn_keep, l.fallback_generation, l.ckpt_replay_bytes
+            ),
+            Measurement::point(
+                "chaos",
+                "lifecycle.torn_ckpt_replay",
+                sd,
+                "seed",
+                l.ckpt_replay_bytes as f64,
+                "bytes",
+            )
+            .with_extra(l.torn_keep as f64),
+        );
+    }
     report.telemetry("pre_crash", o.pre_crash);
     report.finish().expect("write results");
 
@@ -455,7 +711,7 @@ fn main() {
         "chaos_tpcc",
         "replicated TPC-C under a cross-stack fault plan",
         "fault seed(s); each runs the full scenario (default 0xC0C5 = 49349, the golden)",
-        0xC0C5,
+        GOLDEN_SEED,
     );
     // Each seed is an isolated cell; the sweep runs them on all cores and
     // hands the outcomes back in argument order for reporting.

@@ -47,10 +47,19 @@ pub struct DestageModule {
     persisted: u64,
     /// Pages ever written to the LBA ring (cursor = base + n % len).
     pages_written: u64,
-    /// In-flight destage writes by conventional-side token.
-    inflight: HashMap<u64, Segment>,
-    /// Completed segments waiting for contiguous head advance.
-    done: BTreeMap<u64, Segment>,
+    /// In-flight destage writes by conventional-side token, stamped with
+    /// their submission sequence number.
+    inflight: HashMap<u64, (Segment, u64)>,
+    /// Completed segments waiting for contiguous head advance, stamped
+    /// with their submission sequence number.
+    done: BTreeMap<u64, (Segment, u64)>,
+    /// Monotonic page submission counter (sequence source).
+    submit_seq: u64,
+    /// Latest submission sequence per LBA slot. A completed page only
+    /// becomes readable if its slot has not been resubmitted since —
+    /// otherwise the media now holds (or will hold) newer bytes and the
+    /// old span must not be served.
+    slot_seq: HashMap<u64, u64>,
     /// Persisted segments still readable (not yet overwritten), oldest
     /// first.
     readable: VecDeque<Segment>,
@@ -72,6 +81,8 @@ impl DestageModule {
             pages_written: 0,
             inflight: HashMap::new(),
             done: BTreeMap::new(),
+            submit_seq: 0,
+            slot_seq: HashMap::new(),
             readable: VecDeque::new(),
             waiting_since: None,
             stats: DestageStats::default(),
@@ -114,15 +125,15 @@ impl DestageModule {
     /// the owning lane — tokens are device-global). The persisted frontier
     /// (x_pread horizon) advances contiguously.
     pub fn complete(&mut self, token: u64) -> bool {
-        let Some(seg) = self.inflight.remove(&token) else { return false };
-        self.done.insert(seg.log_from, seg);
-        while let Some((&from, &seg)) = self.done.first_key_value() {
+        let Some((seg, seq)) = self.inflight.remove(&token) else { return false };
+        self.done.insert(seg.log_from, (seg, seq));
+        while let Some((&from, &(seg, seq))) = self.done.first_key_value() {
             if from != self.persisted {
                 break;
             }
             self.done.pop_first();
             self.persisted = seg.log_to;
-            self.push_readable(seg);
+            self.push_readable(seg, seq);
         }
         true
     }
@@ -174,10 +185,14 @@ impl DestageModule {
         content.resize((data_bytes + filler) as usize, 0);
         let lba = self.next_lba();
         let seg = Segment { log_from: self.scheduled, log_to: self.scheduled + data_bytes, lba };
-        // A reused LBA slot invalidates the old segment there.
+        // A reused LBA slot invalidates the old segment there — both the
+        // already-readable copy and any completion still pending for the
+        // slot (gated by the per-slot sequence at push time).
+        self.submit_seq += 1;
+        self.slot_seq.insert(lba, self.submit_seq);
         self.evict_slot(lba);
         let token = conv.submit_destage_write(now, lba, Bytes::from(content));
-        self.inflight.insert(token, seg);
+        self.inflight.insert(token, (seg, self.submit_seq));
         self.scheduled += data_bytes;
         self.pages_written += 1;
         // The page content was copied out of the CMB ring into the storage
@@ -196,8 +211,10 @@ impl DestageModule {
         self.waiting_since = None;
     }
 
-    fn push_readable(&mut self, seg: Segment) {
-        self.readable.push_back(seg);
+    fn push_readable(&mut self, seg: Segment, seq: u64) {
+        if self.slot_seq.get(&seg.lba) == Some(&seq) {
+            self.readable.push_back(seg);
+        }
     }
 
     fn evict_slot(&mut self, lba: u64) {
@@ -238,16 +255,16 @@ impl DestageModule {
     /// the destage queue dry, account every in-flight page as persisted.
     /// Returns the log offset made durable.
     pub fn crash_finalize(&mut self) -> u64 {
-        for (_tok, seg) in self.inflight.drain() {
-            self.done.insert(seg.log_from, seg);
+        for (_tok, entry) in self.inflight.drain() {
+            self.done.insert(entry.0.log_from, entry);
         }
-        while let Some((&from, &seg)) = self.done.first_key_value() {
+        while let Some((&from, &(seg, seq))) = self.done.first_key_value() {
             if from != self.persisted {
                 break;
             }
             self.done.pop_first();
             self.persisted = seg.log_to;
-            self.push_readable(seg);
+            self.push_readable(seg, seq);
         }
         self.persisted
     }
@@ -430,6 +447,46 @@ mod tests {
         assert!(
             rig.destage.readable_from().expect("destage ring has nothing readable") >= 4 * 4096
         );
+    }
+
+    #[test]
+    fn slot_reuse_before_completion_never_leaves_stale_readable_entries() {
+        // Submit 12 pages in one burst through the crash path — every
+        // submission lands before any completion, so LBAs 0..3 are
+        // resubmitted while their first write is still in flight. The
+        // first-generation pages must not surface in the readable window
+        // afterwards: their slots hold newer media.
+        let mut rig = Rig::new();
+        // Stagger ingests so each page's transfer credit has drained
+        // (intake queue is 32 KiB), without ever pumping the destage loop.
+        for i in 0..12u64 {
+            rig.write(SimTime::from_micros(i * 2), i * 4096, &[(i + 1) as u8; 4096]);
+        }
+        let frontier = rig.cmb.crash_drain();
+        assert_eq!(frontier, 12 * 4096);
+        let durable = rig.destage.crash_destage(
+            SimTime::from_micros(30),
+            frontier,
+            &mut rig.cmb,
+            &mut rig.conv,
+        );
+        assert_eq!(durable, 12 * 4096, "durability covers every submitted page");
+        // Ring is 8 LBAs: only the last 8 pages are readable, and the
+        // overwritten generation must be gone — not mapped to slots that
+        // now hold newer bytes.
+        assert_eq!(rig.destage.readable_from(), Some(4 * 4096));
+        for i in 0..4u64 {
+            assert!(
+                rig.destage.segment_for(i * 4096).is_none(),
+                "page {i} was overwritten in flight and must not be readable"
+            );
+        }
+        for i in 4..12u64 {
+            let seg = rig.destage.segment_for(i * 4096).expect("surviving page readable");
+            let media =
+                rig.conv.media_content(seg.lba).expect("destaged LBA missing from flash media");
+            assert_eq!(media[0], (i + 1) as u8, "readable segment maps to current media");
+        }
     }
 
     #[test]

@@ -455,6 +455,14 @@ impl VillarsDevice {
         self.lanes[lane].cmb.head()
     }
 
+    /// Oldest log offset still readable from the lane's destage ring —
+    /// the ring recycles, so offsets below this are gone from the device
+    /// and recoverable only from a host-side archive. `None` when nothing
+    /// has been destaged yet.
+    pub fn destage_readable_from(&self, lane: usize) -> Option<u64> {
+        self.lanes[lane].destage.readable_from()
+    }
+
     /// Copy live CMB ring content `[offset, offset+len)` for `lane`
     /// (panics with the structured invariant report when the range falls
     /// outside the live window `[head, tail]`).

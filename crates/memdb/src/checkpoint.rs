@@ -197,6 +197,45 @@ impl Checkpointer {
         (t, CheckpointMeta { generation: self.generation, log_offset, bytes: image.len() as u64 })
     }
 
+    /// Crash-injection helper: begin a checkpoint of `db` but tear it —
+    /// only the first `keep` bytes of the image reach the slot before the
+    /// power cut. The generation is consumed (the slot this wrote into is
+    /// the one the torn checkpoint was claiming), exactly as a real
+    /// mid-checkpoint crash leaves things; [`Checkpointer::restore`] must
+    /// then fall back to the surviving slot's previous generation.
+    /// Returns the instant the torn prefix was durable and the metadata
+    /// the checkpoint *would* have carried.
+    pub fn checkpoint_partial(
+        &mut self,
+        cl: &mut Cluster,
+        now: SimTime,
+        db: &Database,
+        log_offset: u64,
+        keep: usize,
+    ) -> (SimTime, CheckpointMeta) {
+        self.generation += 1;
+        let image = encode_snapshot(db, self.generation, log_offset);
+        let meta =
+            CheckpointMeta { generation: self.generation, log_offset, bytes: image.len() as u64 };
+        let keep = keep.min(image.len());
+        if keep == 0 {
+            return (now, meta);
+        }
+        let slot = self.generation % 2;
+        let page = cl.device(self.dev).config().conventional.geometry.page_bytes as usize;
+        let base = self.slot_base(slot);
+        let blocks = keep.div_ceil(page) as u64;
+        assert!(blocks <= self.slot_lbas, "torn prefix exceeds the checkpoint slot");
+        for (i, chunk) in image[..keep].chunks(page).enumerate() {
+            cl.device_mut(self.dev)
+                .conventional_mut()
+                .stage_write_data(base + i as u64, simkit::bytes::Bytes::copy_from_slice(chunk));
+        }
+        let t = cl.block_write_blocking(self.dev, now, base, blocks as u32);
+        let t = cl.block_flush_blocking(self.dev, t);
+        (t, meta)
+    }
+
     /// Load the newest valid checkpoint from either slot, driving the
     /// device for the read timing. Returns `None` when no valid snapshot
     /// exists.
@@ -355,6 +394,38 @@ mod tests {
         let (_t, meta, restored) = ck.restore(&mut cl, t1).expect("flushed checkpoint survives");
         assert_eq!(meta.log_offset, 42);
         assert_eq!(restored.fingerprint(), db.fingerprint());
+    }
+
+    #[test]
+    fn torn_checkpoint_restores_the_surviving_slot() {
+        let mut cl = Cluster::new();
+        let dev = cl.add_device(VillarsConfig::small());
+        let mut ck = Checkpointer::new(dev, 128, 16);
+        let db1 = sample_db();
+        let (t1, m1) = ck.checkpoint(&mut cl, SimTime::ZERO, &db1, 100);
+        // Generation 2 tears mid-image; the crash lands before the slot
+        // is complete.
+        let mut db2 = sample_db();
+        let tab = db2.table_id("alpha").unwrap();
+        let mut ctx = db2.begin();
+        db2.insert(&mut ctx, tab, b"post-snap".to_vec(), b"row".to_vec());
+        db2.commit(ctx).unwrap();
+        let (t2, m2) = ck.checkpoint_partial(&mut cl, t1, &db2, 200, m1.bytes as usize / 2);
+        cl.power_fail(dev, t2);
+        cl.reboot_device(dev);
+        // The surviving generation-1 snapshot wins.
+        let (_t, meta, restored) = ck.restore(&mut cl, t2).expect("survivor slot valid");
+        assert_eq!(meta.generation, 1);
+        assert_eq!(meta.log_offset, 100);
+        assert_eq!(restored.fingerprint(), db1.fingerprint());
+        assert_eq!(m2.generation, 2, "the torn generation was consumed");
+        // The next full checkpoint (generation 3) lands in the other slot
+        // and takes over cleanly.
+        let (t3, m3) = ck.checkpoint(&mut cl, t2, &db2, 200);
+        assert_eq!(m3.generation, 3);
+        let (_t, meta3, restored3) = ck.restore(&mut cl, t3).expect("snapshot");
+        assert_eq!(meta3.generation, 3);
+        assert_eq!(restored3.fingerprint(), db2.fingerprint());
     }
 
     #[test]

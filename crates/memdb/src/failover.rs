@@ -8,6 +8,8 @@
 //! re-ship the missed log suffix from the primary's surviving copy before
 //! restoring it to the secondary set.
 
+use crate::log::fnv1a;
+use crate::segment::SegmentView;
 use nvme::{Status, VendorCommand};
 use simkit::{SimDuration, SimTime};
 use xssd_core::{vendor, Cluster};
@@ -84,6 +86,68 @@ pub fn rejoin_secondary(
     cluster.reboot_device(target);
     let resynced = cluster.resync_secondary(now, primary, target);
     cluster.configure_replication(resynced, primary, secondaries)
+}
+
+/// What a rejoin-from-archive round did: how much of the catch-up came
+/// from the host's sealed-segment archive versus live device state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RejoinReport {
+    /// The rejoining copy's durable tail at reboot.
+    pub tail_at_reboot: u64,
+    /// Bytes streamed from the archived segments.
+    pub archived_bytes: u64,
+    /// When the archive leg finished (live resync starts here).
+    pub archive_done: SimTime,
+    /// When the live three-zone resync caught the copy up to the
+    /// primary's tail.
+    pub resynced_at: SimTime,
+    /// When the reconfigured replica set went active.
+    pub active_at: SimTime,
+}
+
+/// Restore a rebooted secondary whose missed suffix may have fallen off
+/// the primary's destage ring: first stream the sealed segments the host
+/// archive retained for the gap (each verified against its seal CRC),
+/// then hand off to the live three-zone resync
+/// ([`Cluster::resync_secondary`]) for whatever the primary still serves,
+/// and finally reconfigure replication to `secondaries`.
+///
+/// The archive is the rejoining copy's only source for ranges the
+/// primary has recycled, so a segment failing its CRC — or an archive
+/// truncated past the target's tail — panics rather than rejoining a
+/// copy with a hole in its log.
+pub fn rejoin_secondary_from_archive(
+    cluster: &mut Cluster,
+    now: SimTime,
+    primary: usize,
+    target: usize,
+    secondaries: &[usize],
+    archive: &[SegmentView<'_>],
+) -> RejoinReport {
+    assert!(secondaries.contains(&target), "the rejoined device must be in the new replica set");
+    cluster.reboot_device(target);
+    cluster.advance(now);
+    let tail_at_reboot = cluster.device(target).log_tail(0);
+    let mut t = now;
+    for seg in archive {
+        if seg.base_lsn + seg.bytes.len() as u64 <= tail_at_reboot {
+            continue; // the target already holds this segment
+        }
+        if let Some(crc) = seg.crc {
+            assert_eq!(
+                fnv1a(seg.bytes),
+                crc,
+                "archived segment at LSN {} failed its seal CRC during rejoin",
+                seg.base_lsn
+            );
+        }
+        t = cluster.deliver_archived(t, target, seg.base_lsn, seg.bytes);
+    }
+    let archived_bytes = cluster.device(target).log_tail(0) - tail_at_reboot;
+    let archive_done = t;
+    let resynced_at = cluster.resync_secondary(t, primary, target);
+    let active_at = cluster.configure_replication(resynced_at, primary, secondaries);
+    RejoinReport { tail_at_reboot, archived_bytes, archive_done, resynced_at, active_at }
 }
 
 /// Read the full durable log stream `[0, destaged frontier)` of `dev`'s
@@ -180,6 +244,110 @@ mod tests {
         recovered.create_table("t");
         let rep = recover(&mut recovered, &stream);
         assert_eq!(rep.txns_committed, 20, "every committed transaction survives");
+        assert_eq!(recovered.fingerprint(), db.fingerprint());
+    }
+
+    /// A secondary that stays down while the primary writes more than its
+    /// destage ring retains cannot be resynced from live device state —
+    /// the missed range has been recycled. The sealed-segment archive
+    /// fills the gap: rejoin streams archived segments first, then hands
+    /// off to the live three-zone resync, and a subsequent full-cluster
+    /// crash recovered from the rejoined copy alone loses nothing.
+    #[test]
+    fn rejoin_from_archive_after_the_ring_recycles() {
+        use crate::segment::{SegmentConfig, SegmentedLog};
+        let mut cluster = Cluster::new();
+        let p = cluster.add_device(VillarsConfig::small());
+        let s1 = cluster.add_device(VillarsConfig::small());
+        let s2 = cluster.add_device(VillarsConfig::small());
+        let t0 = cluster.configure_replication(SimTime::ZERO, p, &[s1, s2]);
+
+        let mut db = Database::new();
+        let tab = db.create_table("t");
+        let mut file = XLogFile::open(p);
+        let mut seg = SegmentedLog::new(SegmentConfig { segment_bytes: 16 << 10 });
+        let mut now = t0;
+        let commit = |db: &mut Database,
+                      seg: &mut SegmentedLog,
+                      cluster: &mut Cluster,
+                      file: &mut XLogFile,
+                      now: SimTime,
+                      i: u32|
+         -> SimTime {
+            let mut ctx = db.begin();
+            db.insert(&mut ctx, tab, crate::storage::keys::composite(&[i]), vec![i as u8; 160]);
+            let recs = db.commit(ctx).expect("commit");
+            let mut bytes = Vec::new();
+            for r in &recs {
+                let start = bytes.len();
+                r.encode_into(&mut bytes);
+                seg.append_record_bytes(&bytes[start..]);
+            }
+            let t = file.x_pwrite(cluster, now, &bytes).expect("x_pwrite");
+            file.x_fsync(cluster, t).expect("x_fsync")
+        };
+
+        for i in 0..8u32 {
+            now = commit(&mut db, &mut seg, &mut cluster, &mut file, now, i);
+        }
+        cluster.power_fail(s2, now);
+        let tail_at_crash = cluster.device(s2).log_tail(0);
+        let report = fail_over(&mut cluster, now, p, &[s1]);
+        now = report.reconfigured_at;
+        // Write far more than the small destage ring (64 LBAs) retains.
+        for i in 8..2000u32 {
+            now = commit(&mut db, &mut seg, &mut cluster, &mut file, now, i);
+        }
+        let settle = now + SimDuration::from_millis(2);
+        cluster.advance(settle);
+        let recycled_from = cluster.device(p).destage_readable_from(0).expect("primary destaged");
+        assert!(
+            recycled_from > tail_at_crash,
+            "test premise: the range s2 missed ({tail_at_crash}..) must have fallen off \
+             the primary's ring (oldest readable {recycled_from})"
+        );
+
+        let rejoin =
+            rejoin_secondary_from_archive(&mut cluster, settle, p, s2, &[s1, s2], &seg.views());
+        assert_eq!(rejoin.tail_at_reboot, tail_at_crash);
+        assert!(rejoin.archived_bytes > 0, "the archive leg must have shipped the gap");
+        assert!(rejoin.archive_done <= rejoin.resynced_at);
+        assert_eq!(
+            cluster.device(s2).log_tail(0),
+            cluster.device(p).log_tail(0),
+            "archive + live resync caught the rejoined copy up to the primary's tail"
+        );
+
+        // Total cluster loss: recovery from the rejoined copy's durable
+        // state alone must reproduce every committed transaction the ring
+        // still serves — nothing the archive delivered was corrupted.
+        let end = rejoin.active_at + SimDuration::from_millis(2);
+        cluster.advance(end);
+        cluster.power_fail(p, end);
+        cluster.power_fail(s1, end);
+        cluster.power_fail(s2, end);
+        cluster.reboot_device(s2);
+        let from = cluster.device(s2).destage_readable_from(0).expect("rejoined copy destaged");
+        let upto = cluster.device(s2).destaged_upto(0);
+        let (_ready, bytes) = cluster
+            .device_mut(s2)
+            .read_destaged(end, 0, from, (upto - from) as usize)
+            .expect("suffix readable");
+        let mut recovered = Database::new();
+        recovered.create_table("t");
+        // Bootstrap from the primary's log prefix (stands in for a
+        // snapshot), then replay the rejoined copy's readable suffix.
+        let mut prefix = Vec::new();
+        for v in seg.views() {
+            let end_lsn = v.base_lsn + v.bytes.len() as u64;
+            if end_lsn <= from {
+                prefix.extend_from_slice(v.bytes);
+            } else if v.base_lsn < from {
+                prefix.extend_from_slice(&v.bytes[..(from - v.base_lsn) as usize]);
+            }
+        }
+        prefix.extend_from_slice(&bytes);
+        recover(&mut recovered, &prefix);
         assert_eq!(recovered.fingerprint(), db.fingerprint());
     }
 

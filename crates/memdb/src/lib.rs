@@ -11,7 +11,10 @@
 //!   [`PmLog`], [`NvmeLog`], [`XssdLog`]);
 //! - [`wal`] — group commit (16 KiB threshold + timeout);
 //! - [`runner`] — pinned-worker workload driver (latency/throughput);
-//! - [`recovery`] — analysis+redo from the destaged log;
+//! - [`recovery`] — analysis+redo from the destaged log, bounded to
+//!   latest snapshot + subsequent segments when segmentation is on;
+//! - [`segment`] — sealed-segment archive with checkpoint-anchored
+//!   truncation (the log lifecycle, docs/ROBUSTNESS.md);
 //! - [`replica`] — hot-standby apply over a Villars secondary.
 
 #![warn(missing_docs)]
@@ -24,22 +27,27 @@ pub mod log;
 pub mod recovery;
 pub mod replica;
 pub mod runner;
+pub mod segment;
 pub mod storage;
 pub mod wal;
 
 pub use backend::{AppendTag, LogBackend, NoLog, NvmeLog, PmConfig, PmLog, XssdLog};
-pub use failover::{durable_log_stream, fail_over, rejoin_secondary, FailoverReport};
+pub use failover::{
+    durable_log_stream, fail_over, rejoin_secondary, rejoin_secondary_from_archive, FailoverReport,
+    RejoinReport,
+};
 
 pub use checkpoint::{
     decode_snapshot, encode_snapshot, CheckpointMeta, Checkpointer, SnapshotError,
 };
 pub use key::SmallKey;
 pub use log::{decode_one, decode_stream, DecodeError, LogOp, LogRecord, TableId};
-pub use recovery::{encode_txn, recover, RecoveryReport};
+pub use recovery::{encode_txn, recover, replay_segments, RecoveryReport, SegmentReplayReport};
 pub use replica::Replica;
 pub use runner::{
     run_observed, run_workload, KindCounts, ObserveConfig, ObservedRun, RunReport, RunnerConfig,
     SeriesBucket, TxnOutcome,
 };
+pub use segment::{SealedSegment, SegmentConfig, SegmentView, SegmentedLog};
 pub use storage::{keys, Database, Key, Row, Table, TxnCtx, TxnError};
 pub use wal::{FlushReport, Lsn, WalConfig, WalManager};

@@ -5,7 +5,8 @@
 //! remote memory is done by the remote Database") and replays it into its
 //! in-memory tables — the log-shipping consumer side.
 
-use crate::log::{decode_one, DecodeError, LogOp};
+use crate::log::{decode_one, fnv1a, DecodeError, LogOp};
+use crate::segment::SegmentView;
 use crate::storage::Database;
 use simkit::SimTime;
 use xssd_core::Cluster;
@@ -52,6 +53,60 @@ impl Replica {
             txns_applied: 0,
             staged: Vec::new(),
         }
+    }
+
+    /// A replica resuming from a restored snapshot: `db` is the decoded
+    /// snapshot state and `log_offset` its log offset — apply continues
+    /// from there instead of replaying total history. The lifecycle
+    /// counterpart of [`Replica::new`]: a standby that was down long
+    /// enough to need a snapshot bootstraps here, then consumes the
+    /// archive ([`Replica::apply_archived`]) and the live stream
+    /// ([`Replica::catch_up`]).
+    pub fn from_snapshot(dev: usize, db: Database, log_offset: u64) -> Self {
+        Replica {
+            db,
+            dev,
+            lane: 0,
+            cursor: log_offset,
+            carry: Vec::new(),
+            txns_applied: 0,
+            staged: Vec::new(),
+        }
+    }
+
+    /// Apply host-archived segments from the replica's cursor onward —
+    /// the catch-up source for ranges the secondary device's destage ring
+    /// has already recycled. Sealed segments are verified against their
+    /// seal CRC; a gap between the cursor and the archive panics (the
+    /// archive was truncated past what this replica needs). Returns the
+    /// number of transactions applied.
+    pub fn apply_archived(&mut self, segments: &[SegmentView<'_>]) -> u64 {
+        let before = self.txns_applied;
+        for seg in segments {
+            let end = seg.base_lsn + seg.bytes.len() as u64;
+            if end <= self.cursor {
+                continue; // already consumed
+            }
+            assert!(
+                seg.base_lsn <= self.cursor,
+                "archive gap: segment starts at LSN {} but the replica cursor is {}",
+                seg.base_lsn,
+                self.cursor
+            );
+            if let Some(crc) = seg.crc {
+                assert_eq!(
+                    fnv1a(seg.bytes),
+                    crc,
+                    "archived segment at LSN {} failed its seal CRC",
+                    seg.base_lsn
+                );
+            }
+            let start = (self.cursor - seg.base_lsn) as usize;
+            self.carry.extend_from_slice(&seg.bytes[start..]);
+            self.cursor = end;
+            self.drain_carry();
+        }
+        self.txns_applied - before
     }
 
     /// Transactions fully applied.
@@ -191,6 +246,44 @@ mod tests {
         let seq = run(1);
         assert_eq!(seq, run(4), "replica convergence diverged between execution modes");
         assert_eq!(seq.1, 20, "all transactions shipped and applied");
+    }
+
+    /// A standby bootstrapped from a snapshot converges by consuming the
+    /// sealed-segment archive alone — no live device needed for ranges
+    /// the destage ring has recycled.
+    #[test]
+    fn replica_applies_archived_segments_from_a_snapshot() {
+        use crate::segment::{SegmentConfig, SegmentedLog};
+        let mut primary = Database::new();
+        let tab = primary.create_table("t");
+        let mut seg = SegmentedLog::new(SegmentConfig { segment_bytes: 128 });
+        let mut stream = Vec::new();
+        let mut boundaries = Vec::new();
+        for i in 0..20u32 {
+            let mut ctx = primary.begin();
+            primary.insert(&mut ctx, tab, crate::storage::keys::composite(&[i]), vec![i as u8; 24]);
+            for r in primary.commit(ctx).unwrap() {
+                let start = stream.len();
+                r.encode_into(&mut stream);
+                seg.append_record_bytes(&stream[start..]);
+            }
+            boundaries.push(stream.len() as u64);
+        }
+        // Snapshot after the 8th transaction; retention retires the
+        // archive below it.
+        let snap_offset = boundaries[7];
+        let mut snap_db = Database::new();
+        snap_db.create_table("t");
+        crate::recovery::recover(&mut snap_db, &stream[..snap_offset as usize]);
+        seg.truncate_below(snap_offset.min(seg.end_lsn()));
+
+        let mut replica = Replica::from_snapshot(0, snap_db, snap_offset);
+        let applied = replica.apply_archived(&seg.views());
+        assert_eq!(applied, 12, "the 12 post-snapshot transactions apply");
+        assert_eq!(replica.cursor(), seg.end_lsn());
+        assert_eq!(replica.db.fingerprint(), primary.fingerprint());
+        // Idempotent: a second pass over the same archive applies nothing.
+        assert_eq!(replica.apply_archived(&seg.views()), 0);
     }
 
     /// Partial shipping: a transaction whose commit marker has not arrived

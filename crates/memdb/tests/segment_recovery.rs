@@ -1,0 +1,280 @@
+//! Property tests for the segmented WAL lifecycle (docs/ROBUSTNESS.md,
+//! "Log lifecycle"): seeded random workloads against random snapshot,
+//! truncation, tear, and corruption points. The invariants:
+//!
+//! 1. **Committed-prefix exactness.** Recovery from any durable prefix
+//!    reproduces exactly the transactions whose commit marker is durable —
+//!    never a partial transaction, never an uncommitted orphan.
+//! 2. **Dual-path equality.** Snapshot restore + bounded segment replay
+//!    equals the flat total-history pass for any snapshot boundary and any
+//!    retention horizon at or below it.
+//! 3. **Rejoin convergence.** A standby bootstrapped from a snapshot
+//!    converges through the sealed archive alone after truncation, and a
+//!    second pass over the same archive is a no-op.
+//!
+//! Every case replays bit-for-bit from its seed; tear and corruption
+//! draws come from the `site::SEGMENT_TAIL` fault stream so arming other
+//! sites never perturbs these schedules.
+
+use memdb::{
+    keys, recover, replay_segments, Database, LogOp, LogRecord, Replica, SegmentConfig,
+    SegmentView, SegmentedLog,
+};
+use simkit::faults::{site, FaultPlan};
+use simkit::DetRng;
+
+const SEEDS: [u64; 8] = [0xA0, 0xA1, 0xA2, 0xA3, 0xA4, 0xA5, 0xA6, 0xA7];
+
+/// A seeded random history: the primary's final state, the flat log
+/// stream, the parallel segmented archive, and per-transaction oracles.
+struct History {
+    primary: Database,
+    stream: Vec<u8>,
+    seg: SegmentedLog,
+    /// Stream offset one past each committed transaction's commit marker.
+    boundaries: Vec<u64>,
+    /// Primary fingerprint after each committed transaction.
+    fingerprints: Vec<u64>,
+    /// Fingerprint of the empty (pre-history) database.
+    empty_fp: u64,
+}
+
+impl History {
+    /// The fingerprint recovery must produce when exactly the first
+    /// `boundaries[i] <= durable` transactions survive.
+    fn expected_at(&self, durable: u64) -> u64 {
+        self.boundaries
+            .iter()
+            .rposition(|&b| b <= durable)
+            .map_or(self.empty_fp, |i| self.fingerprints[i])
+    }
+
+    fn fresh(&self) -> Database {
+        let mut db = Database::new();
+        db.create_table("t");
+        db
+    }
+
+    /// Owned copies of the retained segment views, for corruption.
+    fn owned_views(&self) -> Vec<(u64, Vec<u8>, Option<u32>)> {
+        self.seg.views().iter().map(|v| (v.base_lsn, v.bytes.to_vec(), v.crc)).collect()
+    }
+}
+
+fn borrow_views(owned: &[(u64, Vec<u8>, Option<u32>)]) -> Vec<SegmentView<'_>> {
+    owned
+        .iter()
+        .map(|(base, bytes, crc)| SegmentView { base_lsn: *base, bytes, crc: *crc })
+        .collect()
+}
+
+/// Build a random committed history with uncommitted orphan records
+/// sprinkled through the stream (transactions whose commit marker never
+/// made it — they must never surface after recovery).
+fn random_history(seed: u64) -> History {
+    let mut rng = DetRng::new(seed);
+    let segment_bytes = *rng.pick(&[96u64, 160, 256, 512]);
+    let txns = rng.uniform(25, 60) as usize;
+
+    let mut primary = Database::new();
+    let tab = primary.create_table("t");
+    let empty_fp = primary.fingerprint();
+    let mut seg = SegmentedLog::new(SegmentConfig { segment_bytes });
+    let mut stream = Vec::new();
+    let mut boundaries = Vec::new();
+    let mut fingerprints = Vec::new();
+    let mut live: Vec<u32> = Vec::new();
+    let mut next_key = 0u32;
+
+    let push_record = |stream: &mut Vec<u8>, seg: &mut SegmentedLog, r: &LogRecord| {
+        let start = stream.len();
+        r.encode_into(stream);
+        seg.append_record_bytes(&stream[start..]);
+    };
+
+    for i in 0..txns {
+        let mut ctx = primary.begin();
+        for _ in 0..rng.uniform(1, 3) {
+            let delete = !live.is_empty() && rng.chance(0.2);
+            if delete {
+                let idx = rng.uniform(0, live.len() as u64 - 1) as usize;
+                let k = live.swap_remove(idx);
+                primary.delete(&mut ctx, tab, keys::composite(&[k]));
+            } else {
+                let overwrite = !live.is_empty() && rng.chance(0.3);
+                let val = vec![rng.next_u64() as u8; rng.uniform(1, 48) as usize];
+                if overwrite {
+                    let k = *rng.pick(&live);
+                    primary.update(&mut ctx, tab, keys::composite(&[k]), val);
+                } else {
+                    next_key += 1;
+                    live.push(next_key);
+                    primary.insert(&mut ctx, tab, keys::composite(&[next_key]), val);
+                }
+            }
+        }
+        for r in primary.commit(ctx).expect("single-threaded commit") {
+            push_record(&mut stream, &mut seg, &r);
+        }
+        boundaries.push(stream.len() as u64);
+        fingerprints.push(primary.fingerprint());
+
+        // Occasionally interleave an orphan: records without a commit
+        // marker, as a crashed writer would leave behind.
+        if rng.chance(0.15) {
+            let orphan = LogRecord {
+                txn_id: 1_000_000 + i as u64,
+                op: LogOp::Insert,
+                table: tab,
+                key: keys::composite(&[u32::MAX - i as u32]),
+                value: vec![0xEE; rng.uniform(1, 32) as usize].into(),
+            };
+            push_record(&mut stream, &mut seg, &orphan);
+        }
+    }
+
+    History { primary, stream, seg, boundaries, fingerprints, empty_fp }
+}
+
+/// Property 2: for any snapshot boundary, restoring the prefix and then
+/// replaying the retained segments equals the primary — and the replay
+/// cost is exactly the post-snapshot byte range, not total history.
+#[test]
+fn snapshot_plus_segment_replay_matches_flat_recovery() {
+    for seed in SEEDS {
+        let h = random_history(seed);
+        let durable = h.stream.len() as u64;
+        let mut rng = DetRng::new(seed ^ 0x5EED);
+        for _ in 0..4 {
+            let snap = h.boundaries[rng.uniform(0, h.boundaries.len() as u64 - 1) as usize];
+            let mut db = h.fresh();
+            recover(&mut db, &h.stream[..snap as usize]);
+            let report = replay_segments(&mut db, snap, &h.seg.views(), durable);
+            assert_eq!(db.fingerprint(), h.primary.fingerprint(), "seed {seed} snap {snap}");
+            assert_eq!(report.replay_bytes, durable - snap, "replay is bounded by the snapshot");
+            assert_eq!(report.torn_bytes, 0);
+        }
+    }
+}
+
+/// Property 2 under retention: truncating the archive to any horizon at
+/// or below the snapshot loses nothing.
+#[test]
+fn truncation_below_the_snapshot_loses_nothing() {
+    for seed in SEEDS {
+        let mut rng = DetRng::new(seed ^ 0x7BC);
+        let mut h = random_history(seed);
+        let durable = h.stream.len() as u64;
+        let si = rng.uniform(1, h.boundaries.len() as u64 - 1) as usize;
+        let snap = h.boundaries[si];
+        let horizon = h.boundaries[rng.uniform(0, si as u64) as usize];
+        h.seg.truncate_below(horizon);
+        assert!(h.seg.retained_from() <= snap, "the snapshot's suffix stays retained");
+        let mut db = h.fresh();
+        recover(&mut db, &h.stream[..snap as usize]);
+        let report = replay_segments(&mut db, snap, &h.seg.views(), durable);
+        assert_eq!(db.fingerprint(), h.primary.fingerprint(), "seed {seed}");
+        assert_eq!(report.replay_bytes, durable - snap);
+    }
+}
+
+/// Property 1: a tear at any byte — record boundary, mid-record, or
+/// mid-commit-marker — recovers exactly the transactions whose commit
+/// marker is durable. Checked against an independent oracle (the
+/// fingerprint ledger built while the history ran), and against the flat
+/// pass for dual-path agreement.
+#[test]
+fn torn_tail_recovers_exactly_the_committed_prefix() {
+    for seed in SEEDS {
+        let h = random_history(seed);
+        let plan = FaultPlan { seed, ..FaultPlan::disabled() };
+        let mut rng = plan.rng_for(site::SEGMENT_TAIL);
+        for _ in 0..6 {
+            let tear = rng.uniform(0, h.stream.len() as u64);
+            let mut db = h.fresh();
+            replay_segments(&mut db, 0, &h.seg.views(), tear);
+            let expected = h.expected_at(tear);
+            assert_eq!(db.fingerprint(), expected, "seed {seed} tear {tear}");
+            let mut oracle = h.fresh();
+            recover(&mut oracle, &h.stream[..tear as usize]);
+            assert_eq!(oracle.fingerprint(), expected, "flat pass agrees at tear {tear}");
+        }
+    }
+}
+
+/// Property 1 under corruption: flipping any byte of the retained archive
+/// leaves recovery on some committed prefix — never a state that no
+/// committed history produced, and never the corrupted suffix.
+#[test]
+fn corrupted_archive_never_resurrects_uncommitted_state() {
+    for seed in SEEDS {
+        let h = random_history(seed);
+        let durable = h.stream.len() as u64;
+        let plan = FaultPlan { seed, ..FaultPlan::disabled() };
+        let mut rng = plan.rng_for(site::SEGMENT_TAIL);
+        for _ in 0..4 {
+            let mut owned = h.owned_views();
+            let vi = rng.uniform(0, owned.len() as u64 - 1) as usize;
+            let bi = rng.uniform(0, owned[vi].1.len() as u64 - 1) as usize;
+            owned[vi].1[bi] ^= 0x5A;
+            let corrupt_from = owned[vi].0; // replay can survive at most to here
+            let mut db = h.fresh();
+            replay_segments(&mut db, 0, &borrow_views(&owned), durable);
+            let fp = db.fingerprint();
+            assert!(
+                fp == h.empty_fp || h.fingerprints.contains(&fp),
+                "seed {seed}: corrupted replay produced a state no committed prefix has"
+            );
+            let ceiling = h.expected_at(owned[vi].0 + owned[vi].1.len() as u64);
+            let floor_ok = fp == h.empty_fp
+                || h.fingerprints.iter().position(|&f| f == fp).expect("prefix state")
+                    <= h.fingerprints.iter().position(|&f| f == ceiling).unwrap_or(usize::MAX);
+            assert!(
+                floor_ok,
+                "seed {seed}: replay advanced past the corrupted segment at {corrupt_from}"
+            );
+        }
+    }
+}
+
+/// Property 3: a standby bootstrapped from a snapshot converges through
+/// the truncated archive alone, applies exactly the post-snapshot
+/// transactions, and a second pass is a no-op.
+#[test]
+fn rejoin_after_truncation_converges() {
+    for seed in SEEDS {
+        let mut h = random_history(seed);
+        let mut rng = DetRng::new(seed ^ 0x0E01);
+        let si = rng.uniform(0, h.boundaries.len() as u64 - 1) as usize;
+        let snap = h.boundaries[si];
+        let mut snap_db = h.fresh();
+        recover(&mut snap_db, &h.stream[..snap as usize]);
+        h.seg.truncate_below(snap);
+
+        let mut replica = Replica::from_snapshot(0, snap_db, snap);
+        let applied = replica.apply_archived(&h.seg.views());
+        assert_eq!(
+            applied as usize,
+            h.boundaries.len() - (si + 1),
+            "seed {seed}: exactly the post-snapshot transactions apply"
+        );
+        assert_eq!(replica.db.fingerprint(), h.primary.fingerprint(), "seed {seed}");
+        assert_eq!(replica.cursor(), h.seg.end_lsn());
+        assert_eq!(replica.apply_archived(&h.seg.views()), 0, "idempotent second pass");
+    }
+}
+
+/// Release-mode smoke for `scripts/check.sh`: three seeds of the torn-tail
+/// property, small and fast.
+#[test]
+fn smoke_torn_tail() {
+    for seed in [0xB1, 0xB2, 0xB3] {
+        let h = random_history(seed);
+        let plan = FaultPlan { seed, ..FaultPlan::disabled() };
+        let mut rng = plan.rng_for(site::SEGMENT_TAIL);
+        let tear = rng.uniform(0, h.stream.len() as u64);
+        let mut db = h.fresh();
+        replay_segments(&mut db, 0, &h.seg.views(), tear);
+        assert_eq!(db.fingerprint(), h.expected_at(tear), "seed {seed} tear {tear}");
+    }
+}

@@ -31,6 +31,7 @@ HARNESSES=(
   ablation_replicated_tpcc
   ablation_replication_policy
   ablation_transport
+  ablation_recovery
   chaos_tpcc
   all_figures
 )
@@ -98,7 +99,7 @@ done
   echo '  },'
   echo '  "workloads": {'
   echo "    \"tpcc\": {\"fig09_local_logging\": ${HARNESS_MS[fig09_local_logging]}, \"ablation_replicated_tpcc\": ${HARNESS_MS[ablation_replicated_tpcc]}, \"chaos_tpcc\": ${HARNESS_MS[chaos_tpcc]}},"
-  echo "    \"ycsb\": {\"fig_ycsb\": ${HARNESS_MS[fig_ycsb]}}"
+  echo "    \"ycsb\": {\"fig_ycsb\": ${HARNESS_MS[fig_ycsb]}, \"ablation_recovery\": ${HARNESS_MS[ablation_recovery]}}"
   echo '  },'
   echo '  "sim_modes": {'
 } >> "$OUT"

@@ -19,12 +19,20 @@ echo "== allocation budget (release hot path)"
 # averages match the configuration the wall-clock gate times.
 cargo test --release -p xssd-bench --test alloc_budget --quiet
 
-echo "== chaos_tpcc smoke (3 seeds, swept in parallel)"
+echo "== segment recovery smoke (release, torn-tail property)"
+# Three seeds of the torn-tail committed-prefix property from
+# crates/memdb/tests/segment_recovery.rs, in release mode (the same
+# configuration the results gate runs the harnesses in).
+cargo test --release -p memdb --test segment_recovery smoke_torn_tail --quiet
+
+echo "== chaos_tpcc smoke (5 seeds, swept in parallel)"
 cargo build --release -p xssd-bench --bin chaos_tpcc --quiet
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
 # One invocation: the seeds run as independent cells on the bench::sweep
 # pool (XSSD_BENCH_THREADS), reported in argument order.
-XSSD_RESULTS_DIR="$smoke_dir" ./target/release/chaos_tpcc 7 1234 99991 > /dev/null
+# Non-golden seeds also run the segmented-lifecycle crash arcs
+# (mid-rotation and mid-checkpoint power cuts).
+XSSD_RESULTS_DIR="$smoke_dir" ./target/release/chaos_tpcc 7 1234 99991 31415 27182 > /dev/null
 
-echo "ok: fmt, clippy, tests, chaos smoke all clean"
+echo "ok: fmt, clippy, tests, recovery smoke, chaos smoke all clean"

@@ -42,6 +42,7 @@ HARNESSES=(
   ablation_replicated_tpcc
   ablation_replication_policy
   ablation_transport
+  ablation_recovery
   chaos_tpcc
 )
 
